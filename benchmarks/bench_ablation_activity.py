@@ -1,0 +1,68 @@
+"""Ablation: measured switching activity vs the paper's alpha = 0.15.
+
+Simulates the first configured circuit with random vectors (bit-parallel
+logic simulation) and compares the measured per-net activities — and the
+resulting signal power — against the paper's blanket assumption.  The
+timed kernel is one full activity-extraction run.
+"""
+
+import pytest
+
+from repro.core import signal_wirelength
+from repro.experiments import format_table
+from repro.netlist import simulate_activities
+from repro.power import measured_signal_power_mw, signal_power_mw
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def activity_rows(suite, s9234_experiment):
+    exp = s9234_experiment
+    sim = simulate_activities(exp.circuit, cycles=64, streams=64)
+    blanket = signal_power_mw(
+        exp.circuit,
+        signal_wirelength(exp.circuit, exp.flow.positions),
+        1.0,
+        suite.tech,
+    )
+    measured = measured_signal_power_mw(
+        exp.circuit, exp.flow.positions, 1.0, suite.tech, sim.activities
+    )
+    rows = [
+        {
+            "model": "paper assumption (alpha=0.15)",
+            "mean_activity": suite.tech.signal_activity,
+            "signal_power_mw": blanket,
+        },
+        {
+            "model": "measured (logic simulation)",
+            "mean_activity": sim.mean_activity,
+            "signal_power_mw": measured,
+        },
+    ]
+    record_artifact(
+        "Ablation: switching activity",
+        format_table(
+            rows,
+            f"Ablation - signal activity on {exp.name} "
+            f"({sim.cycles} cycles x {sim.streams} streams)",
+        ),
+    )
+    return rows, exp
+
+
+def test_bench_activity_extraction(benchmark, activity_rows):
+    rows, exp = activity_rows
+    blanket_row, measured_row = rows
+    # The measured mean must land in the same regime the paper assumes.
+    assert 0.05 <= measured_row["mean_activity"] <= 0.30
+    assert measured_row["signal_power_mw"] == pytest.approx(
+        blanket_row["signal_power_mw"], rel=0.6
+    )
+
+    result = benchmark.pedantic(
+        simulate_activities, args=(exp.circuit,),
+        kwargs={"cycles": 32, "streams": 64}, rounds=3, iterations=1,
+    )
+    assert result.mean_activity > 0.0

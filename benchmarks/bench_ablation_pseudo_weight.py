@@ -1,0 +1,57 @@
+"""Ablation: pseudo-net weight.
+
+The pseudo nets (stage 5) pull flip-flops toward their rings; their weight
+trades tapping cost against placement disturbance.  Sweeps the weight on
+one circuit and reports the tapping/signal trade-off; the timed kernel is
+one full flow at the default weight.
+"""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.experiments import format_table
+from repro.netlist import generate_circuit, small_profile
+
+from conftest import record_artifact
+
+_CIRCUIT = generate_circuit(small_profile(num_cells=220, num_flipflops=40, seed=77))
+_WEIGHTS = (0.0, 0.1, 0.5, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows = []
+    for weight in _WEIGHTS:
+        res = IntegratedFlow(
+            _CIRCUIT,
+            options=FlowOptions(ring_grid_side=2, pseudo_net_weight=weight),
+        ).run()
+        rows.append(
+            {
+                "pseudo_weight": weight,
+                "tap_wl_um": res.final.tapping_wirelength,
+                "tap_improvement": res.tapping_improvement,
+                "signal_wl_um": res.final.signal_wirelength,
+                "signal_penalty": res.signal_penalty,
+            }
+        )
+    record_artifact(
+        "Ablation: pseudo-net weight",
+        format_table(rows, "Ablation - pseudo-net weight sweep (tiny circuit)"),
+    )
+    return rows
+
+
+def test_bench_flow_default_weight(benchmark, ablation_rows):
+    # Zero weight disables the pull: it must not beat the strongest pull
+    # on tapping wirelength.
+    by_weight = {row["pseudo_weight"]: row for row in ablation_rows}
+    assert by_weight[0.0]["tap_wl_um"] >= by_weight[2.0]["tap_wl_um"] * 0.9
+
+    def run():
+        return IntegratedFlow(
+            _CIRCUIT, options=FlowOptions(ring_grid_side=2)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.final.tapping_wirelength > 0.0

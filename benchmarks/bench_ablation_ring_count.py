@@ -1,0 +1,50 @@
+"""Ablation: number of rotary rings (the paper's §IX future work).
+
+Sweeps the ring-grid side on one circuit via
+:func:`repro.core.sweep_ring_count` and reports the clock-wirelength knee.
+The timed kernel is a single flow at one grid size.
+"""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import sweep_ring_count
+from repro.experiments import format_table
+from repro.netlist import generate_circuit, small_profile
+
+from conftest import record_artifact
+
+_CIRCUIT = generate_circuit(small_profile(num_cells=220, num_flipflops=40, seed=88))
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    sweep = sweep_ring_count(
+        _CIRCUIT,
+        DEFAULT_TECHNOLOGY,
+        FlowOptions(max_iterations=2),
+        grid_sides=(1, 2, 3, 4),
+    )
+    record_artifact(
+        "Ablation: ring count",
+        format_table(
+            sweep.as_rows(),
+            "Ablation - ring-count sweep (clock WL = stubs + ring loops)",
+        ),
+    )
+    return sweep
+
+
+def test_bench_flow_one_grid_size(benchmark, sweep_rows):
+    taps = [p.tapping_wirelength for p in sweep_rows.points]
+    assert taps[-1] < taps[0]  # denser rings shorten stubs
+
+    def run():
+        return IntegratedFlow(
+            _CIRCUIT,
+            options=FlowOptions(ring_grid_side=2, max_iterations=2),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.array.num_rings == 4

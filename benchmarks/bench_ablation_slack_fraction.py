@@ -1,0 +1,54 @@
+"""Ablation: guaranteed-slack fraction.
+
+Stage 4 trades the permissible-range headroom for tapping cost; the
+``slack_fraction`` knob decides how much slack stays guaranteed.  More
+guaranteed slack means tighter skew constraints and (weakly) higher
+tapping cost — this sweep quantifies the price of robustness.
+"""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.experiments import format_table
+from repro.netlist import generate_circuit, small_profile
+
+from conftest import record_artifact
+
+_CIRCUIT = generate_circuit(small_profile(num_cells=220, num_flipflops=40, seed=99))
+_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.95)
+
+
+@pytest.fixture(scope="module")
+def slack_rows():
+    rows = []
+    for fraction in _FRACTIONS:
+        res = IntegratedFlow(
+            _CIRCUIT,
+            options=FlowOptions(ring_grid_side=2, slack_fraction=fraction),
+        ).run()
+        rows.append(
+            {
+                "slack_fraction": fraction,
+                "guaranteed_ps": res.slack_guaranteed,
+                "tap_wl_um": res.final.tapping_wirelength,
+                "afd_um": res.final.average_flipflop_distance,
+            }
+        )
+    record_artifact(
+        "Ablation: slack fraction",
+        format_table(rows, "Ablation - guaranteed-slack fraction sweep"),
+    )
+    return rows
+
+
+def test_bench_high_slack_flow(benchmark, slack_rows):
+    assert slack_rows[0]["guaranteed_ps"] <= slack_rows[-1]["guaranteed_ps"]
+
+    def run():
+        return IntegratedFlow(
+            _CIRCUIT,
+            options=FlowOptions(ring_grid_side=2, slack_fraction=0.95),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.slack_guaranteed >= 0.0

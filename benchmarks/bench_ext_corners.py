@@ -1,0 +1,76 @@
+"""Extension: multi-corner (variation-robust) skew scheduling.
+
+A nominal-corner schedule can fail at the slow/fast corners; merging the
+per-pair bounds pessimistically yields a schedule valid at every corner
+for a quantified slack cost.  The timed kernel is the three-corner STA +
+merge.
+"""
+
+import pytest
+
+from repro.core import max_slack_schedule
+from repro.experiments import format_table
+from repro.timing import analyze_corners, default_corners, validate_schedule
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def corner_rows(suite, s9234_experiment):
+    exp = s9234_experiment
+    mc = analyze_corners(
+        exp.circuit, exp.flow.positions, default_corners(suite.tech)
+    )
+    ffs = [ff.name for ff in exp.circuit.flip_flops]
+    period = suite.options.period
+    nominal = max_slack_schedule(
+        mc.corner_pairs("nominal"), ffs, period, suite.tech
+    )
+    merged = max_slack_schedule(mc.merged, ffs, period, suite.tech)
+
+    def violations(schedule, corner):
+        return len(
+            validate_schedule(
+                schedule.targets, mc.corner_pairs(corner), period, suite.tech
+            )
+        )
+
+    rows = [
+        {
+            "schedule": "nominal-corner only",
+            "slack_ps": nominal.slack,
+            "slow_violations": violations(nominal, "slow"),
+            "fast_violations": violations(nominal, "fast"),
+        },
+        {
+            "schedule": "multi-corner merged",
+            "slack_ps": merged.slack,
+            "slow_violations": violations(merged, "slow"),
+            "fast_violations": violations(merged, "fast"),
+        },
+    ]
+    record_artifact(
+        "Extension: multi-corner scheduling",
+        format_table(
+            rows,
+            f"Extension - variation-robust skew scheduling on {exp.name} "
+            "(corners at +/-15%)",
+        ),
+    )
+    return rows, exp, mc
+
+
+def test_bench_corner_analysis(benchmark, suite, corner_rows):
+    rows, exp, _ = corner_rows
+    nominal_row, merged_row = rows
+    assert merged_row["slow_violations"] == 0
+    assert merged_row["fast_violations"] == 0
+    assert merged_row["slack_ps"] <= nominal_row["slack_ps"] + 1e-6
+
+    def analyze():
+        return analyze_corners(
+            exp.circuit, exp.flow.positions, default_corners(suite.tech)
+        )
+
+    result = benchmark.pedantic(analyze, rounds=3, iterations=1)
+    assert set(result.corners) == {"slow", "nominal", "fast"}

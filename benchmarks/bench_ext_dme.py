@@ -1,0 +1,69 @@
+"""Extension: exact DME vs point-merging zero-skew clock trees.
+
+Both embedders produce exact zero skew; DME's deferred merge regions save
+wire.  The artifact compares total wirelength over the first configured
+circuit's flip-flops; the timed kernel is the DME synthesis.
+"""
+
+import pytest
+
+from repro.clocktree import (
+    path_length_stats,
+    synthesize_bounded_skew_tree,
+    synthesize_clock_tree,
+    synthesize_clock_tree_dme,
+)
+from repro.experiments import format_table
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def sink_positions(s9234_experiment):
+    exp = s9234_experiment
+    return {
+        ff.name: exp.flow.positions[ff.name] for ff in exp.circuit.flip_flops
+    }
+
+
+@pytest.fixture(scope="module")
+def dme_rows(suite, sink_positions):
+    pm = synthesize_clock_tree(sink_positions, suite.tech)
+    dme = synthesize_clock_tree_dme(sink_positions, suite.tech)
+    bst = synthesize_bounded_skew_tree(sink_positions, suite.tech, skew_bound=5.0)
+    rows = [
+        {
+            "embedder": "point merging",
+            "wirelength_um": pm.total_wirelength,
+            "source_delay_ps": pm.source_delay,
+            "pl_avg_um": path_length_stats(pm).average,
+        },
+        {
+            "embedder": "exact DME",
+            "wirelength_um": dme.total_wirelength,
+            "source_delay_ps": dme.source_delay,
+            "pl_avg_um": path_length_stats(dme).average,
+        },
+        {
+            "embedder": "bounded skew (5 ps)",
+            "wirelength_um": bst.total_wirelength,
+            "source_delay_ps": bst.delay_max,
+            "pl_avg_um": path_length_stats(bst.tree).average,
+        },
+    ]
+    record_artifact(
+        "Extension: clock-tree embedders",
+        format_table(rows, "Extension - zero-skew embedder comparison"),
+    )
+    return rows
+
+
+def test_bench_dme_synthesis(benchmark, suite, sink_positions, dme_rows):
+    pm_wl = dme_rows[0]["wirelength_um"]
+    dme_wl = dme_rows[1]["wirelength_um"]
+    bst_wl = dme_rows[2]["wirelength_um"]
+    assert dme_wl <= pm_wl + 1e-6
+    assert bst_wl <= pm_wl + 1e-6
+
+    tree = benchmark(synthesize_clock_tree_dme, sink_positions, suite.tech)
+    assert tree.total_wirelength == pytest.approx(dme_wl)

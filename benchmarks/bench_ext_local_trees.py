@@ -1,0 +1,77 @@
+"""Extension: local clock trees below ring tapping points (§IX).
+
+Reports the clustering outcome and wirelength saving on the first
+configured circuit; the timed kernel is the full local-tree construction.
+"""
+
+import pytest
+
+from repro.clocktree import LocalTreeOptions, build_local_trees
+from repro.experiments import format_table
+from repro.timing import SequentialTiming
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def local_tree_inputs(suite, s9234_experiment):
+    exp = s9234_experiment
+    timing = SequentialTiming(exp.circuit, exp.flow.positions, suite.tech)
+    return exp, timing
+
+
+@pytest.fixture(scope="module")
+def local_tree_rows(suite, local_tree_inputs):
+    exp, timing = local_tree_inputs
+    rows = []
+    for tol, radius in [(30.0, 80.0), (60.0, 120.0), (100.0, 200.0)]:
+        lt = build_local_trees(
+            exp.flow.assignment,
+            exp.flow.array,
+            exp.flow.positions,
+            exp.flow.schedule.targets,
+            timing.pairs,
+            suite.tech,
+            period=suite.options.period,
+            slack=0.0,
+            options=LocalTreeOptions(target_tolerance=tol, radius=radius),
+        )
+        rows.append(
+            {
+                "target_tol_ps": tol,
+                "radius_um": radius,
+                "trees": len(lt.trees),
+                "clustered_ffs": lt.clustered_count,
+                "clock_wl_um": lt.total_wirelength,
+                "saving": lt.wirelength_saving,
+            }
+        )
+    record_artifact(
+        "Extension: local trees",
+        format_table(
+            rows,
+            f"Extension (Section IX) - local clock trees on {exp.name}",
+        ),
+    )
+    return rows
+
+
+def test_bench_local_tree_construction(benchmark, suite, local_tree_inputs, local_tree_rows):
+    for row in local_tree_rows:
+        assert row["saving"] >= -1e-9  # economics test forbids regressions
+    exp, timing = local_tree_inputs
+
+    def construct():
+        return build_local_trees(
+            exp.flow.assignment,
+            exp.flow.array,
+            exp.flow.positions,
+            exp.flow.schedule.targets,
+            timing.pairs,
+            suite.tech,
+            period=suite.options.period,
+            slack=0.0,
+        )
+
+    result = benchmark(construct)
+    assert result.baseline_wirelength > 0.0

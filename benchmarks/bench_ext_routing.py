@@ -1,0 +1,61 @@
+"""Extension: global routing of the placed design.
+
+Routes every signal net of the first configured circuit and reports
+routed wirelength vs the HPWL estimate at two edge capacities; the timed
+kernel is a full-design route at generous capacity.
+"""
+
+import pytest
+
+from repro.core import signal_wirelength
+from repro.experiments import format_table
+from repro.placement import region_for_circuit
+from repro.routing import RoutingGrid, route_design
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def routing_setup(suite, s9234_experiment):
+    exp = s9234_experiment
+    region = region_for_circuit(exp.circuit, suite.tech, suite.options.utilization)
+    hpwl = signal_wirelength(exp.circuit, exp.flow.positions)
+    return exp, region, hpwl
+
+
+@pytest.fixture(scope="module")
+def routing_rows(suite, routing_setup):
+    exp, region, hpwl = routing_setup
+    rows = []
+    for capacity in (8, 64):
+        grid = RoutingGrid(region.bbox, gcell_size=15.0, capacity=capacity)
+        result = route_design(exp.circuit, exp.flow.positions, grid)
+        rows.append(
+            {
+                "capacity": capacity,
+                "routed_wl_um": result.total_wirelength,
+                "hpwl_um": hpwl,
+                "ratio": result.total_wirelength / hpwl,
+                "overflow": result.overflow,
+                "peak_congestion": result.max_congestion,
+            }
+        )
+    record_artifact(
+        "Extension: global routing",
+        format_table(rows, f"Extension - global routing on {exp.name}"),
+    )
+    return rows
+
+
+def test_bench_route_design(benchmark, suite, routing_setup, routing_rows):
+    tight, loose = routing_rows
+    assert loose["overflow"] <= tight["overflow"]
+    assert loose["routed_wl_um"] >= loose["hpwl_um"] * 0.95
+    exp, region, _ = routing_setup
+
+    def run():
+        grid = RoutingGrid(region.bbox, gcell_size=15.0, capacity=64)
+        return route_design(exp.circuit, exp.flow.positions, grid)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.num_nets > 0

@@ -1,0 +1,76 @@
+"""Extension: skew-variation Monte Carlo — rotary vs buffered clock tree.
+
+Quantifies the paper's motivating claim on our own designs.  The timed
+kernel is one full Monte-Carlo comparison (both distributions).
+"""
+
+import pytest
+
+from repro.analysis import (
+    VariationModel,
+    rotary_skew_variation,
+    tree_skew_variation,
+)
+from repro.clocktree import synthesize_clock_tree
+from repro.experiments import format_table
+from repro.timing import SequentialTiming
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def variation_inputs(suite, s9234_experiment):
+    exp = s9234_experiment
+    timing = SequentialTiming(exp.circuit, exp.flow.positions, suite.tech)
+    pairs = list(timing.pairs.keys())
+    ff_positions = {
+        ff.name: exp.flow.positions[ff.name] for ff in exp.circuit.flip_flops
+    }
+    tree = synthesize_clock_tree(ff_positions, suite.tech)
+    return exp, pairs, tree
+
+
+@pytest.fixture(scope="module")
+def variation_rows(suite, variation_inputs):
+    exp, pairs, tree = variation_inputs
+    model = VariationModel(samples=1500)
+    rotary = rotary_skew_variation(exp.flow.assignment, pairs, suite.tech, model)
+    conventional = tree_skew_variation(tree, pairs, suite.tech, model)
+    rows = [
+        {
+            "distribution": "rotary tapping",
+            "sigma_ps": rotary.sigma_ps,
+            "worst_ps": rotary.worst_ps,
+            "mean_abs_ps": rotary.mean_abs_ps,
+        },
+        {
+            "distribution": "buffered clock tree",
+            "sigma_ps": conventional.sigma_ps,
+            "worst_ps": conventional.worst_ps,
+            "mean_abs_ps": conventional.mean_abs_ps,
+        },
+    ]
+    record_artifact(
+        "Extension: skew variation",
+        format_table(
+            rows,
+            f"Extension - Monte-Carlo skew variation on {exp.name} "
+            f"({rotary.num_pairs} pairs, {model.samples} samples)",
+        ),
+    )
+    return rows
+
+
+def test_bench_variation_monte_carlo(benchmark, suite, variation_inputs, variation_rows):
+    rotary_row, tree_row = variation_rows
+    assert rotary_row["sigma_ps"] < tree_row["sigma_ps"]
+    exp, pairs, tree = variation_inputs
+    model = VariationModel(samples=400)
+
+    def compare():
+        r = rotary_skew_variation(exp.flow.assignment, pairs, suite.tech, model)
+        t = tree_skew_variation(tree, pairs, suite.tech, model)
+        return r, t
+
+    rotary, conventional = benchmark(compare)
+    assert rotary.num_pairs == conventional.num_pairs

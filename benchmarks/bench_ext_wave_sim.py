@@ -1,0 +1,55 @@
+"""Extension: transient validation of eq. (2) on the ring array.
+
+Simulates the telegrapher equations on a Möbius LC ring under the three
+loading regimes and reports measured-vs-predicted periods; the timed
+kernel is one full transient run.
+"""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.experiments import format_table
+from repro.geometry import Point
+from repro.rotary import RotaryRing, simulate_ring, uniform_load
+
+from conftest import record_artifact
+
+_RING = RotaryRing(0, Point(0.0, 0.0), half_width=250.0, period=1000.0)
+
+
+@pytest.fixture(scope="module")
+def wave_rows():
+    scenarios = [
+        ("unloaded", None),
+        ("uniform 200 fF", uniform_load(200.0, _RING)),
+        ("lumped 200 fF", {0.3 * _RING.perimeter: 200.0}),
+    ]
+    rows = []
+    for label, loads in scenarios:
+        res = simulate_ring(_RING, DEFAULT_TECHNOLOGY, load_caps=loads)
+        rows.append(
+            {
+                "loading": label,
+                "measured_period_ps": res.measured_period,
+                "eq2_period_ps": res.predicted_period,
+                "rel_error": res.relative_error,
+            }
+        )
+    record_artifact(
+        "Extension: wave simulation",
+        format_table(rows, "Extension - transient validation of eq. (2)"),
+    )
+    return rows
+
+
+def test_bench_wave_transient(benchmark, wave_rows):
+    by_label = {row["loading"]: row for row in wave_rows}
+    assert by_label["unloaded"]["rel_error"] < 0.01
+    assert by_label["uniform 200 fF"]["rel_error"] < 0.01
+    assert by_label["lumped 200 fF"]["rel_error"] > 0.10
+
+    def run():
+        return simulate_ring(_RING, DEFAULT_TECHNOLOGY)
+
+    result = benchmark(run)
+    assert result.measured_period > 0.0

@@ -1,0 +1,46 @@
+"""Fig. 1: clock phases around a rotary ring and the array's equal-phase
+points.  The timed kernel is ring-array generation plus phase sampling.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_array_equal_phase_points,
+    fig1_ring_phases,
+    format_table,
+)
+from repro.geometry import BBox
+from repro.rotary import RingArray
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def fig1_artifact():
+    array = RingArray(BBox(0, 0, 1000, 1000), side=4, period=1000.0)
+    phase_rows = fig1_ring_phases(array[0], samples=8)
+    point_rows = fig1_array_equal_phase_points(array)
+    record_artifact(
+        "Fig. 1(a)",
+        format_table(phase_rows, "Fig. 1(a) - phase around one rotary ring"),
+    )
+    record_artifact(
+        "Fig. 1(b)",
+        format_table(
+            point_rows[:6],
+            "Fig. 1(b) - equal-phase points of the ring array (first 6 rings)",
+        ),
+    )
+    return phase_rows
+
+
+def test_bench_ring_phase_sampling(benchmark, fig1_artifact):
+    phases = [row["phase_deg"] for row in fig1_artifact]
+    assert phases == sorted(phases)  # monotone around the loop
+
+    def build_and_sample():
+        array = RingArray(BBox(0, 0, 1000, 1000), side=7, period=1000.0)
+        return [fig1_ring_phases(ring, samples=16) for ring in array]
+
+    rows = benchmark(build_and_sample)
+    assert len(rows) == 49

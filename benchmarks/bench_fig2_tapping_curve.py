@@ -1,0 +1,46 @@
+"""Fig. 2: the two-parabola tapping-delay curve and its four target cases.
+
+The timed kernel is a sweep of the Section III tapping solver over the
+four cases on a real ring (the operation Fig. 2 illustrates).
+"""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.experiments import fig2_tapping_curve, format_table
+from repro.geometry import Point
+from repro.rotary import RotaryRing, best_tapping
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def fig2_artifact():
+    curve = fig2_tapping_curve(DEFAULT_TECHNOLOGY)
+    cases = curve.case_targets()
+    rows = [
+        {"case": name, "target_ps": target}
+        for name, target in cases.items()
+    ]
+    rows.append({"case": "curve_min", "target_ps": curve.min_delay_ps})
+    rows.append({"case": "curve_max", "target_ps": curve.max_delay_ps})
+    rows.append({"case": "joint_x_um", "target_ps": curve.joint_x_um})
+    record_artifact(
+        "Fig. 2",
+        format_table(rows, "Fig. 2 - tapping-delay curve t_f(x) landmarks"),
+    )
+    return curve
+
+
+def test_bench_tapping_solver_cases(benchmark, fig2_artifact):
+    assert fig2_artifact.min_delay_ps < fig2_artifact.max_delay_ps
+    ring = RotaryRing(0, Point(200.0, 200.0), 150.0, period=1000.0)
+    ff = Point(260.0, 420.0)
+    targets = [5.0, 150.0, 420.0, 700.0, 985.0]
+
+    def solve_all():
+        return [best_tapping(ring, ff, t, DEFAULT_TECHNOLOGY) for t in targets]
+
+    sols = benchmark(solve_all)
+    assert len(sols) == len(targets)
+    assert all(s.wirelength >= 0.0 for s in sols)

@@ -1,0 +1,58 @@
+"""Fig. 3: the methodology flow's convergence behaviour.
+
+The timed kernel is one stage-6 incremental placement (the loop's most
+expensive stage, per the paper's Table IV CPU split).
+"""
+
+import pytest
+
+from repro.experiments import fig3_flow_convergence, format_table
+from repro.placement import (
+    IncrementalOptions,
+    PseudoNet,
+    incremental_place,
+    region_for_circuit,
+)
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def fig3_artifact(suite, s9234_experiment):
+    rows = fig3_flow_convergence(s9234_experiment.flow)
+    record_artifact(
+        "Fig. 3",
+        format_table(
+            rows,
+            f"Fig. 3 - flow convergence on {s9234_experiment.name} "
+            "(iteration 0 = base case)",
+        ),
+    )
+    return rows
+
+
+def test_bench_incremental_placement(benchmark, fig3_artifact, suite, s9234_experiment):
+    assert fig3_artifact[-1]["tapping_wl_um"] <= fig3_artifact[0]["tapping_wl_um"]
+    exp = s9234_experiment
+    region = region_for_circuit(exp.circuit, suite.tech, suite.options.utilization)
+    pseudo = [
+        PseudoNet(ff, sol.point, suite.options.pseudo_net_weight)
+        for ff, sol in exp.flow.assignment.solutions.items()
+    ]
+    movable = {c.name for c in exp.circuit.standard_cells}
+    previous = {n: p for n, p in exp.flow.positions.items() if n in movable}
+
+    def replace_once():
+        return incremental_place(
+            exp.circuit,
+            region,
+            previous,
+            pseudo,
+            IncrementalOptions(
+                stability_weight=suite.options.stability_weight,
+                pseudo_net_weight=suite.options.pseudo_net_weight,
+            ),
+        )
+
+    result = benchmark.pedantic(replace_once, rounds=3, iterations=1)
+    assert len(result.positions) == len(movable)

@@ -1,0 +1,47 @@
+"""Fig. 5: the greedy rounding procedure.
+
+Reports LP fractionality / rounding quality and times the rounding step
+itself (linear in flip-flops x candidate rings, as the paper argues).
+"""
+
+import pytest
+
+from repro.core import build_minmax_lp, greedy_rounding, tapping_cost_matrix
+from repro.experiments import fig5_greedy_rounding, format_table
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def fig5_artifact(suite):
+    data = fig5_greedy_rounding(suite, suite.names[0])
+    rows = [{"quantity": k, "value": v} for k, v in data.items()]
+    record_artifact(
+        "Fig. 5",
+        format_table(rows, f"Fig. 5 - greedy rounding behaviour ({suite.names[0]})"),
+    )
+    return data
+
+
+@pytest.fixture(scope="module")
+def lp_solution(suite, s9234_experiment):
+    exp = s9234_experiment
+    targets = exp.ilp.schedule.normalized(suite.options.period).targets
+    matrix = tapping_cost_matrix(
+        exp.ilp.array,
+        exp.ilp.positions,
+        targets,
+        suite.tech,
+        suite.options.candidate_rings,
+    )
+    cap = matrix.capacitance_matrix(suite.tech)
+    lp, candidates = build_minmax_lp(cap)
+    sol = lp.solve(relax_integrality=True)
+    return sol.values, candidates
+
+
+def test_bench_greedy_rounding_step(benchmark, fig5_artifact, lp_solution):
+    assert fig5_artifact["integrality_gap"] >= 1.0 - 1e-9
+    values, candidates = lp_solution
+    assign = benchmark(greedy_rounding, values, candidates)
+    assert (assign >= 0).all()

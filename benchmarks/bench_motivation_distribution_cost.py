@@ -1,0 +1,76 @@
+"""Motivation (§I): clock-distribution cost — mesh vs tree vs rotary taps.
+
+The paper's introduction ranks the options: clock meshes fix skew with
+"excessive wirelength and power overhead", trees are cheaper but
+variation-prone, rotary rings recirculate energy and need only short
+tapping stubs.  This artifact prices all three on the same placed
+flip-flops; the timed kernel is the mesh evaluation.
+"""
+
+import pytest
+
+from repro.clocktree import mesh_for_sinks, mesh_report, synthesize_clock_tree_dme
+from repro.experiments import format_table
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def distribution_rows(suite, s9234_experiment):
+    exp = s9234_experiment
+    tech = suite.tech
+    sinks = {
+        ff.name: exp.flow.positions[ff.name] for ff in exp.circuit.flip_flops
+    }
+    region = exp.flow.array.region
+    n_ff = len(sinks)
+    pin_cap = n_ff * tech.flipflop_input_cap
+
+    mesh = mesh_for_sinks(region, n_ff)
+    mr = mesh_report(mesh, sinks, tech)
+    tree = synthesize_clock_tree_dme(sinks, tech)
+    rotary_wl = exp.flow.final.tapping_wirelength
+
+    rows = [
+        {
+            "distribution": "clock mesh [11]",
+            "wirelength_um": mr.total_wirelength,
+            "switched_cap_ff": mr.total_capacitance_ff,
+        },
+        {
+            "distribution": "zero-skew tree [5]",
+            "wirelength_um": tree.total_wirelength,
+            "switched_cap_ff": tech.wire_cap(tree.total_wirelength) + pin_cap,
+        },
+        {
+            "distribution": "rotary tapping (this work)",
+            "wirelength_um": rotary_wl,
+            "switched_cap_ff": tech.wire_cap(rotary_wl) + pin_cap,
+        },
+    ]
+    record_artifact(
+        "Motivation: distribution cost",
+        format_table(
+            rows,
+            f"Motivation (Section I) - clock distribution cost on {exp.name}",
+        ),
+    )
+    return rows
+
+
+def test_bench_mesh_evaluation(benchmark, suite, s9234_experiment, distribution_rows):
+    mesh_row, tree_row, rotary_row = distribution_rows
+    assert mesh_row["wirelength_um"] > tree_row["wirelength_um"]
+    assert tree_row["wirelength_um"] > rotary_row["wirelength_um"]
+    exp = s9234_experiment
+    sinks = {
+        ff.name: exp.flow.positions[ff.name] for ff in exp.circuit.flip_flops
+    }
+    region = exp.flow.array.region
+
+    def evaluate():
+        mesh = mesh_for_sinks(region, len(sinks))
+        return mesh_report(mesh, sinks, suite.tech)
+
+    report = benchmark(evaluate)
+    assert report.total_wirelength > 0.0

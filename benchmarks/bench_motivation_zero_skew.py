@@ -1,0 +1,65 @@
+"""Motivation (§II): zero-skew design wastes the rotary ring.
+
+With zero skew, every flip-flop must reach its ring's single zero-phase
+point; intentional skew lets each tap wherever the phase fits.  The
+artifact compares tapping cost under both schedules; the timed kernel is
+the zero-skew re-tap of the first configured circuit.
+"""
+
+import pytest
+
+from repro.core import network_flow_assignment, tapping_cost_matrix, zero_skew_schedule
+from repro.experiments import format_table, zero_skew_comparison
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def motivation_rows(suite):
+    rows = []
+    for name in suite.names:
+        cmp = zero_skew_comparison(suite, name)
+        rows.append(
+            {
+                "circuit": cmp.circuit,
+                "zero_skew_tap_wl_um": cmp.zero_skew_tapping_wl,
+                "scheduled_tap_wl_um": cmp.scheduled_tapping_wl,
+                "cost_ratio": cmp.penalty_factor,
+                "zero_skew_snaked": cmp.zero_skew_snaked,
+            }
+        )
+    record_artifact(
+        "Motivation: zero skew",
+        format_table(
+            rows, "Motivation (Section II) - zero-skew vs intentional-skew tapping"
+        ),
+    )
+    return rows
+
+
+def test_bench_zero_skew_tapping(benchmark, motivation_rows, suite, s9234_experiment):
+    for row in motivation_rows:
+        # Intentional skew must beat forcing everyone to the 0-phase spot.
+        assert row["cost_ratio"] > 1.0
+    exp = s9234_experiment
+    ffs = list(exp.flow.assignment.ring_of)
+    targets = zero_skew_schedule(ffs).targets
+    capacities = exp.flow.array.default_capacities(
+        len(ffs), suite.options.capacity_headroom
+    )
+
+    def retap():
+        matrix = tapping_cost_matrix(
+            exp.flow.array,
+            exp.flow.positions,
+            targets,
+            suite.tech,
+            suite.options.candidate_rings,
+        )
+        return network_flow_assignment(
+            matrix, exp.flow.array, exp.flow.positions, targets, suite.tech,
+            capacities,
+        )
+
+    assignment = benchmark.pedantic(retap, rounds=3, iterations=1)
+    assert assignment.tapping_wirelength > 0.0

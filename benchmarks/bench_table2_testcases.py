@@ -1,0 +1,44 @@
+"""Table II: benchmark characteristics and the clock-tree PL baseline.
+
+The timed kernel is the zero-skew clock-tree synthesis that produces the
+``PL`` reference column (conventional clock-tree average source-sink path
+length) for the first configured circuit.
+"""
+
+import pytest
+
+from repro.clocktree import path_length_stats, synthesize_clock_tree
+from repro.experiments import format_table, table2_test_cases
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def table2_artifact(suite):
+    rows = table2_test_cases(suite)
+    record_artifact(
+        "Table II",
+        format_table(rows, "Table II - test cases (PL = conventional clock-tree path length)"),
+    )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ff_positions(s9234_experiment):
+    exp = s9234_experiment
+    return {
+        ff.name: exp.flow.positions[ff.name]
+        for ff in exp.circuit.flip_flops
+    }
+
+
+def test_bench_clock_tree_baseline(benchmark, table2_artifact, suite, ff_positions):
+    for row in table2_artifact:
+        assert row["cells"] > 0 and row["pl_um"] > 0.0
+
+    def synthesize():
+        tree = synthesize_clock_tree(ff_positions, suite.tech)
+        return path_length_stats(tree)
+
+    stats = benchmark(synthesize)
+    assert stats.num_sinks == len(ff_positions)

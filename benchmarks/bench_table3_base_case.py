@@ -1,0 +1,40 @@
+"""Table III: the base case (stages 1-3, network-flow assignment).
+
+The timed kernel is the stage-3 tapping-cost-matrix construction — the
+per-iteration workhorse of the flow (one Section III solve per
+flip-flop/candidate-ring pair).
+"""
+
+import pytest
+
+from repro.core import tapping_cost_matrix
+from repro.experiments import format_table, table3_base_case
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def table3_artifact(suite):
+    rows = table3_base_case(suite)
+    record_artifact(
+        "Table III",
+        format_table(rows, "Table III - base case (wirelength um, power mW)"),
+    )
+    return rows
+
+
+def test_bench_tapping_cost_matrix(benchmark, table3_artifact, suite, s9234_experiment):
+    for row in table3_artifact:
+        assert row["tap_wl_um"] > 0.0
+        assert row["total_power_mw"] > 0.0
+    exp = s9234_experiment
+    targets = exp.flow.schedule.normalized(suite.options.period).targets
+    matrix = benchmark(
+        tapping_cost_matrix,
+        exp.flow.array,
+        exp.flow.positions,
+        targets,
+        suite.tech,
+        suite.options.candidate_rings,
+    )
+    assert matrix.num_flipflops == len(exp.circuit.flip_flops)

@@ -1,0 +1,47 @@
+"""Table V: maximum ring load capacitance — network flow vs ILP engine.
+
+The timed kernel is the Section VI LP-relaxation solve + greedy rounding
+(the ILP engine's inner optimizer) on the first configured circuit.
+"""
+
+import pytest
+
+from repro.core import ilp_assignment, tapping_cost_matrix
+from repro.experiments import format_table, table5_load_capacitance
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def table5_artifact(suite):
+    rows = table5_load_capacitance(suite)
+    record_artifact(
+        "Table V",
+        format_table(rows, "Table V - max load capacitance (fF): network flow vs ILP"),
+    )
+    return rows
+
+
+def test_bench_ilp_assignment(benchmark, table5_artifact, suite, s9234_experiment):
+    for row in table5_artifact:
+        # The paper's shape: the ILP formulation cuts the max load cap
+        # while paying some AFD/wirelength.
+        assert row["cap_improvement"] >= -1e-9
+    exp = s9234_experiment
+    targets = exp.ilp.schedule.normalized(suite.options.period).targets
+    matrix = tapping_cost_matrix(
+        exp.ilp.array,
+        exp.ilp.positions,
+        targets,
+        suite.tech,
+        suite.options.candidate_rings,
+    )
+
+    def run():
+        return ilp_assignment(
+            matrix, exp.ilp.array, exp.ilp.positions, targets, suite.tech
+        )
+
+    assignment, stats = benchmark(run)
+    assert stats.integrality_gap >= 1.0 - 1e-9
+    assert set(assignment.ring_of) == set(matrix.ff_names)

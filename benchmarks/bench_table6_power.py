@@ -1,0 +1,45 @@
+"""Table VI: power dissipation for both formulations vs the base case.
+
+The timed kernel is the eq. (8) power evaluation over a full design point
+(clock + signal nets, buffer estimation included).
+"""
+
+import pytest
+
+from repro.constants import frequency_ghz
+from repro.experiments import format_table, table6_power
+from repro.power import clock_power_mw, signal_power_mw
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def table6_artifact(suite):
+    rows = table6_power(suite)
+    record_artifact(
+        "Table VI",
+        format_table(rows, "Table VI - power dissipation (mW) vs base case"),
+    )
+    return rows
+
+
+def test_bench_power_model(benchmark, table6_artifact, suite, s9234_experiment):
+    for row in table6_artifact:
+        # Network flow wins clock power; totals improve for both engines.
+        assert row["nf_clock_imp"] >= -1e-9
+        assert row["nf_total_imp"] >= -0.05
+    exp = s9234_experiment
+    freq = frequency_ghz(suite.options.period)
+    n_ff = len(exp.circuit.flip_flops)
+
+    def evaluate():
+        clock = clock_power_mw(
+            exp.flow.final.tapping_wirelength, n_ff, freq, suite.tech
+        )
+        signal = signal_power_mw(
+            exp.circuit, exp.flow.final.signal_wirelength, freq, suite.tech
+        )
+        return clock + signal
+
+    total = benchmark(evaluate)
+    assert total > 0.0

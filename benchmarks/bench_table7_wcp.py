@@ -1,0 +1,40 @@
+"""Table VII: wirelength-capacitance product comparison.
+
+The timed kernel is a complete integrated-flow run on a small circuit —
+the end-to-end operation whose outputs feed the WCP metric.
+"""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.experiments import format_table, table7_wcp
+from repro.netlist import generate_circuit, small_profile
+
+from conftest import record_artifact
+
+
+@pytest.fixture(scope="module")
+def table7_artifact(suite):
+    rows = table7_wcp(suite)
+    record_artifact(
+        "Table VII",
+        format_table(rows, "Table VII - wirelength-capacitance product (um*pF)"),
+    )
+    return rows
+
+
+def test_bench_full_flow_small(benchmark, table7_artifact):
+    for row in table7_artifact:
+        # The paper's conclusion: the ILP formulation wins on WCP.
+        assert row["ilp_wcp"] <= row["nf_wcp"] * 1.10
+    circuit = generate_circuit(
+        small_profile(num_cells=160, num_flipflops=24, seed=11)
+    )
+
+    def run():
+        return IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.final.tapping_wirelength <= result.base.tapping_wirelength

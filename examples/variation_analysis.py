@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Skew variability: rotary tapping vs a buffered conventional clock tree.
+
+Reproduces the paper's *motivation*: interconnect/buffer variation makes
+deep clock trees skew-noisy, while a rotary ring's phase is position-
+locked and flip-flops hang off short private stubs.  Monte-Carlo samples
+process variation on both distributions for the same placed design and
+compares the skew spread over all sequentially adjacent pairs.
+
+Run:  python examples/variation_analysis.py [circuit]   (default: s9234)
+"""
+
+import sys
+
+from repro import FlowOptions, IntegratedFlow
+from repro.analysis import (
+    VariationModel,
+    rotary_skew_variation,
+    tree_skew_variation,
+)
+from repro.clocktree import synthesize_clock_tree
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.netlist import PROFILES, generate_named
+from repro.timing import SequentialTiming
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s9234"
+    tech = DEFAULT_TECHNOLOGY
+    profile = PROFILES[name]
+    circuit = generate_named(name)
+    result = IntegratedFlow(
+        circuit, options=FlowOptions(ring_grid_side=profile.ring_grid_side)
+    ).run()
+    timing = SequentialTiming(circuit, result.positions, tech)
+    pairs = list(timing.pairs.keys())
+
+    ff_positions = {
+        ff.name: result.positions[ff.name] for ff in circuit.flip_flops
+    }
+    tree = synthesize_clock_tree(ff_positions, tech)
+
+    model = VariationModel(samples=3000)
+    rotary = rotary_skew_variation(result.assignment, pairs, tech, model)
+    conventional = tree_skew_variation(tree, pairs, tech, model)
+
+    print(f"=== {name}: skew variation over {rotary.num_pairs} sequential "
+          f"pairs, {model.samples} Monte-Carlo samples ===")
+    print(f"  variation model: wire sigma {model.interconnect_sigma:.0%}, "
+          f"buffer sigma {model.buffer_sigma:.0%}, "
+          f"ring jitter {model.ring_jitter_ps} ps")
+    print()
+    print(f"{'':28s}{'sigma (ps)':>12s}{'worst (ps)':>12s}{'mean|dev| (ps)':>15s}")
+    print(f"{'rotary tapping':28s}{rotary.sigma_ps:12.2f}"
+          f"{rotary.worst_ps:12.2f}{rotary.mean_abs_ps:15.2f}")
+    print(f"{'buffered clock tree':28s}{conventional.sigma_ps:12.2f}"
+          f"{conventional.worst_ps:12.2f}{conventional.mean_abs_ps:15.2f}")
+    reduction = 1.0 - rotary.sigma_ps / conventional.sigma_ps
+    print(f"\nrotary clocking reduces skew sigma by {reduction:.0%} "
+          "(the paper's test chip held skew variation to 5.5 ps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Transient wave simulation of a rotary ring: eq. (2) from first physics.
+
+Integrates the lossless telegrapher equations on a Möbius-connected LC
+ladder and measures the oscillation period for three loading scenarios:
+
+* unloaded ring — period matches ``2 sqrt(L C)`` (eq. 2) to < 0.1 %;
+* the same total load spread uniformly (flip-flops + dummy caps) —
+  slower, still matching eq. (2);
+* the same load lumped at one tap — reflections destroy clean rotation,
+  demonstrating *why* the paper requires uniform capacitance via dummy
+  loads.
+
+Run:  python examples/wave_simulation.py
+"""
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import Point
+from repro.rotary import RotaryRing, simulate_ring, uniform_load
+
+
+def main() -> None:
+    tech = DEFAULT_TECHNOLOGY
+    ring = RotaryRing(0, Point(0.0, 0.0), half_width=250.0, period=1000.0)
+    total_load = 200.0  # fF of flip-flop + stub capacitance
+
+    scenarios = [
+        ("unloaded ring", None),
+        ("uniform 200 fF (with dummy caps)", uniform_load(total_load, ring)),
+        ("200 fF lumped at one tap", {0.3 * ring.perimeter: total_load}),
+    ]
+
+    print(f"ring: perimeter {ring.perimeter:.0f} um, "
+          f"L {tech.unit_inductance * ring.perimeter:.0f} pH, "
+          f"C_ring {tech.unit_capacitance * ring.perimeter:.0f} fF\n")
+    print(f"{'scenario':36s}{'measured T (ps)':>16s}{'eq.(2) T (ps)':>15s}"
+          f"{'error':>8s}")
+    for label, loads in scenarios:
+        res = simulate_ring(ring, tech, load_caps=loads)
+        print(f"{label:36s}{res.measured_period:16.3f}"
+              f"{res.predicted_period:15.3f}{res.relative_error:8.1%}")
+
+    print("\nuniform loading keeps the traveling wave clean (eq. 2 holds);")
+    print("lumped loading reflects the wave — hence the paper's dummy "
+          "capacitors and the min-max load objective of Section VI.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — Integrated Placement and Skew Optimization for Rotary Clocking.
+
+A full reproduction of Venkataraman, Hu & Liu (DATE 2006 / TVLSI 2007):
+rotary traveling-wave clock rings, flexible tapping, network-flow and
+ILP flip-flop assignment, cost-driven skew scheduling, and the iterative
+integrated flow — plus every substrate it stands on (netlist model and
+generator, quadratic placer, static timing, LP/flow/ILP kernels,
+zero-skew clock-tree baseline, power models).
+
+Quickstart::
+
+    from repro import IntegratedFlow, FlowOptions
+    from repro.netlist import generate_named
+
+    circuit = generate_named("s9234")
+    result = IntegratedFlow(circuit, options=FlowOptions(ring_grid_side=4)).run()
+    print(result.final.tapping_wirelength, result.tapping_improvement)
+"""
+
+from .constants import (
+    DEFAULT_CLOCK_PERIOD_PS,
+    DEFAULT_TECHNOLOGY,
+    Technology,
+    frequency_ghz,
+    oscillation_period_ps,
+    period_ps,
+)
+from .core import (
+    Assignment,
+    FlowOptions,
+    FlowResult,
+    IntegratedFlow,
+    IterationRecord,
+    SkewSchedule,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Technology",
+    "DEFAULT_TECHNOLOGY",
+    "DEFAULT_CLOCK_PERIOD_PS",
+    "frequency_ghz",
+    "period_ps",
+    "oscillation_period_ps",
+    "IntegratedFlow",
+    "FlowOptions",
+    "FlowResult",
+    "IterationRecord",
+    "Assignment",
+    "SkewSchedule",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis extensions: skew-variation Monte Carlo (the paper's motivation)."""
+
+from .variation import (
+    SkewVariationStats,
+    VariationModel,
+    rotary_skew_variation,
+    tree_skew_variation,
+)
+
+__all__ = [
+    "VariationModel",
+    "SkewVariationStats",
+    "rotary_skew_variation",
+    "tree_skew_variation",
+]

@@ -1,0 +1,191 @@
+"""Monte-Carlo skew-variation analysis: rotary tapping vs clock trees.
+
+The paper's motivation is variability: "interconnect variations alone
+account for 25% deviation of the clock skew from its nominal value" in
+conventional distribution, while a rotary test chip held skew variation to
+5.5 ps.  This module quantifies that contrast on our own designs:
+
+* **Rotary**: a flip-flop's clock delay is the ring phase at its tapping
+  point (phase-locked and junction-averaged across the array — modeled as
+  a small common-mode jitter) plus the Elmore delay of its *short private
+  stub*, whose r/c vary per sample.
+* **Conventional tree**: each sink's delay is a *long path* of tree edges;
+  every edge's delay contribution varies per sample, so deep unshared
+  paths accumulate variation.
+
+For every sequentially adjacent pair the deviation of skew from nominal is
+collected over N samples; the headline number is the skew deviation's
+standard deviation and worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..clocktree.dme import ClockTree, TreeNode
+from ..constants import Technology
+from ..core.cost import Assignment
+from ..rotary import stub_delay
+
+
+@dataclass(frozen=True, slots=True)
+class VariationModel:
+    """Process-variation magnitudes (1-sigma, fractional)."""
+
+    #: Per-wire-segment variation of the RC delay contribution.
+    interconnect_sigma: float = 0.10
+    #: Per-buffer delay variation (conventional trees are buffered at
+    #: every merge level; buffer variability dominates tree skew spread).
+    buffer_sigma: float = 0.08
+    #: Residual ring phase jitter after array phase averaging (ps,
+    #: absolute).  Wood et al. measured ~5.5 ps at 950 MHz.
+    ring_jitter_ps: float = 2.0
+    samples: int = 2000
+    seed: int = 2006
+
+
+@dataclass(frozen=True, slots=True)
+class SkewVariationStats:
+    """Distribution of skew deviation from nominal over all pairs."""
+
+    sigma_ps: float
+    worst_ps: float
+    mean_abs_ps: float
+    num_pairs: int
+    samples: int
+
+
+def rotary_skew_variation(
+    assignment: Assignment,
+    pairs: Sequence[tuple[str, str]],
+    tech: Technology,
+    model: VariationModel | None = None,
+) -> SkewVariationStats:
+    """Skew deviation when flip-flops hang off rotary tapping stubs.
+
+    Only each flip-flop's private stub and the residual ring jitter vary;
+    the ring phase itself is position-locked (the rotary selling point).
+    """
+    m = model or VariationModel()
+    rng = np.random.default_rng(m.seed)
+    ffs = sorted({ff for pair in pairs for ff in pair})
+    index = {ff: k for k, ff in enumerate(ffs)}
+    stub_nominal = np.array(
+        [stub_delay(assignment.solutions[ff].wirelength, tech) for ff in ffs]
+    )
+    # Long stubs are buffer-driven ("deploy a buffer at p"); short ones
+    # omit the buffer, exactly as Section III describes.
+    buffered = np.array(
+        [
+            assignment.solutions[ff].wirelength > tech.buffer_critical_length / 10.0
+            for ff in ffs
+        ]
+    )
+    buf_nominal = (
+        tech.buffer_intrinsic_delay
+        + tech.buffer_drive_resistance * tech.flipflop_input_cap * 1e-3
+    )
+    rings = np.array([assignment.ring_of[ff] for ff in ffs])
+
+    # Per-sample per-ff deviation: stub + (optional buffer) + ring jitter.
+    stub_noise = rng.normal(0.0, m.interconnect_sigma, size=(m.samples, len(ffs)))
+    buf_noise = rng.normal(0.0, m.buffer_sigma, size=(m.samples, len(ffs)))
+    ring_ids = sorted(set(rings.tolist()))
+    ring_jitter = rng.normal(0.0, m.ring_jitter_ps, size=(m.samples, len(ring_ids)))
+    ring_col = {rid: k for k, rid in enumerate(ring_ids)}
+    dev = stub_noise * stub_nominal[None, :]
+    dev += buf_noise * (buffered * buf_nominal)[None, :]
+    dev += ring_jitter[:, [ring_col[r] for r in rings]]
+
+    return _pair_stats(dev, pairs, index, m.samples)
+
+
+def tree_skew_variation(
+    tree: ClockTree,
+    pairs: Sequence[tuple[str, str]],
+    tech: Technology,
+    model: VariationModel | None = None,
+) -> SkewVariationStats:
+    """Skew deviation when the same sinks hang off a zero-skew tree.
+
+    Each tree edge's Elmore contribution and each merge-level buffer's
+    delay are perturbed independently; a sink's delay deviation is the sum
+    over its root path, so the *unshared* portion of two sinks' paths
+    drives their skew deviation.  Buffers (one per internal node, as in
+    any practical buffered clock tree) dominate: a depth-``k`` tree stacks
+    ``k`` independently varying buffer delays per sink.
+    """
+    m = model or VariationModel()
+    rng = np.random.default_rng(m.seed + 1)
+
+    # Enumerate variation sources (wire edges + buffers) and per-sink
+    # path membership with nominal delay contributions.
+    nominal: list[float] = []
+    sigma: list[float] = []
+    sink_paths: dict[str, list[int]] = {}
+
+    def subtree_cap(node: TreeNode) -> float:
+        if not node.children:
+            return node.subtree_cap
+        return sum(
+            subtree_cap(ch) + tech.wire_cap(ch.edge_length) for ch in node.children
+        )
+
+    def add_source(delay: float, frac_sigma: float) -> int:
+        nominal.append(delay)
+        sigma.append(frac_sigma)
+        return len(nominal) - 1
+
+    def buffer_delay(load: float) -> float:
+        driven = min(load, tech.max_driver_load)
+        return tech.buffer_intrinsic_delay + tech.buffer_drive_resistance * driven * 1e-3
+
+    def walk(node: TreeNode, path: list[int]) -> None:
+        # A buffer at every internal node re-drives its subtree.
+        buf_id = add_source(buffer_delay(subtree_cap(node)), m.buffer_sigma)
+        path = path + [buf_id]
+        for ch in node.children:
+            r = tech.wire_res(ch.edge_length)
+            c_down = subtree_cap(ch) + 0.5 * tech.wire_cap(ch.edge_length)
+            edge_id = add_source(r * c_down * 1e-3, m.interconnect_sigma)
+            if ch.children:
+                walk(ch, path + [edge_id])
+            else:
+                sink_paths[ch.name] = path + [edge_id]
+
+    walk(tree.root, [])
+    ffs = sorted(sink_paths)
+    index = {ff: k for k, ff in enumerate(ffs)}
+    membership = np.zeros((len(ffs), len(nominal)))
+    for ff, path in sink_paths.items():
+        membership[index[ff], path] = 1.0
+    scale = np.asarray(nominal) * np.asarray(sigma)
+
+    noise = rng.normal(0.0, 1.0, size=(m.samples, len(nominal)))
+    dev = (noise * scale[None, :]) @ membership.T
+
+    return _pair_stats(dev, pairs, index, m.samples)
+
+
+def _pair_stats(
+    dev: np.ndarray,
+    pairs: Sequence[tuple[str, str]],
+    index: Mapping[str, int],
+    samples: int,
+) -> SkewVariationStats:
+    usable = [(i, j) for i, j in pairs if i in index and j in index and i != j]
+    if not usable:
+        return SkewVariationStats(0.0, 0.0, 0.0, 0, samples)
+    li = np.array([index[i] for i, _ in usable])
+    lj = np.array([index[j] for _, j in usable])
+    skew_dev = dev[:, li] - dev[:, lj]
+    return SkewVariationStats(
+        sigma_ps=float(skew_dev.std()),
+        worst_ps=float(np.abs(skew_dev).max()),
+        mean_abs_ps=float(np.abs(skew_dev).mean()),
+        num_pairs=len(usable),
+        samples=samples,
+    )

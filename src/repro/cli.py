@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``)::
+
+    repro run s9234 --engine flow          # integrated flow, Table IV style
+    repro tables --circuits s9234,s5378    # regenerate Tables I-VII
+    repro bench-info s38417                # circuit profile + generation
+    repro sweep-rings s5378 --sides 2,3,4  # ring-count ablation (§IX)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .constants import DEFAULT_TECHNOLOGY, frequency_ghz
+from .core import FlowOptions, IntegratedFlow, sweep_ring_count
+from .netlist import PROFILE_ORDER, PROFILES, generate_named
+
+
+def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["flow", "ilp"],
+        default="flow",
+        help="assignment engine: Section V network flow or Section VI ILP",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=5, help="max stage 3-6 iterations"
+    )
+    parser.add_argument(
+        "--period", type=float, default=1000.0, help="clock period (ps)"
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.circuit]
+    circuit = generate_named(args.circuit)
+    options = FlowOptions(
+        ring_grid_side=profile.ring_grid_side,
+        assignment=args.engine,
+        max_iterations=args.iterations,
+        period=args.period,
+    )
+    result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+    if args.save:
+        from .io import save_design
+
+        save_design(result, args.save)
+        print(f"design saved to {args.save}")
+    print(f"{args.circuit}: {len(circuit.flip_flops)} flip-flops, "
+          f"{result.array.num_rings} rings at "
+          f"{frequency_ghz(args.period):.2f} GHz ({args.engine} engine)")
+    print(f"  slack available {result.slack_available:.1f} ps, "
+          f"guaranteed {result.slack_guaranteed:.1f} ps")
+    print(f"  base : tap WL {result.base.tapping_wirelength:10.0f} um   "
+          f"AFD {result.base.average_flipflop_distance:7.1f} um")
+    print(f"  final: tap WL {result.final.tapping_wirelength:10.0f} um   "
+          f"AFD {result.final.average_flipflop_distance:7.1f} um   "
+          f"({result.tapping_improvement:+.1%})")
+    print(f"  signal WL {result.final.signal_wirelength:.0f} um "
+          f"({result.signal_penalty:+.2%}), max ring load "
+          f"{result.final.max_load_capacitance:.1f} fF")
+    print(f"  {len(result.history)} iterations; CPU stages "
+          f"{result.seconds_algorithm:.1f} s, placer {result.seconds_placer:.1f} s")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ExperimentSuite,
+        format_table,
+        table1_integrality_gap,
+        table2_test_cases,
+        table3_base_case,
+        table4_network_flow,
+        table5_load_capacitance,
+        table6_power,
+        table7_wcp,
+    )
+
+    circuits = (
+        [c.strip() for c in args.circuits.split(",") if c.strip()]
+        if args.circuits
+        else list(PROFILE_ORDER)
+    )
+    suite = ExperimentSuite(circuits=circuits)
+    markdown = args.markdown
+    generators = [
+        ("Table I", lambda: table1_integrality_gap(suite, args.ilp_time_limit)),
+        ("Table II", lambda: table2_test_cases(suite)),
+        ("Table III", lambda: table3_base_case(suite)),
+        ("Table IV", lambda: table4_network_flow(suite)),
+        ("Table V", lambda: table5_load_capacitance(suite)),
+        ("Table VI", lambda: table6_power(suite)),
+        ("Table VII", lambda: table7_wcp(suite)),
+    ]
+    for title, gen in generators:
+        print(format_table(gen(), title, markdown=markdown))
+        print()
+    return 0
+
+
+def cmd_bench_info(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.circuit]
+    circuit = generate_named(args.circuit)
+    stats = circuit.stats()
+    print(f"{profile.name}: {stats.num_cells} cells "
+          f"({stats.num_gates} gates + {stats.num_flipflops} flip-flops), "
+          f"{stats.num_nets} nets, {stats.num_inputs} PIs, "
+          f"{stats.num_outputs} POs")
+    print(f"  paper Table II: {profile.num_cells} cells, "
+          f"{profile.num_flipflops} FFs, {profile.num_nets} nets, "
+          f"{profile.num_rings} rings, PL {profile.paper_path_length_um} um")
+    print(f"  logic depth {profile.logic_depth} levels, seed {profile.seed}")
+    return 0
+
+
+def cmd_sweep_rings(args: argparse.Namespace) -> int:
+    circuit = generate_named(args.circuit)
+    sides = [int(s) for s in args.sides.split(",")]
+    options = FlowOptions(max_iterations=args.iterations, period=args.period,
+                          assignment=args.engine)
+    sweep = sweep_ring_count(circuit, DEFAULT_TECHNOLOGY, options, sides)
+    print(f"{args.circuit}: ring-count sweep "
+          f"(clock WL = tapping stubs + ring loops)")
+    print(f"{'side':>5} {'rings':>6} {'tap WL':>10} {'ring WL':>10} "
+          f"{'clock WL':>10} {'max cap':>8}")
+    for p in sweep.points:
+        marker = " <- best" if p is sweep.best else ""
+        print(f"{p.grid_side:5d} {p.num_rings:6d} "
+              f"{p.tapping_wirelength:10.0f} {p.ring_wirelength:10.0f} "
+              f"{p.clock_wirelength:10.0f} {p.max_load_capacitance:8.1f}"
+              f"{marker}")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from .viz import render_flow_svg
+
+    profile = PROFILES[args.circuit]
+    circuit = generate_named(args.circuit)
+    options = FlowOptions(
+        ring_grid_side=profile.ring_grid_side,
+        assignment=args.engine,
+        max_iterations=args.iterations,
+        period=args.period,
+    )
+    result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+    svg = render_flow_svg(result, circuit, show_cells=args.cells)
+    with open(args.output, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {args.output} ({len(svg)} bytes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Integrated placement and skew optimization for rotary clocking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the integrated flow on a benchmark")
+    run.add_argument("circuit", choices=sorted(PROFILES))
+    run.add_argument("--save", default="", help="write the design to a JSON file")
+    _add_common_flow_args(run)
+    run.set_defaults(func=cmd_run)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--circuits", default="", help="comma-separated subset")
+    tables.add_argument("--ilp-time-limit", type=float, default=10.0)
+    tables.add_argument("--markdown", action="store_true",
+                        help="emit Markdown tables instead of aligned text")
+    tables.set_defaults(func=cmd_tables)
+
+    info = sub.add_parser("bench-info", help="show a benchmark profile")
+    info.add_argument("circuit", choices=sorted(PROFILES))
+    info.set_defaults(func=cmd_bench_info)
+
+    render = sub.add_parser("render", help="render the flow result as SVG")
+    render.add_argument("circuit", choices=sorted(PROFILES))
+    render.add_argument("-o", "--output", default="rotary.svg")
+    render.add_argument("--cells", action="store_true",
+                        help="also draw combinational cells")
+    _add_common_flow_args(render)
+    render.set_defaults(func=cmd_render)
+
+    sweep = sub.add_parser("sweep-rings", help="ring-count ablation (Section IX)")
+    sweep.add_argument("circuit", choices=sorted(PROFILES))
+    sweep.add_argument("--sides", default="2,3,4,5")
+    _add_common_flow_args(sweep)
+    sweep.set_defaults(func=cmd_sweep_rings)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

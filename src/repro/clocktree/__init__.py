@@ -1,0 +1,43 @@
+"""Conventional zero-skew clock-tree synthesis (the paper's baseline)."""
+
+from .bounded_skew import (
+    BoundedSkewTree,
+    embed_bounded_skew,
+    synthesize_bounded_skew_tree,
+)
+from .dme import ClockTree, TreeNode, embed_zero_skew, synthesize_clock_tree
+from .dme_exact import Rect, embed_zero_skew_dme, synthesize_clock_tree_dme
+from .local_trees import (
+    LocalTree,
+    LocalTreeOptions,
+    LocalTreeResult,
+    build_local_trees,
+)
+from .mesh import ClockMesh, MeshReport, mesh_for_sinks, mesh_report
+from .metrics import PathLengthStats, path_length_stats
+from .topology import TopologyNode, build_topology
+
+__all__ = [
+    "TopologyNode",
+    "build_topology",
+    "ClockTree",
+    "TreeNode",
+    "embed_zero_skew",
+    "synthesize_clock_tree",
+    "PathLengthStats",
+    "path_length_stats",
+    "LocalTree",
+    "LocalTreeOptions",
+    "LocalTreeResult",
+    "build_local_trees",
+    "Rect",
+    "embed_zero_skew_dme",
+    "synthesize_clock_tree_dme",
+    "BoundedSkewTree",
+    "embed_bounded_skew",
+    "synthesize_bounded_skew_tree",
+    "ClockMesh",
+    "MeshReport",
+    "mesh_for_sinks",
+    "mesh_report",
+]

@@ -1,0 +1,171 @@
+"""Bounded-skew clock-tree embedding.
+
+Zero-skew trees spend wire (snaking) to equalize every sink delay exactly;
+when a skew budget ``B`` is available — e.g. inside a permissible range —
+that wire can be saved.  Each subtree carries its sink-delay *interval*;
+a merge chooses the wire split that keeps the merged interval's width
+within ``B`` using as little wire as possible, snaking only for the
+residual imbalance the budget cannot absorb:
+
+* try ``e_a + e_b = d`` (no extra wire) and pick the split minimizing the
+  merged interval width (a convex 1-D problem, solved by ternary search);
+* if the minimal width exceeds ``B``, extend the faster side just enough
+  that the width equals ``B``.
+
+``B = 0`` reproduces the exact zero-skew embedding.  This is the
+construction the paper's §IX alludes to for local trees: "care should be
+taken to take care of the skew permissible ranges of the flip-flop
+pairs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import Technology
+from ..errors import ClockTreeError
+from ..geometry import Point
+from .dme import ClockTree, TreeNode, _extension_for_delay, _wire_delay, _point_along_l_path
+from .topology import TopologyNode, build_topology
+
+
+@dataclass(frozen=True, slots=True)
+class BoundedSkewTree:
+    """An embedded tree whose sink delays span at most the skew bound."""
+
+    tree: ClockTree
+    #: Interval of root-to-sink delays (ps).
+    delay_min: float
+    delay_max: float
+    skew_bound: float
+
+    @property
+    def skew_spread(self) -> float:
+        return self.delay_max - self.delay_min
+
+    @property
+    def total_wirelength(self) -> float:
+        return self.tree.total_wirelength
+
+
+def _merge_interval(
+    a_lo: float,
+    a_hi: float,
+    ca: float,
+    b_lo: float,
+    b_hi: float,
+    cb: float,
+    d: float,
+    bound: float,
+    tech: Technology,
+) -> tuple[float, float, float, float]:
+    """Choose ``(e_a, e_b)`` and return them with the merged interval.
+
+    Returns ``(e_a, e_b, lo, hi)`` such that ``hi - lo <= bound`` (up to
+    numerical tolerance) and the extra wire beyond the separation ``d``
+    is minimal.
+    """
+
+    def width_at(ea: float) -> tuple[float, float, float]:
+        eb = d - ea
+        lo = min(a_lo + _wire_delay(ea, ca, tech), b_lo + _wire_delay(eb, cb, tech))
+        hi = max(a_hi + _wire_delay(ea, ca, tech), b_hi + _wire_delay(eb, cb, tech))
+        return hi - lo, lo, hi
+
+    # Ternary search for the width-minimizing split (width is unimodal
+    # in ea: each side's shift is monotone in its wire length).
+    lo_e, hi_e = 0.0, d
+    for _ in range(80):
+        m1 = lo_e + (hi_e - lo_e) / 3.0
+        m2 = hi_e - (hi_e - lo_e) / 3.0
+        if width_at(m1)[0] <= width_at(m2)[0]:
+            hi_e = m2
+        else:
+            lo_e = m1
+    ea = 0.5 * (lo_e + hi_e)
+    width, ilo, ihi = width_at(ea)
+    if width <= bound + 1e-9:
+        return ea, d - ea, ilo, ihi
+
+    # Budget exhausted: snake the faster side for the residual imbalance.
+    eb = d - ea
+    a_shift = _wire_delay(ea, ca, tech)
+    b_shift = _wire_delay(eb, cb, tech)
+    a_iv = (a_lo + a_shift, a_hi + a_shift)
+    b_iv = (b_lo + b_shift, b_hi + b_shift)
+    residual = width - bound
+    if a_iv[1] >= b_iv[1]:  # a is the slow side: delay b further
+        target_delay = b_shift + residual
+        eb_new = max(_extension_for_delay(target_delay, cb, tech), eb)
+        lo = min(a_iv[0], b_lo + _wire_delay(eb_new, cb, tech))
+        hi = max(a_iv[1], b_hi + _wire_delay(eb_new, cb, tech))
+        return ea, eb_new, lo, hi
+    target_delay = a_shift + residual
+    ea_new = max(_extension_for_delay(target_delay, ca, tech), ea)
+    lo = min(b_iv[0], a_lo + _wire_delay(ea_new, ca, tech))
+    hi = max(b_iv[1], a_hi + _wire_delay(ea_new, ca, tech))
+    return ea_new, eb, lo, hi
+
+
+def embed_bounded_skew(
+    topology: TopologyNode,
+    sink_caps: dict[str, float],
+    tech: Technology,
+    skew_bound: float,
+) -> BoundedSkewTree:
+    """Embed ``topology`` with sink-delay spread at most ``skew_bound``."""
+    if skew_bound < 0.0:
+        raise ClockTreeError("skew bound cannot be negative")
+    total_wl = [0.0]
+
+    def recurse(node: TopologyNode) -> tuple[TreeNode, float, float]:
+        if node.is_leaf:
+            if node.location is None:
+                raise ClockTreeError(f"leaf {node.name!r} has no location")
+            cap = sink_caps.get(node.name)
+            if cap is None:
+                raise ClockTreeError(f"no sink capacitance for {node.name!r}")
+            return TreeNode(node.name, node.location, 0.0, 0.0, cap), 0.0, 0.0
+        assert node.left is not None and node.right is not None
+        a, a_lo, a_hi = recurse(node.left)
+        b, b_lo, b_hi = recurse(node.right)
+        d = a.location.manhattan(b.location)
+        ea, eb, lo, hi = _merge_interval(
+            a_lo, a_hi, a.subtree_cap, b_lo, b_hi, b.subtree_cap, d,
+            skew_bound, tech,
+        )
+        a.edge_length = ea
+        b.edge_length = eb
+        total_wl[0] += ea + eb
+        frac = 0.0 if d == 0.0 else min(ea, d) / d
+        loc = _point_along_l_path(a.location, b.location, frac)
+        cap = (
+            a.subtree_cap + b.subtree_cap + tech.wire_cap(ea) + tech.wire_cap(eb)
+        )
+        merged = TreeNode(node.name, loc, 0.0, hi, cap, children=[a, b])
+        return merged, lo, hi
+
+    root, lo, hi = recurse(topology)
+    if hi - lo > skew_bound + 1e-6:
+        raise ClockTreeError(
+            f"bounded-skew embed exceeded its bound: spread {hi - lo:.4f} "
+            f"> {skew_bound:.4f}"
+        )
+    return BoundedSkewTree(
+        tree=ClockTree(root=root, total_wirelength=total_wl[0]),
+        delay_min=lo,
+        delay_max=hi,
+        skew_bound=skew_bound,
+    )
+
+
+def synthesize_bounded_skew_tree(
+    sinks: dict[str, Point],
+    tech: Technology,
+    skew_bound: float,
+    sink_cap: float | None = None,
+) -> BoundedSkewTree:
+    """Convenience: topology + bounded-skew embedding."""
+    cap = tech.flipflop_input_cap if sink_cap is None else sink_cap
+    topo = build_topology(dict(sinks))
+    return embed_bounded_skew(topo, {name: cap for name in sinks}, tech, skew_bound)

@@ -1,0 +1,194 @@
+"""Exact zero-skew clock-tree embedding (Tsay-style bottom-up merging).
+
+Given an abstract topology over placed sinks, merge subtrees bottom-up so
+that the Elmore delay from every merge point to all sinks below it is
+equal (references [5]-[7] of the paper).  For each merge the wire split
+
+    t_a + r*ea*(c*ea/2 + C_a) = t_b + r*eb*(c*eb/2 + C_b),  ea + eb = d
+
+is solved exactly; when no balanced split exists within the separation
+``d``, the shorter side is *snaked* (wire detour), exactly like clock-tree
+wire snaking cited for tapping Case 4.
+
+This provides the paper's Table II reference column: the average
+source-sink path length ``PL`` of a conventional zero-skew clock tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..constants import OHM_FF_TO_PS, Technology
+from ..errors import ClockTreeError
+from ..geometry import Point
+from .topology import TopologyNode, build_topology
+
+
+@dataclass(slots=True)
+class TreeNode:
+    """An embedded clock-tree node."""
+
+    name: str
+    location: Point
+    #: Wire length of the edge to the parent (includes snaking detour).
+    edge_length: float
+    #: Elmore delay (ps) from this node down to every sink (equal by
+    #: construction).
+    subtree_delay: float
+    #: Total capacitance (fF) of the subtree, wire + sink loads.
+    subtree_cap: float
+    children: list["TreeNode"] = field(default_factory=list)
+
+    def sinks(self) -> list["TreeNode"]:
+        if not self.children:
+            return [self]
+        out: list[TreeNode] = []
+        for ch in self.children:
+            out.extend(ch.sinks())
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class ClockTree:
+    """A fully embedded zero-skew tree."""
+
+    root: TreeNode
+    total_wirelength: float
+
+    @property
+    def source_delay(self) -> float:
+        """Elmore delay from the tree root to every sink (ps)."""
+        return self.root.subtree_delay
+
+
+def _wire_delay(length: float, load: float, tech: Technology) -> float:
+    """Elmore delay (ps) of a wire of ``length`` driving ``load`` fF."""
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    return OHM_FF_TO_PS * (r * length * (0.5 * c * length + load))
+
+
+def _extension_for_delay(delay: float, load: float, tech: Technology) -> float:
+    """Wire length whose Elmore delay into ``load`` equals ``delay`` ps."""
+    if delay <= 0.0:
+        return 0.0
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    a = 0.5 * r * c
+    b = r * load
+    disc = b * b + 4.0 * a * delay / OHM_FF_TO_PS
+    return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+def _merge_split(
+    ta: float, ca: float, tb: float, cb: float, d: float, tech: Technology
+) -> tuple[float, float]:
+    """Zero-skew split ``(ea, eb)`` of separation ``d`` between subtrees.
+
+    Returns wire lengths toward subtree a and b (``ea + eb >= d``; strict
+    inequality means the cheaper side was snaked).
+    """
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    K = OHM_FF_TO_PS
+
+    def f(ea: float) -> float:
+        eb = d - ea
+        return (ta + _wire_delay(ea, ca, tech)) - (tb + _wire_delay(eb, cb, tech))
+
+    # f is increasing in ea; balanced split exists iff f(0) <= 0 <= f(d).
+    if f(0.0) > 0.0:
+        # Subtree a is already slower even unextended: snake the b side.
+        extra = ta - tb
+        eb = _extension_for_delay(extra, cb, tech)
+        return 0.0, max(eb, d)
+    if f(d) < 0.0:
+        extra = tb - ta
+        ea = _extension_for_delay(extra, ca, tech)
+        return max(ea, d), 0.0
+    # Exact quadratic: ta + K r ea (c ea/2 + ca) = tb + K r (d-ea)(c(d-ea)/2 + cb)
+    # -> A ea^2 + B ea + C = 0 with the expansion below.
+    A = 0.0  # quadratic terms cancel: K r c/2 (ea^2 - (d-ea)^2) is linear in ea
+    B = K * r * (c * d + ca + cb)
+    C = ta - tb - K * r * (0.5 * c * d * d + cb * d)
+    ea = -C / B if B > 0 else 0.0
+    ea = min(max(ea, 0.0), d)
+    return ea, d - ea
+
+
+def embed_zero_skew(
+    topology: TopologyNode,
+    sink_caps: Mapping[str, float],
+    tech: Technology,
+) -> ClockTree:
+    """Embed ``topology`` as an exact zero-skew tree (Elmore model).
+
+    ``sink_caps`` gives the load capacitance of each leaf (fF).
+    """
+    total_wl = [0.0]
+
+    def recurse(node: TopologyNode) -> TreeNode:
+        if node.is_leaf:
+            if node.location is None:
+                raise ClockTreeError(f"leaf {node.name!r} has no location")
+            cap = sink_caps.get(node.name)
+            if cap is None:
+                raise ClockTreeError(f"no sink capacitance for {node.name!r}")
+            return TreeNode(node.name, node.location, 0.0, 0.0, cap)
+        assert node.left is not None and node.right is not None
+        a = recurse(node.left)
+        b = recurse(node.right)
+        d = a.location.manhattan(b.location)
+        ea, eb = _merge_split(
+            a.subtree_delay, a.subtree_cap, b.subtree_delay, b.subtree_cap, d, tech
+        )
+        a.edge_length = ea
+        b.edge_length = eb
+        total_wl[0] += ea + eb
+        # Merge point along the L-shaped path between the children,
+        # ``min(ea, d)`` of the way from a toward b.
+        frac = 0.0 if d == 0.0 else min(ea, d) / d
+        loc = _point_along_l_path(a.location, b.location, frac)
+        delay = a.subtree_delay + _wire_delay(ea, a.subtree_cap, tech)
+        delay_b = b.subtree_delay + _wire_delay(eb, b.subtree_cap, tech)
+        if abs(delay - delay_b) > 1e-6 * max(1.0, abs(delay)):
+            raise ClockTreeError(
+                f"zero-skew merge failed at {node.name}: {delay} vs {delay_b}"
+            )
+        cap = (
+            a.subtree_cap
+            + b.subtree_cap
+            + tech.wire_cap(ea)
+            + tech.wire_cap(eb)
+        )
+        return TreeNode(node.name, loc, 0.0, delay, cap, children=[a, b])
+
+    root = recurse(topology)
+    return ClockTree(root=root, total_wirelength=total_wl[0])
+
+
+def _point_along_l_path(a: Point, b: Point, frac: float) -> Point:
+    """Point ``frac`` of the Manhattan way from ``a`` to ``b`` (x first)."""
+    d = a.manhattan(b)
+    if d == 0.0:
+        return a
+    walk = frac * d
+    dx = b.x - a.x
+    if abs(dx) >= walk:
+        return Point(a.x + math.copysign(walk, dx) if dx else a.x, a.y)
+    walk -= abs(dx)
+    dy = b.y - a.y
+    return Point(b.x, a.y + math.copysign(walk, dy) if dy else a.y)
+
+
+def synthesize_clock_tree(
+    sinks: Mapping[str, Point],
+    tech: Technology,
+    sink_cap: float | None = None,
+) -> ClockTree:
+    """Convenience: topology + zero-skew embedding for the given sinks.
+
+    ``sink_cap`` defaults to the technology's flip-flop input capacitance.
+    """
+    cap = tech.flipflop_input_cap if sink_cap is None else sink_cap
+    topo = build_topology(dict(sinks))
+    return embed_zero_skew(topo, {name: cap for name in sinks}, tech)

@@ -1,0 +1,221 @@
+"""Local clock trees below ring tapping points (the paper's §IX proposal).
+
+The paper's future work: "this could be improved by creating local trees
+that connect the ring location to a set of flip-flops.  In such a
+construction, care should be taken to take care of the skew permissible
+ranges of the flip-flop pairs.  Such a scheme could lead to potential
+benefits in wirelength and power dissipation."
+
+Implementation: flip-flops assigned to the same ring whose delay targets
+and locations are close are clustered; each cluster gets one zero-skew
+subtree (all members then share a common delay target — legal only if the
+merged schedule still satisfies every setup/hold constraint, which is
+checked and infeasible clusters are split back).  The subtree root is then
+tapped on the ring with Section III's solver, using the subtree's total
+capacitance as the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..constants import Technology
+from ..core.cost import Assignment
+from ..geometry import Point
+from ..rotary import RingArray, TappingSolution, best_tapping
+from ..timing import PathBounds, validate_schedule
+from .bounded_skew import synthesize_bounded_skew_tree
+from .dme import ClockTree
+from .dme_exact import synthesize_clock_tree_dme
+
+
+@dataclass(frozen=True, slots=True)
+class LocalTreeOptions:
+    """Clustering knobs."""
+
+    #: Max delay-target spread within one cluster (ps).
+    target_tolerance: float = 30.0
+    #: Max Manhattan distance between cluster members (um).
+    radius: float = 80.0
+    #: Minimum members for a tree (singletons keep their direct stub).
+    min_cluster_size: int = 2
+    #: Intra-tree skew budget (ps).  Zero builds exact zero-skew subtrees;
+    #: a positive budget saves snaking wire inside unbalanced clusters and
+    #: is charged conservatively against the timing validation.
+    skew_bound: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LocalTree:
+    """One synthesized cluster: a subtree plus its ring tapping."""
+
+    ring_id: int
+    members: tuple[str, ...]
+    common_target: float
+    tree: ClockTree
+    root_tapping: TappingSolution
+
+    @property
+    def wirelength(self) -> float:
+        """Tree wires plus the root stub."""
+        return self.tree.total_wirelength + self.root_tapping.wirelength
+
+
+@dataclass(frozen=True, slots=True)
+class LocalTreeResult:
+    """Outcome of local-tree construction over a whole assignment."""
+
+    trees: tuple[LocalTree, ...]
+    #: Flip-flops left on direct stubs (singletons or timing-infeasible).
+    direct_stubs: tuple[str, ...]
+    #: Schedule after merging cluster targets.
+    schedule: dict[str, float]
+    #: Total clock wirelength with local trees (trees + remaining stubs).
+    total_wirelength: float
+    #: Total clock wirelength of the all-direct-stubs baseline.
+    baseline_wirelength: float
+
+    @property
+    def wirelength_saving(self) -> float:
+        """Fractional clock-wire saving vs direct stubs (>= 0 is a win)."""
+        if self.baseline_wirelength <= 0.0:
+            return 0.0
+        return 1.0 - self.total_wirelength / self.baseline_wirelength
+
+    @property
+    def clustered_count(self) -> int:
+        return sum(len(t.members) for t in self.trees)
+
+
+def build_local_trees(
+    assignment: Assignment,
+    array: RingArray,
+    positions: Mapping[str, Point],
+    targets: Mapping[str, float],
+    pairs: Mapping[tuple[str, str], PathBounds],
+    tech: Technology,
+    period: float,
+    slack: float = 0.0,
+    options: LocalTreeOptions | None = None,
+) -> LocalTreeResult:
+    """Cluster assigned flip-flops into ring-tapped zero-skew subtrees.
+
+    ``pairs`` are the sequential-adjacency bounds used to verify that
+    merging a cluster's targets keeps the schedule feasible at ``slack``.
+    """
+    opts = options or LocalTreeOptions()
+    schedule = {ff: targets[ff] for ff in assignment.ring_of}
+    clusters = _greedy_clusters(assignment, positions, schedule, opts)
+
+    trees: list[LocalTree] = []
+    clustered: set[str] = set()
+    for cluster in clusters:
+        if len(cluster) < opts.min_cluster_size:
+            continue
+        ring_id = assignment.ring_of[cluster[0]]
+        ring = array[ring_id]
+        common = sum(schedule[ff] for ff in cluster) / len(cluster)
+
+        # Economics first: the tree (wires + root stub driving the whole
+        # subtree capacitance) must beat the members' direct stubs.
+        sinks = {ff: positions[ff] for ff in cluster}
+        if opts.skew_bound > 0.0:
+            bst = synthesize_bounded_skew_tree(
+                sinks, tech, skew_bound=opts.skew_bound
+            )
+            tree = bst.tree
+            tree_root_delay = bst.delay_max
+        else:
+            tree = synthesize_clock_tree_dme(sinks, tech)
+            tree_root_delay = tree.source_delay
+        tapping = best_tapping(
+            ring,
+            tree.root.location,
+            common - tree_root_delay,
+            tech,
+            load_cap=tree.root.subtree_cap,
+        )
+        tree_wl = tree.total_wirelength + tapping.wirelength
+        direct_wl = sum(assignment.solutions[ff].wirelength for ff in cluster)
+        if tree_wl >= direct_wl:
+            continue
+
+        # Then timing: the merged (common-target) schedule must stay
+        # feasible at the guaranteed slack, with the intra-tree skew
+        # budget charged conservatively on top (members may arrive up to
+        # ``skew_bound`` earlier than the common target).
+        merged = dict(schedule)
+        for ff in cluster:
+            merged[ff] = common
+        if validate_schedule(
+            merged, pairs, period, tech, slack=slack + opts.skew_bound
+        ):
+            continue  # violations: keep direct stubs for this cluster
+        schedule = merged
+        trees.append(
+            LocalTree(
+                ring_id=ring_id,
+                members=tuple(cluster),
+                common_target=common,
+                tree=tree,
+                root_tapping=tapping,
+            )
+        )
+        clustered.update(cluster)
+
+    # Re-tap unclustered flip-flops directly (targets unchanged).
+    direct: list[str] = []
+    direct_wl = 0.0
+    for ff, ring_id in assignment.ring_of.items():
+        if ff in clustered:
+            continue
+        direct.append(ff)
+        direct_wl += assignment.solutions[ff].wirelength
+
+    total = direct_wl + sum(t.wirelength for t in trees)
+    baseline = assignment.tapping_wirelength
+    return LocalTreeResult(
+        trees=tuple(trees),
+        direct_stubs=tuple(direct),
+        schedule=schedule,
+        total_wirelength=total,
+        baseline_wirelength=baseline,
+    )
+
+
+def _greedy_clusters(
+    assignment: Assignment,
+    positions: Mapping[str, Point],
+    schedule: Mapping[str, float],
+    opts: LocalTreeOptions,
+) -> list[list[str]]:
+    """Greedy proximity clustering per ring.
+
+    Flip-flops on the same ring are sorted by target; each becomes a seed
+    or joins the first open cluster whose seed is within the target and
+    distance tolerances.
+    """
+    by_ring: dict[int, list[str]] = {}
+    for ff, ring_id in assignment.ring_of.items():
+        by_ring.setdefault(ring_id, []).append(ff)
+
+    clusters: list[list[str]] = []
+    for ring_id, members in sorted(by_ring.items()):
+        members = sorted(members, key=lambda ff: (schedule[ff], ff))
+        open_clusters: list[list[str]] = []
+        for ff in members:
+            placed = False
+            for cluster in open_clusters:
+                seed = cluster[0]
+                if (
+                    abs(schedule[ff] - schedule[seed]) <= opts.target_tolerance
+                    and positions[ff].manhattan(positions[seed]) <= opts.radius
+                ):
+                    cluster.append(ff)
+                    placed = True
+                    break
+            if not placed:
+                open_clusters.append([ff])
+        clusters.extend(open_clusters)
+    return clusters

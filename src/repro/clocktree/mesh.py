@@ -1,0 +1,94 @@
+"""Clock mesh baseline (reference [11] of the paper).
+
+A clock mesh shorts a uniform grid of wires across the die and taps every
+flip-flop from the nearest mesh wire.  Skew is excellent (the mesh acts
+as one node) but the paper's §I point is the cost: "the very effective
+approach of clock mesh may result in excessive wirelength and power
+overhead."  This model quantifies that: mesh wire = full grid metal, stub
+wire = distance to the nearest mesh segment, capacitance = all of it
+switching every cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..constants import Technology
+from ..geometry import BBox, Point
+
+
+@dataclass(frozen=True, slots=True)
+class ClockMesh:
+    """A uniform clock mesh over a die region."""
+
+    region: BBox
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("a mesh needs at least 2 rows and 2 columns")
+
+    @property
+    def wirelength(self) -> float:
+        """Total mesh metal (um): full-width horizontals + verticals."""
+        return self.rows * self.region.width + self.cols * self.region.height
+
+    def _row_y(self, k: int) -> float:
+        return self.region.ylo + (k + 0.5) * self.region.height / self.rows
+
+    def _col_x(self, k: int) -> float:
+        return self.region.xlo + (k + 0.5) * self.region.width / self.cols
+
+    def stub_length(self, p: Point) -> float:
+        """Distance from ``p`` to the nearest mesh wire."""
+        dy = min(abs(p.y - self._row_y(k)) for k in range(self.rows))
+        dx = min(abs(p.x - self._col_x(k)) for k in range(self.cols))
+        return min(dx, dy)
+
+
+@dataclass(frozen=True, slots=True)
+class MeshReport:
+    """Wire and capacitance of a mesh serving a set of flip-flops."""
+
+    mesh_wirelength: float
+    stub_wirelength: float
+    total_capacitance_ff: float
+
+    @property
+    def total_wirelength(self) -> float:
+        return self.mesh_wirelength + self.stub_wirelength
+
+
+def mesh_report(
+    mesh: ClockMesh,
+    sinks: Mapping[str, Point],
+    tech: Technology,
+) -> MeshReport:
+    """Cost of serving ``sinks`` from ``mesh``.
+
+    Capacitance counts the mesh metal, every stub, and every flip-flop
+    clock pin — all toggling each cycle, which is the power story the
+    paper tells.
+    """
+    stub_wl = sum(mesh.stub_length(p) for p in sinks.values())
+    cap = (
+        tech.wire_cap(mesh.wirelength)
+        + tech.wire_cap(stub_wl)
+        + len(sinks) * tech.flipflop_input_cap
+    )
+    return MeshReport(
+        mesh_wirelength=mesh.wirelength,
+        stub_wirelength=stub_wl,
+        total_capacitance_ff=cap,
+    )
+
+
+def mesh_for_sinks(
+    region: BBox, num_sinks: int, density: float = 1.0
+) -> ClockMesh:
+    """Size a mesh to roughly one wire pitch per sqrt(sinks), scaled by
+    ``density`` (the usual sizing heuristic)."""
+    side = max(2, round((num_sinks**0.5) * density))
+    return ClockMesh(region=region, rows=side, cols=side)

@@ -1,0 +1,43 @@
+"""Clock-tree metrics: source-sink path lengths (Table II's PL column)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dme import ClockTree, TreeNode
+
+
+@dataclass(frozen=True, slots=True)
+class PathLengthStats:
+    """Source-to-sink wire path statistics of a clock tree."""
+
+    average: float
+    maximum: float
+    minimum: float
+    num_sinks: int
+
+
+def path_length_stats(tree: ClockTree) -> PathLengthStats:
+    """Average/max/min wire length along root-to-sink paths.
+
+    This is the paper's ``PL`` reference metric: "average source-sink
+    path length in conventional clock trees".  Path lengths include any
+    snaking detours inserted for zero skew.
+    """
+    lengths: list[float] = []
+
+    def walk(node: TreeNode, acc: float) -> None:
+        acc += node.edge_length
+        if not node.children:
+            lengths.append(acc)
+            return
+        for child in node.children:
+            walk(child, acc)
+
+    walk(tree.root, 0.0)  # the root's edge_length is 0 (no parent)
+    return PathLengthStats(
+        average=sum(lengths) / len(lengths),
+        maximum=max(lengths),
+        minimum=min(lengths),
+        num_sinks=len(lengths),
+    )

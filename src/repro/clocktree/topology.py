@@ -1,0 +1,76 @@
+"""Clock-tree topology generation by balanced geometric bipartition.
+
+The classic "means and medians" style recursion: split the sink set along
+its longer bounding-box dimension at the median, recurse, and pair the two
+halves under a new internal node.  Produces the binary abstract topology
+consumed by the zero-skew embedding in :mod:`repro.clocktree.dme`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ClockTreeError
+from ..geometry import BBox, Point
+
+
+@dataclass(slots=True)
+class TopologyNode:
+    """A node of the abstract clock-tree topology."""
+
+    #: Sink name for leaves; synthesized name for internal nodes.
+    name: str
+    left: "TopologyNode | None" = None
+    right: "TopologyNode | None" = None
+    #: Leaf location (None for internal nodes until embedding).
+    location: Point | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def leaves(self) -> list["TopologyNode"]:
+        if self.is_leaf:
+            return [self]
+        out: list[TopologyNode] = []
+        if self.left is not None:
+            out.extend(self.left.leaves())
+        if self.right is not None:
+            out.extend(self.right.leaves())
+        return out
+
+    def internal_count(self) -> int:
+        if self.is_leaf:
+            return 0
+        count = 1
+        if self.left is not None:
+            count += self.left.internal_count()
+        if self.right is not None:
+            count += self.right.internal_count()
+        return count
+
+
+def build_topology(sinks: dict[str, Point]) -> TopologyNode:
+    """Balanced-bipartition topology over the named sink locations."""
+    if not sinks:
+        raise ClockTreeError("cannot build a clock tree with no sinks")
+    items = sorted(sinks.items())  # deterministic
+    counter = [0]
+
+    def recurse(chunk: list[tuple[str, Point]]) -> TopologyNode:
+        if len(chunk) == 1:
+            name, p = chunk[0]
+            return TopologyNode(name=name, location=p)
+        box = BBox.of_points([p for _, p in chunk])
+        if box.width >= box.height:
+            chunk = sorted(chunk, key=lambda item: (item[1].x, item[1].y))
+        else:
+            chunk = sorted(chunk, key=lambda item: (item[1].y, item[1].x))
+        half = len(chunk) // 2
+        left = recurse(chunk[:half])
+        right = recurse(chunk[half:])
+        counter[0] += 1
+        return TopologyNode(name=f"__m{counter[0]}", left=left, right=right)
+
+    return recurse(items)

@@ -1,0 +1,141 @@
+"""Unit conventions and technology constants.
+
+The whole library uses one consistent unit system:
+
+=============  =======  =========================================
+Quantity       Unit     Notes
+=============  =======  =========================================
+length         um       micrometer
+time           ps       picosecond
+resistance     ohm
+capacitance    fF       femtofarad; ohm * fF = 1e-3 ps
+inductance     pH       picohenry; sqrt(pH * fF) = 1e-3 ps... see
+                        :func:`oscillation_period_ps`
+power          mW
+voltage        V
+frequency      GHz      1 / (period in ns); f[GHz] = 1000 / T[ps]
+=============  =======  =========================================
+
+Interconnect parameters follow Berkeley Predictive Technology Model
+(BPTM) values for a 180 nm global-layer wire, the technology class the
+paper's experiments used ("The interconnect parameters are obtained from
+bptm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: ohm * fF expressed in ps (1 ohm * 1 fF = 1e-15 s = 1e-3 ps).
+OHM_FF_TO_PS = 1.0e-3
+
+#: Clock period used throughout the paper's experiments: 1 GHz operation.
+DEFAULT_CLOCK_PERIOD_PS = 1000.0
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process/technology parameters shared by every model in the library.
+
+    The defaults approximate a 180 nm BPTM global wire and a standard-cell
+    library of the ISCAS89/SIS era, matching the paper's experimental setup.
+    """
+
+    #: Wire resistance per unit length (ohm / um).
+    unit_resistance: float = 0.075
+    #: Wire capacitance per unit length (fF / um).
+    unit_capacitance: float = 0.118
+    #: Wire inductance per unit length (pH / um), used by the rotary
+    #: transmission-line model.
+    unit_inductance: float = 0.246
+    #: Flip-flop clock-pin input capacitance (fF).
+    flipflop_input_cap: float = 12.0
+    #: Logic-gate input capacitance per pin (fF).
+    gate_input_cap: float = 4.0
+    #: Buffer input capacitance (fF).
+    buffer_input_cap: float = 8.0
+    #: Gate intrinsic delay (ps).
+    gate_intrinsic_delay: float = 18.0
+    #: Gate drive resistance (ohm) for the linear delay model
+    #: ``d = intrinsic + R_drive * C_load``.
+    gate_drive_resistance: float = 800.0
+    #: Flip-flop setup time (ps).
+    setup_time: float = 40.0
+    #: Flip-flop hold time (ps).
+    hold_time: float = 20.0
+    #: Supply voltage (V).
+    vdd: float = 1.8
+    #: Switching activity of clock nets (always toggling).
+    clock_activity: float = 1.0
+    #: Switching activity assumed for signal nets (paper cites 0.15).
+    signal_activity: float = 0.15
+    #: Unit leakage current per unit transistor width (mA), for eq. (9).
+    unit_leakage_current: float = 1.0e-5
+    #: Gate size (unit widths) of one flip-flop, ``S_F`` in eq. (9).
+    flipflop_size: float = 24.0
+    #: Average inverter/gate size (unit widths) used for ``S`` in eq. (9).
+    gate_size: float = 6.0
+    #: Distance between buffers on long signal wires (um); used by the
+    #: floorplan-level buffer-count estimate of Alpert et al. [31] and by
+    #: the buffered-wire delay model in timing.
+    buffer_critical_length: float = 500.0
+    #: Buffer intrinsic delay (ps).
+    buffer_intrinsic_delay: float = 15.0
+    #: Buffer drive resistance (ohm).
+    buffer_drive_resistance: float = 600.0
+    #: Maximum capacitance one driver is allowed to see (fF); nets whose
+    #: load exceeds this get a buffer tree (modeled in the STA).
+    max_driver_load: float = 150.0
+    #: Branching factor of inserted buffer trees.
+    buffer_tree_branching: float = 4.0
+    #: Standard cell row height (um).
+    row_height: float = 12.0
+    #: Standard cell site width (um).
+    site_width: float = 3.0
+
+    def wire_delay(self, length: float, load_cap: float = 0.0) -> float:
+        """Elmore delay (ps) of a uniform wire of ``length`` um driving
+        ``load_cap`` fF: ``1/2 r c l^2 + r l C_load``.
+        """
+        r, c = self.unit_resistance, self.unit_capacitance
+        return (0.5 * r * c * length * length + r * length * load_cap) * OHM_FF_TO_PS
+
+    def wire_cap(self, length: float) -> float:
+        """Total capacitance (fF) of a wire of ``length`` um."""
+        return self.unit_capacitance * length
+
+    def wire_res(self, length: float) -> float:
+        """Total resistance (ohm) of a wire of ``length`` um."""
+        return self.unit_resistance * length
+
+
+#: Module-level default technology instance.
+DEFAULT_TECHNOLOGY = Technology()
+
+
+def frequency_ghz(period_ps: float) -> float:
+    """Convert a clock period in ps to a frequency in GHz."""
+    if period_ps <= 0.0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return 1000.0 / period_ps
+
+
+def period_ps(frequency_ghz_: float) -> float:
+    """Convert a frequency in GHz to a clock period in ps."""
+    if frequency_ghz_ <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz_}")
+    return 1000.0 / frequency_ghz_
+
+
+def oscillation_period_ps(total_inductance_ph: float, total_capacitance_ff: float) -> float:
+    """Rotary-ring oscillation period (ps) from eq. (2) of the paper.
+
+    ``f_osc = 1 / (2 sqrt(L_total C_total))`` so the period is
+    ``2 sqrt(L C)``.  With L in pH (1e-12 H) and C in fF (1e-15 F),
+    ``sqrt(pH * fF) = sqrt(1e-27) s = 1e-13.5 s``; expressed in ps the
+    period is ``2e-1.5 * sqrt(L[pH] * C[fF]) ps``.
+    """
+    if total_inductance_ph <= 0.0 or total_capacitance_ff <= 0.0:
+        raise ValueError("inductance and capacitance must be positive")
+    seconds = 2.0 * ((total_inductance_ph * 1e-12) * (total_capacitance_ff * 1e-15)) ** 0.5
+    return seconds * 1e12

@@ -1,0 +1,177 @@
+"""Tapping-cost matrices and the paper's evaluation metrics.
+
+The *tapping cost* ``c_ij`` of flip-flop ``i`` on ring ``j`` is the stub
+wirelength of the best Section-III tapping solution satisfying the
+flip-flop's clock-delay target.  This module builds the (pruned) cost
+matrix consumed by both assignment formulations, and computes the
+headline metrics of Tables III-VII:
+
+* **AFD** — average flip-flop distance = total tapping WL / #flip-flops;
+* **tapping WL / signal WL / total WL**;
+* **max load capacitance** per ring (Section VI objective);
+* **WCP** — wirelength-capacitance product (Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..constants import Technology
+from ..geometry import Point, net_hpwl, net_steiner_wl
+from ..netlist import Circuit
+from ..opt.mincostflow import FORBIDDEN_COST
+from ..rotary import RingArray, TappingSolution, best_tapping, stub_load_capacitance
+
+
+@dataclass(frozen=True, slots=True)
+class TappingCostMatrix:
+    """Pruned flip-flop x ring tapping-cost matrix."""
+
+    ff_names: tuple[str, ...]
+    #: ``costs[i, j]`` = stub wirelength (um), ``FORBIDDEN_COST`` if pruned.
+    costs: np.ndarray
+
+    @property
+    def num_flipflops(self) -> int:
+        return len(self.ff_names)
+
+    @property
+    def num_rings(self) -> int:
+        return int(self.costs.shape[1])
+
+    def capacitance_matrix(self, tech: Technology) -> np.ndarray:
+        """Load-capacitance matrix ``C_p[i, j]`` (fF) for Section VI.
+
+        Includes the stub wire capacitance and the flip-flop input
+        capacitance; pruned entries stay forbidden.
+        """
+        caps = np.where(
+            self.costs < FORBIDDEN_COST,
+            self.costs * tech.unit_capacitance + tech.flipflop_input_cap,
+            FORBIDDEN_COST,
+        )
+        return caps
+
+
+def tapping_cost_matrix(
+    array: RingArray,
+    positions: Mapping[str, Point],
+    targets: Mapping[str, float],
+    tech: Technology,
+    candidate_rings: int | None = 8,
+) -> TappingCostMatrix:
+    """Build the cost matrix for all flip-flops against the ring array.
+
+    ``candidate_rings`` prunes each flip-flop to its nearest rings (the
+    paper: "if a flip-flop and a ring are too far away from each other,
+    it is not necessary to insert an arc between them"); ``None`` builds
+    the full matrix.
+    """
+    ff_names = tuple(sorted(targets))
+    n_rings = array.num_rings
+    costs = np.full((len(ff_names), n_rings), FORBIDDEN_COST)
+    for i, name in enumerate(ff_names):
+        p = positions[name]
+        rings = (
+            array.rings
+            if candidate_rings is None
+            else array.rings_by_distance(p, candidate_rings)
+        )
+        for ring in rings:
+            sol = best_tapping(ring, p, targets[name], tech)
+            costs[i, ring.ring_id] = sol.wirelength
+    return TappingCostMatrix(ff_names=ff_names, costs=costs)
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """A flip-flop -> ring assignment plus its tapping solutions."""
+
+    ff_names: tuple[str, ...]
+    ring_of: dict[str, int]
+    solutions: dict[str, TappingSolution]
+
+    @property
+    def tapping_wirelength(self) -> float:
+        return sum(s.wirelength for s in self.solutions.values())
+
+    @property
+    def average_flipflop_distance(self) -> float:
+        """AFD: tapping wirelength averaged over flip-flops."""
+        n = len(self.ff_names)
+        return self.tapping_wirelength / n if n else 0.0
+
+    def ring_loads(self, array: RingArray, tech: Technology) -> np.ndarray:
+        """Per-ring load capacitance (fF): stub wires + flip-flop pins."""
+        loads = np.zeros(array.num_rings)
+        for name, sol in self.solutions.items():
+            loads[self.ring_of[name]] += stub_load_capacitance(
+                sol.wirelength, tech
+            )
+        return loads
+
+    def max_load_capacitance(self, array: RingArray, tech: Technology) -> float:
+        """The Section VI objective: max over rings of load capacitance."""
+        loads = self.ring_loads(array, tech)
+        return float(loads.max()) if loads.size else 0.0
+
+    def ring_occupancy(self, array: RingArray) -> np.ndarray:
+        """Flip-flop count per ring."""
+        occ = np.zeros(array.num_rings, dtype=int)
+        for ring_id in self.ring_of.values():
+            occ[ring_id] += 1
+        return occ
+
+
+def realize_assignment(
+    assign: np.ndarray,
+    matrix: TappingCostMatrix,
+    array: RingArray,
+    positions: Mapping[str, Point],
+    targets: Mapping[str, float],
+    tech: Technology,
+) -> Assignment:
+    """Re-solve the tapping of each flip-flop on its assigned ring.
+
+    ``assign[i]`` is the ring index of ``matrix.ff_names[i]``.
+    """
+    ring_of: dict[str, int] = {}
+    solutions: dict[str, TappingSolution] = {}
+    for i, name in enumerate(matrix.ff_names):
+        ring_id = int(assign[i])
+        ring_of[name] = ring_id
+        solutions[name] = best_tapping(
+            array[ring_id], positions[name], targets[name], tech
+        )
+    return Assignment(
+        ff_names=matrix.ff_names, ring_of=ring_of, solutions=solutions
+    )
+
+
+def signal_wirelength(
+    circuit: Circuit,
+    positions: Mapping[str, Point],
+    model: str = "hpwl",
+) -> float:
+    """Total signal-net wirelength (um) over the placed design.
+
+    ``model="hpwl"`` (default, the paper's metric) or ``model="steiner"``
+    for the rectilinear-Steiner estimate (exact for nets of <= 3 pins,
+    tighter for bigger nets).
+    """
+    if model not in ("hpwl", "steiner"):
+        raise ValueError(f"unknown wirelength model {model!r}")
+    estimate = net_hpwl if model == "hpwl" else net_steiner_wl
+    total = 0.0
+    for net in circuit.nets.values():
+        pins = [positions[m] for m in net.members if m in positions]
+        total += estimate(pins)
+    return total
+
+
+def wirelength_capacitance_product(total_wl: float, max_cap_ff: float) -> float:
+    """WCP (um * pF), the Table VII comparison metric."""
+    return total_wl * max_cap_ff * 1e-3  # fF -> pF

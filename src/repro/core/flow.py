@@ -1,0 +1,392 @@
+"""The integrated placement and skew optimization flow (Fig. 3).
+
+Stages, exactly as in Section IV of the paper:
+
+1. **Initial placement** — any placer, no clock awareness.
+2. **Skew optimization** — traditional max-slack scheduling on the placed
+   design (Section VII).
+3. **Flip-flop assignment** — each flip-flop is associated with a ring:
+   min-cost network flow (Section V) or the min-max-capacitance ILP
+   (Section VI).  No flip-flop moves.
+4. **Cost-driven skew optimization** — re-target delays so tapping points
+   slide toward the flip-flops (Section VII).
+5. **Evaluate** — overall cost = weighted tapping cost + signal
+   wirelength; stop when converged.
+6. **Pseudo-net insertion + incremental placement** — flip-flops are
+   pulled toward their rings by pseudo nets; the placer runs in stable
+   incremental mode; back to stage 3.
+
+The record after the first stage-3 pass is the paper's *base case*
+(Table III); the converged record is the Table IV result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
+from ..errors import ReproError
+from ..geometry import Point
+from ..netlist import Circuit
+from ..placement import (
+    IncrementalOptions,
+    PseudoNet,
+    QuadraticPlacer,
+    incremental_place,
+    legalize,
+    refine_placement,
+    region_for_circuit,
+)
+from ..rotary import RingArray
+from ..timing import SequentialTiming
+from .assignment_flow import network_flow_assignment
+from .assignment_ilp import MinMaxCapResult, ilp_assignment
+from .cost import (
+    Assignment,
+    signal_wirelength,
+    tapping_cost_matrix,
+)
+from .skew_cost_driven import cost_driven_schedule, ring_attractions
+from .skew_traditional import SkewSchedule, max_slack_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class FlowOptions:
+    """Configuration of the integrated flow."""
+
+    period: float = DEFAULT_CLOCK_PERIOD_PS
+    #: Maximum stage 3-6 iterations (the paper converges within five).
+    max_iterations: int = 5
+    #: Pseudo-net spring weight (stage 5).
+    pseudo_net_weight: float = 0.5
+    #: Candidate rings per flip-flop in the assignment network.
+    candidate_rings: int = 8
+    #: Ring capacity headroom over a perfectly uniform spread (Section V).
+    capacity_headroom: float = 1.5
+    #: Assignment engine: Section V ("flow") or Section VI ("ilp").
+    assignment: Literal["flow", "ilp"] = "flow"
+    #: Cost-driven skew formulation (Section VII).
+    skew_mode: Literal["weighted", "minmax"] = "weighted"
+    #: Guaranteed slack as a fraction of the stage-2 optimum.
+    slack_fraction: float = 0.25
+    #: Stop when the overall cost improves by less than this fraction.
+    convergence_tol: float = 0.01
+    #: Weight of tapping cost in the stage-5 overall cost.
+    tapping_weight: float = 1.0
+    #: Ring array grid side; ``None`` derives one from the flip-flop count.
+    ring_grid_side: int | None = None
+    #: Placement row utilization.
+    utilization: float = 0.5
+    #: Stability anchor weight for the incremental placement.
+    stability_weight: float = 0.02
+    #: Run the greedy relocate/swap detailed-placement pass after the
+    #: initial placement (improves signal HPWL at extra CPU cost).
+    detailed_refinement: bool = False
+    #: Build Section IX local clock trees as a post-pass: flip-flops
+    #: tapped near the same ring point share one zero-skew subtree when
+    #: that saves wire and the merged targets stay timing-feasible.
+    local_trees: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class IterationRecord:
+    """Metrics captured at stage 5 of one iteration."""
+
+    iteration: int
+    tapping_wirelength: float
+    signal_wirelength: float
+    average_flipflop_distance: float
+    max_load_capacitance: float
+    overall_cost: float
+    seconds: float
+
+    @property
+    def total_wirelength(self) -> float:
+        return self.tapping_wirelength + self.signal_wirelength
+
+
+@dataclass(frozen=True, slots=True)
+class FlowResult:
+    """Everything produced by one run of the integrated flow."""
+
+    circuit_name: str
+    positions: dict[str, Point]
+    assignment: Assignment
+    schedule: SkewSchedule
+    array: RingArray
+    base: IterationRecord
+    final: IterationRecord
+    history: tuple[IterationRecord, ...]
+    #: Optimal stage-2 slack and the slack guaranteed during stage 4.
+    slack_available: float
+    slack_guaranteed: float
+    seconds_algorithm: float
+    seconds_placer: float
+    #: Populated when the ILP assignment engine ran (Section VI).
+    ilp_stats: MinMaxCapResult | None = None
+    #: Populated when the Section IX local-tree post-pass ran.
+    local_trees: "object | None" = None
+
+    @property
+    def tapping_improvement(self) -> float:
+        """Fractional tapping-WL reduction vs the base case."""
+        if self.base.tapping_wirelength <= 0.0:
+            return 0.0
+        return 1.0 - self.final.tapping_wirelength / self.base.tapping_wirelength
+
+    @property
+    def signal_penalty(self) -> float:
+        """Fractional signal-WL increase vs the base case."""
+        if self.base.signal_wirelength <= 0.0:
+            return 0.0
+        return self.final.signal_wirelength / self.base.signal_wirelength - 1.0
+
+    @property
+    def total_improvement(self) -> float:
+        """Fractional total-WL reduction vs the base case."""
+        if self.base.total_wirelength <= 0.0:
+            return 0.0
+        return 1.0 - self.final.total_wirelength / self.base.total_wirelength
+
+
+class IntegratedFlow:
+    """Runs the Fig. 3 methodology on one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        tech: Technology = DEFAULT_TECHNOLOGY,
+        options: FlowOptions | None = None,
+    ):
+        self.circuit = circuit
+        self.tech = tech
+        self.options = options or FlowOptions()
+        self._ffs = [ff.name for ff in circuit.flip_flops]
+        if not self._ffs:
+            raise ReproError(f"circuit {circuit.name} has no flip-flops")
+
+    # ------------------------------------------------------------------
+    def run(self) -> FlowResult:
+        opts = self.options
+        t_alg = 0.0
+        t_placer = 0.0
+
+        # Stage 1: initial placement.
+        tic = time.monotonic()
+        region = region_for_circuit(self.circuit, self.tech, opts.utilization)
+        placer = QuadraticPlacer(self.circuit, region)
+        legal = legalize(placer.place(), region)
+        positions: dict[str, Point] = dict(placer.fixed_positions)
+        positions.update(legal.positions)
+        if opts.detailed_refinement:
+            refined = refine_placement(self.circuit, region, positions)
+            positions = refined.positions
+        t_placer += time.monotonic() - tic
+
+        # Stage 2: traditional max-slack skew optimization.
+        tic = time.monotonic()
+        timing = SequentialTiming(self.circuit, positions, self.tech)
+        schedule = max_slack_schedule(
+            timing.pairs, self._ffs, opts.period, self.tech
+        )
+        slack_available = schedule.slack
+        # Guarantee a fraction of the achievable slack; if the design
+        # cannot even reach zero slack, guarantee what is achievable so
+        # the cost-driven LP stays feasible.
+        if slack_available >= 0.0:
+            slack_guaranteed = slack_available * opts.slack_fraction
+        else:
+            slack_guaranteed = slack_available
+
+        # Ring array sized to the die.
+        side = opts.ring_grid_side or _default_ring_side(len(self._ffs))
+        array = RingArray(region.bbox, side, opts.period)
+        t_alg += time.monotonic() - tic
+
+        base: IterationRecord | None = None
+        history: list[IterationRecord] = []
+        assignment: Assignment | None = None
+        ilp_stats: MinMaxCapResult | None = None
+        prev_cost = float("inf")
+        # Best iterate seen: (record, assignment, schedule, positions).
+        best: tuple[IterationRecord, Assignment, SkewSchedule, dict[str, Point]] | None = None
+
+        for iteration in range(1, opts.max_iterations + 1):
+            tic = time.monotonic()
+            # Stage 3: flip-flop assignment.
+            targets = schedule.normalized(opts.period).targets
+            matrix = tapping_cost_matrix(
+                array, positions, targets, self.tech, opts.candidate_rings
+            )
+            if opts.assignment == "flow":
+                capacities = [
+                    int(c)
+                    for c in array.default_capacities(
+                        len(self._ffs), opts.capacity_headroom
+                    )
+                ]
+                assignment = network_flow_assignment(
+                    matrix, array, positions, targets, self.tech, capacities
+                )
+            else:
+                assignment, ilp_stats = ilp_assignment(
+                    matrix, array, positions, targets, self.tech
+                )
+
+            if base is None:
+                base = self._record(0, assignment, positions, array, 0.0)
+
+            # Stage 4: cost-driven skew optimization.
+            attractions = ring_attractions(
+                assignment.ring_of, positions, schedule.targets, array, self.tech
+            )
+            schedule = cost_driven_schedule(
+                attractions,
+                timing.pairs,
+                self._ffs,
+                opts.period,
+                self.tech,
+                slack=slack_guaranteed,
+                mode=opts.skew_mode,
+            )
+            # Re-realize tappings under the new targets (same rings).
+            targets = schedule.normalized(opts.period).targets
+            assignment = _retarget(
+                assignment, array, positions, targets, self.tech
+            )
+
+            # Stage 5: evaluate.
+            seconds = time.monotonic() - tic
+            t_alg += seconds
+            record = self._record(
+                iteration, assignment, positions, array, seconds
+            )
+            history.append(record)
+            if best is None or record.overall_cost < best[0].overall_cost:
+                best = (record, assignment, schedule, dict(positions))
+            if prev_cost - record.overall_cost < opts.convergence_tol * max(
+                prev_cost, 1e-9
+            ) and iteration > 1:
+                break
+            prev_cost = record.overall_cost
+            if iteration == opts.max_iterations:
+                break
+
+            # Stage 6: pseudo nets + stable incremental placement.
+            tic = time.monotonic()
+            pseudo = [
+                PseudoNet(ff, sol.point, opts.pseudo_net_weight)
+                for ff, sol in assignment.solutions.items()
+            ]
+            inc = incremental_place(
+                self.circuit,
+                region,
+                positions,
+                pseudo,
+                IncrementalOptions(
+                    stability_weight=opts.stability_weight,
+                    pseudo_net_weight=opts.pseudo_net_weight,
+                ),
+            )
+            positions = dict(placer.fixed_positions)
+            positions.update(inc.positions)
+            t_placer += time.monotonic() - tic
+
+            tic = time.monotonic()
+            timing = SequentialTiming(self.circuit, positions, self.tech)
+            t_alg += time.monotonic() - tic
+
+        assert base is not None and best is not None and history
+        # Return the best-cost iterate (min-max skew mode in particular can
+        # trade total tapping cost while optimizing the max).
+        best_record, best_assignment, best_schedule, best_positions = best
+
+        local_tree_result = None
+        if opts.local_trees:
+            tic = time.monotonic()
+            # Lazy import: clocktree.local_trees depends on core.cost.
+            from ..clocktree.local_trees import build_local_trees
+
+            best_timing = SequentialTiming(
+                self.circuit, best_positions, self.tech
+            )
+            local_tree_result = build_local_trees(
+                best_assignment,
+                array,
+                best_positions,
+                best_schedule.targets,
+                best_timing.pairs,
+                self.tech,
+                period=opts.period,
+                slack=slack_guaranteed,
+            )
+            t_alg += time.monotonic() - tic
+
+        return FlowResult(
+            circuit_name=self.circuit.name,
+            positions=best_positions,
+            assignment=best_assignment,
+            schedule=best_schedule,
+            array=array,
+            base=base,
+            final=best_record,
+            history=tuple(history),
+            slack_available=slack_available,
+            slack_guaranteed=slack_guaranteed,
+            seconds_algorithm=t_alg,
+            seconds_placer=t_placer,
+            ilp_stats=ilp_stats,
+            local_trees=local_tree_result,
+        )
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        iteration: int,
+        assignment: Assignment,
+        positions: dict[str, Point],
+        array: RingArray,
+        seconds: float,
+    ) -> IterationRecord:
+        tap = assignment.tapping_wirelength
+        sig = signal_wirelength(self.circuit, positions)
+        return IterationRecord(
+            iteration=iteration,
+            tapping_wirelength=tap,
+            signal_wirelength=sig,
+            average_flipflop_distance=assignment.average_flipflop_distance,
+            max_load_capacitance=assignment.max_load_capacitance(
+                array, self.tech
+            ),
+            overall_cost=self.options.tapping_weight * tap + sig,
+            seconds=seconds,
+        )
+
+
+def _retarget(
+    assignment: Assignment,
+    array: RingArray,
+    positions: dict[str, Point],
+    targets: dict[str, float],
+    tech: Technology,
+) -> Assignment:
+    """Recompute tapping solutions for the existing ring assignment."""
+    from ..rotary import best_tapping
+
+    solutions = {
+        ff: best_tapping(array[ring_id], positions[ff], targets[ff], tech)
+        for ff, ring_id in assignment.ring_of.items()
+    }
+    return Assignment(
+        ff_names=assignment.ff_names,
+        ring_of=dict(assignment.ring_of),
+        solutions=solutions,
+    )
+
+
+def _default_ring_side(num_flipflops: int) -> int:
+    """Heuristic ring-grid side: ~32 flip-flops per ring."""
+    side = max(2, round((num_flipflops / 32.0) ** 0.5))
+    return side

@@ -1,0 +1,96 @@
+"""Ring-count exploration (the paper's §IX second future-work item).
+
+"Our formulations take the number of rotary rings as part of the input.
+A better approach would be to integrate the number of rings as a variable
+in our methodology."
+
+This module sweeps the ring-grid side, runs the integrated flow at each
+candidate, and scores the outcomes.  More rings shorten tapping stubs but
+add ring wire (and its capacitance/power); the sweep exposes the knee.
+The score combines tapping cost and amortized ring wirelength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..constants import Technology
+from ..netlist import Circuit
+from .flow import FlowOptions, FlowResult, IntegratedFlow
+
+
+@dataclass(frozen=True, slots=True)
+class RingSweepPoint:
+    """Outcome of the flow at one ring-grid size."""
+
+    grid_side: int
+    num_rings: int
+    ring_wirelength: float  # total loop length of the array (um)
+    result: FlowResult
+
+    @property
+    def tapping_wirelength(self) -> float:
+        return self.result.final.tapping_wirelength
+
+    @property
+    def clock_wirelength(self) -> float:
+        """Tapping stubs plus the rings themselves."""
+        return self.tapping_wirelength + self.ring_wirelength
+
+    @property
+    def max_load_capacitance(self) -> float:
+        return self.result.final.max_load_capacitance
+
+
+@dataclass(frozen=True, slots=True)
+class RingSweepResult:
+    """The full sweep plus the selected point."""
+
+    points: tuple[RingSweepPoint, ...]
+    best: RingSweepPoint
+
+    def as_rows(self) -> list[dict[str, float]]:
+        return [
+            {
+                "grid_side": p.grid_side,
+                "rings": p.num_rings,
+                "tapping_wl_um": p.tapping_wirelength,
+                "ring_wl_um": p.ring_wirelength,
+                "clock_wl_um": p.clock_wirelength,
+                "afd_um": p.result.final.average_flipflop_distance,
+                "max_cap_ff": p.max_load_capacitance,
+                "selected": float(p is self.best),
+            }
+            for p in self.points
+        ]
+
+
+def sweep_ring_count(
+    circuit: Circuit,
+    tech: Technology,
+    options: FlowOptions,
+    grid_sides: Sequence[int] = (2, 3, 4, 5, 6, 7),
+) -> RingSweepResult:
+    """Run the flow per candidate grid side and pick the clock-wire knee.
+
+    The selection objective is total clock wirelength (stubs + rings);
+    ties break toward fewer rings (less ring power).
+    """
+    if not grid_sides:
+        raise ValueError("grid_sides must be non-empty")
+    points: list[RingSweepPoint] = []
+    for side in grid_sides:
+        opts = replace(options, ring_grid_side=side)
+        result = IntegratedFlow(circuit, tech, opts).run()
+        ring_wl = sum(ring.perimeter for ring in result.array)
+        points.append(
+            RingSweepPoint(
+                grid_side=side,
+                num_rings=result.array.num_rings,
+                ring_wirelength=ring_wl,
+                result=result,
+            )
+        )
+    best = min(points, key=lambda p: (p.clock_wirelength, p.num_rings))
+    return RingSweepResult(points=tuple(points), best=best)

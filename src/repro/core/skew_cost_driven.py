@@ -1,0 +1,178 @@
+"""Cost-driven skew optimization (Section VII, stage 4 of the flow).
+
+After flip-flops are assigned to rings, re-optimize the delay targets so
+each target becomes reachable from the point ``c`` on its ring *closest*
+to the flip-flop — the tapping cost is then (nearly) the shortest
+flip-flop-to-ring distance.  For flip-flop ``i``:
+
+* ``c``   = nearest loop point, ``l_i`` = distance to it,
+* ``t_c`` = clock delay at ``c`` (the rings are phase-locked, so
+  ``t_c = t_ref + t_ref,c``),
+* ``t_{c,i}`` = stub Elmore delay over ``l_i``,
+* the achievable delay is ``t_i = t_c + t_{c,i}``.
+
+Two LP formulations, both subject to the timing constraints at a
+prespecified slack ``M``:
+
+* **min-max** — minimize ``Delta`` with
+  ``t_c + 2 t_{c,i} - t̂_i <= Delta`` and ``t̂_i - t_c <= Delta``
+  (equivalent to ``|t_i - t̂_i| + t_{c,i} <= Delta``);
+* **weighted-sum** — minimize ``sum_i w_i delta_i`` with
+  ``|t_i - t̂_i| <= delta_i`` and the natural weights ``w_i = l_i``
+  (work hardest on flip-flops far from their rings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+from ..constants import Technology
+from ..errors import SkewOptimizationError
+from ..geometry import Point
+from ..opt.lp import LinearProgram
+from ..rotary import RingArray, stub_delay
+from ..timing import PathBounds
+from .skew_traditional import SkewSchedule
+
+
+@dataclass(frozen=True, slots=True)
+class RingAttraction:
+    """Per flip-flop: the nearest ring point and its achievable delay."""
+
+    ff: str
+    nearest_point: Point
+    distance: float  # l_i (um)
+    delay_at_point: float  # t_c (ps), phase-adjusted near the current target
+    stub_delay: float  # t_{c,i} (ps)
+
+    @property
+    def achievable_delay(self) -> float:
+        """t_i = t_c + t_{c,i}."""
+        return self.delay_at_point + self.stub_delay
+
+
+def ring_attractions(
+    ring_of: Mapping[str, int],
+    positions: Mapping[str, Point],
+    current: Mapping[str, float],
+    array: RingArray,
+    tech: Technology,
+) -> dict[str, RingAttraction]:
+    """Compute ``(c, l_i, t_c, t_{c,i})`` for every assigned flip-flop.
+
+    The ring offers two complementary phases at ``c`` and repeats every
+    period; the candidate delay closest to the flip-flop's *current*
+    target is chosen so the LP pulls the target the short way around.
+    """
+    period = array.period
+    out: dict[str, RingAttraction] = {}
+    for ff, ring_id in ring_of.items():
+        ring = array[ring_id]
+        p = positions[ff]
+        point, dist = ring.nearest_point(p)
+        t_stub = stub_delay(dist, tech)
+        target = current[ff]
+        best_tc = None
+        best_err = None
+        for tc in ring.delay_candidates_at(p):
+            # Shift tc by whole periods to land nearest the current target.
+            k = round((target - (tc + t_stub)) / period)
+            tc_adj = tc + k * period
+            err = abs(tc_adj + t_stub - target)
+            if best_err is None or err < best_err:
+                best_tc, best_err = tc_adj, err
+        assert best_tc is not None
+        out[ff] = RingAttraction(
+            ff=ff,
+            nearest_point=point,
+            distance=dist,
+            delay_at_point=best_tc,
+            stub_delay=t_stub,
+        )
+    return out
+
+
+def _add_timing_constraints(
+    lp: LinearProgram,
+    pairs: Mapping[tuple[str, str], PathBounds],
+    period: float,
+    tech: Technology,
+    slack: float,
+) -> None:
+    from .skew_traditional import _skew_coeffs
+
+    for (i, j), b in pairs.items():
+        lp.add_constraint(
+            _skew_coeffs(i, j, {}),
+            "<=",
+            period - b.d_max - tech.setup_time - slack,
+        )
+        lp.add_constraint(
+            _skew_coeffs(j, i, {}),
+            "<=",
+            b.d_min - tech.hold_time - slack,
+        )
+
+
+def cost_driven_schedule(
+    attractions: Mapping[str, RingAttraction],
+    pairs: Mapping[tuple[str, str], PathBounds],
+    flip_flops: list[str],
+    period: float,
+    tech: Technology,
+    slack: float = 0.0,
+    mode: Literal["minmax", "weighted"] = "weighted",
+) -> SkewSchedule:
+    """Solve the cost-driven skew LP; returns the new schedule.
+
+    ``slack`` is the prespecified guaranteed slack ``M`` (the paper keeps
+    timing safe while trading the rest of the permissible range for
+    tapping cost).
+    """
+    if not flip_flops:
+        raise SkewOptimizationError("no flip-flops to schedule")
+    if mode not in ("minmax", "weighted"):
+        raise SkewOptimizationError(f"unknown cost-driven mode {mode!r}")
+
+    lp = LinearProgram(f"cost_driven_skew_{mode}")
+    for ff in flip_flops:
+        lp.add_var(f"t_{ff}", lb=float("-inf"))
+    _add_timing_constraints(lp, pairs, period, tech, slack)
+
+    if mode == "minmax":
+        lp.add_var("delta", lb=0.0)
+        for ff in flip_flops:
+            att = attractions.get(ff)
+            if att is None:
+                continue
+            t_c = att.delay_at_point
+            # t_c + 2 t_{c,i} - t̂_i <= Delta ; t̂_i - t_c <= Delta
+            lp.add_constraint(
+                {f"t_{ff}": -1.0, "delta": -1.0},
+                "<=",
+                -(t_c + 2.0 * att.stub_delay),
+            )
+            lp.add_constraint({f"t_{ff}": 1.0, "delta": -1.0}, "<=", t_c)
+        lp.set_objective({"delta": 1.0})
+    else:
+        objective: dict[str, float] = {}
+        for ff in flip_flops:
+            att = attractions.get(ff)
+            if att is None:
+                continue
+            lp.add_var(f"d_{ff}", lb=0.0)
+            t_i = att.achievable_delay
+            # |t̂_i - t_i| <= delta_i
+            lp.add_constraint({f"t_{ff}": 1.0, f"d_{ff}": -1.0}, "<=", t_i)
+            lp.add_constraint({f"t_{ff}": -1.0, f"d_{ff}": -1.0}, "<=", -t_i)
+            # Natural weights: w_i = l_i (+ epsilon so near-ring flip-flops
+            # are not entirely ignored).
+            objective[f"d_{ff}"] = att.distance + 1e-3
+        if not objective:
+            raise SkewOptimizationError("no ring attractions provided")
+        lp.set_objective(objective)
+
+    sol = lp.solve()
+    targets = {ff: sol.values[f"t_{ff}"] for ff in flip_flops}
+    return SkewSchedule(targets=targets, slack=slack)

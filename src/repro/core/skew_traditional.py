@@ -1,0 +1,106 @@
+"""Traditional max-slack skew optimization (Section VII, eqs. (5)-(7)).
+
+Fishburn's formulation: find clock arrival targets ``t_i`` maximizing the
+common slack ``M`` subject to long-path (setup) and short-path (hold)
+constraints over all sequentially adjacent flip-flop pairs:
+
+    maximize   M
+    subject to t_i - t_j + M <= T - D_max^ij - t_setup     (i -> j)
+               t_i - t_j >= M + t_hold - D_min^ij          (i -> j)
+
+Solvable by LP [4] or graph algorithms [23], [24]; both are provided and
+cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+from ..constants import Technology
+from ..errors import SkewOptimizationError
+from ..opt.diffconstraints import maximize_slack
+from ..opt.lp import LinearProgram
+from ..timing import PathBounds, skew_constraints
+
+
+@dataclass(frozen=True, slots=True)
+class SkewSchedule:
+    """A clock-arrival schedule with its guaranteed slack."""
+
+    targets: dict[str, float]
+    slack: float
+
+    def __getitem__(self, ff: str) -> float:
+        return self.targets[ff]
+
+    def normalized(self, period: float) -> "SkewSchedule":
+        """Targets folded into ``[0, T)`` — phase is all the rotary ring
+        needs, and folding keeps the tapping solver's Case 1 counters
+        small.  Skews (differences) are preserved only modulo ``T``,
+        which is exactly the rotary-clock semantics."""
+        return SkewSchedule(
+            targets={k: v % period for k, v in self.targets.items()},
+            slack=self.slack,
+        )
+
+
+def _skew_coeffs(plus: str, minus: str, extra: dict[str, float]) -> dict[str, float]:
+    """Coefficients of ``t_plus - t_minus`` plus extra terms, summing
+    collisions (so self-loop pairs cancel instead of clobbering)."""
+    coeffs = dict(extra)
+    for var, coef in ((f"t_{plus}", 1.0), (f"t_{minus}", -1.0)):
+        coeffs[var] = coeffs.get(var, 0.0) + coef
+    return {v: c for v, c in coeffs.items() if c != 0.0}
+
+
+def max_slack_schedule(
+    pairs: Mapping[tuple[str, str], PathBounds],
+    flip_flops: list[str],
+    period: float,
+    tech: Technology,
+    backend: Literal["lp", "graph"] = "lp",
+) -> SkewSchedule:
+    """Solve the max-slack problem; returns targets plus the optimum M."""
+    if not flip_flops:
+        raise SkewOptimizationError("no flip-flops to schedule")
+    if backend == "graph":
+        constraints = skew_constraints(pairs, period, tech)
+        slack, schedule = maximize_slack(flip_flops, constraints)
+        # Unconstrained flip-flops default to zero skew.
+        targets = {ff: schedule.get(ff, 0.0) for ff in flip_flops}
+        return SkewSchedule(targets=targets, slack=slack)
+    if backend != "lp":
+        raise SkewOptimizationError(f"unknown skew backend {backend!r}")
+
+    lp = LinearProgram("max_slack_skew")
+    for ff in flip_flops:
+        lp.add_var(f"t_{ff}", lb=float("-inf"))
+    # M is capped at one period: an acyclic sequential graph would make
+    # the slack unbounded, and slack beyond T has no physical meaning.
+    lp.add_var("M", lb=float("-inf"), ub=period)
+    for (i, j), b in pairs.items():
+        # t_i - t_j + M <= T - Dmax - setup.  Self-loop pairs (i == j)
+        # cancel the t terms and constrain M alone.
+        lp.add_constraint(
+            _skew_coeffs(i, j, {"M": 1.0}),
+            "<=",
+            period - b.d_max - tech.setup_time,
+        )
+        # t_i - t_j >= M + hold - Dmin  <=>  t_j - t_i + M <= Dmin - hold
+        lp.add_constraint(
+            _skew_coeffs(j, i, {"M": 1.0}),
+            "<=",
+            b.d_min - tech.hold_time,
+        )
+    # Pin one reference to remove the schedule's translation freedom.
+    lp.add_constraint({f"t_{flip_flops[0]}": 1.0}, "==", 0.0)
+    lp.set_objective({"M": -1.0})  # maximize M
+    sol = lp.solve()
+    targets = {ff: sol.values[f"t_{ff}"] for ff in flip_flops}
+    return SkewSchedule(targets=targets, slack=sol.values["M"])
+
+
+def zero_skew_schedule(flip_flops: list[str]) -> SkewSchedule:
+    """The conventional-design reference: every target zero."""
+    return SkewSchedule(targets={ff: 0.0 for ff in flip_flops}, slack=0.0)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses communicate which subsystem rejected the
+input or failed to converge.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class NetlistError(ReproError):
+    """Malformed netlist: dangling pins, duplicate names, bad .bench syntax."""
+
+
+class BenchParseError(NetlistError):
+    """Syntax error while parsing an ISCAS89 ``.bench`` file."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class PlacementError(ReproError):
+    """Placement failure: region too small, legalization overflow, etc."""
+
+
+class TimingError(ReproError):
+    """Static timing failure: combinational cycles, unreachable pins."""
+
+
+class CombinationalCycleError(TimingError):
+    """The combinational portion of the netlist contains a cycle."""
+
+    def __init__(self, cycle_members: list[str]):
+        self.cycle_members = list(cycle_members)
+        preview = ", ".join(self.cycle_members[:8])
+        if len(self.cycle_members) > 8:
+            preview += ", ..."
+        super().__init__(f"combinational cycle through: {preview}")
+
+
+class RotaryError(ReproError):
+    """Rotary ring / tapping model failure."""
+
+
+class TappingError(RotaryError):
+    """No feasible tapping point could be constructed for a flip-flop."""
+
+
+class OptimizationError(ReproError):
+    """An optimization kernel failed (infeasible model, solver breakdown)."""
+
+
+class InfeasibleError(OptimizationError):
+    """The optimization model has no feasible solution."""
+
+
+class UnboundedError(OptimizationError):
+    """The optimization model is unbounded."""
+
+
+class AssignmentError(ReproError):
+    """Flip-flop to ring assignment failure (e.g., insufficient capacity)."""
+
+
+class SkewOptimizationError(ReproError):
+    """Skew scheduling failure: inconsistent timing constraints."""
+
+
+class ClockTreeError(ReproError):
+    """Clock-tree synthesis failure."""

@@ -1,0 +1,200 @@
+"""Data-series generators for every figure in the paper.
+
+Figures 1-5 are conceptual rather than measured plots; each function here
+regenerates the underlying data so the figure could be re-drawn:
+
+* Fig. 1  — clock phase around a ring / equal-phase points of an array;
+* Fig. 2  — the two-parabola tapping-delay curve ``t_f(x)`` with the four
+  target cases;
+* Fig. 3  — the methodology flow's convergence trace (cost vs iteration);
+* Fig. 4  — the structure of the assignment flow network;
+* Fig. 5  — greedy rounding behaviour (fractionality, IG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import OHM_FF_TO_PS, Technology
+from ..core import FlowResult, solve_minmax_cap, tapping_cost_matrix
+from ..geometry import BBox, Point
+from ..opt.mincostflow import FORBIDDEN_COST
+from ..rotary import RingArray, RotaryRing
+from .runner import ExperimentSuite
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — ring phases and array equal-phase points
+# ---------------------------------------------------------------------------
+def fig1_ring_phases(
+    ring: RotaryRing, samples: int = 16
+) -> list[dict[str, float]]:
+    """Phase (degrees) at evenly spaced points around one ring."""
+    out = []
+    for k in range(samples):
+        s = ring.perimeter * k / samples
+        p_frac = s / ring.perimeter
+        out.append(
+            {
+                "arc_length_um": s,
+                "fraction_of_loop": p_frac,
+                "phase_deg": ring.phase_at_arclength(s),
+                "delay_ps": ring.delay_at_arclength(s),
+            }
+        )
+    return out
+
+
+def fig1_array_equal_phase_points(array: RingArray) -> list[dict[str, float]]:
+    """The equal-phase reference point of every ring in the array.
+
+    In the phase-locked steady state all rings share the reference delay
+    at these points — the small triangles of Fig. 1(b).
+    """
+    rows = []
+    for ring in array:
+        ref = ring.corners()[0]
+        rows.append(
+            {
+                "ring_id": float(ring.ring_id),
+                "x_um": ref.x,
+                "y_um": ref.y,
+                "reference_delay_ps": ring.reference_delay,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — the tapping-delay curve
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TappingCurve:
+    """Sampled ``t_f(x)`` plus the curve's analytic landmarks."""
+
+    x_um: np.ndarray
+    delay_ps: np.ndarray
+    #: x of the non-differentiable joint (the flip-flop's projection).
+    joint_x_um: float
+    #: Minimum of the curve.
+    min_delay_ps: float
+    max_delay_ps: float
+
+    def case_targets(self) -> dict[str, float]:
+        """Representative delay targets for the paper's four cases."""
+        span = self.max_delay_ps - self.min_delay_ps
+        return {
+            "case1_below_curve": self.min_delay_ps - 0.25 * span,
+            "case2_two_solutions": self.min_delay_ps + 0.25 * span,
+            "case3_unique_solution": self.min_delay_ps + 0.75 * span,
+            "case4_above_curve": self.max_delay_ps + 0.25 * span,
+        }
+
+
+def fig2_tapping_curve(
+    tech: Technology,
+    segment_length: float = 200.0,
+    rho: float = 1.25,
+    t0: float = 0.0,
+    ff_x: float = 120.0,
+    ff_y: float = 40.0,
+    samples: int = 201,
+) -> TappingCurve:
+    """Sample ``t_f(x) = t0 + rho x + 1/2 r c l^2 + r l C_ff`` over a segment.
+
+    Defaults reproduce the two-parabola shape of Fig. 2 with the joint at
+    ``x = x_f``.
+    """
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    cf = tech.flipflop_input_cap
+    x = np.linspace(0.0, segment_length, samples)
+    stub = np.abs(x - ff_x) + ff_y
+    delay = t0 + rho * x + OHM_FF_TO_PS * (0.5 * r * c * stub**2 + r * cf * stub)
+    return TappingCurve(
+        x_um=x,
+        delay_ps=delay,
+        joint_x_um=ff_x,
+        min_delay_ps=float(delay.min()),
+        max_delay_ps=float(delay.max()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — flow convergence
+# ---------------------------------------------------------------------------
+def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
+    """Overall cost / tapping WL / signal WL per iteration of the flow."""
+    rows = [
+        {
+            "iteration": 0.0,
+            "tapping_wl_um": result.base.tapping_wirelength,
+            "signal_wl_um": result.base.signal_wirelength,
+            "overall_cost": result.base.overall_cost,
+        }
+    ]
+    for rec in result.history:
+        rows.append(
+            {
+                "iteration": float(rec.iteration),
+                "tapping_wl_um": rec.tapping_wirelength,
+                "signal_wl_um": rec.signal_wirelength,
+                "overall_cost": rec.overall_cost,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — assignment network structure
+# ---------------------------------------------------------------------------
+def fig4_network_structure(suite: ExperimentSuite, name: str) -> dict[str, float]:
+    """Node/arc counts of the Fig. 4 min-cost flow model for one circuit."""
+    exp = suite.run(name)
+    targets = exp.flow.schedule.normalized(suite.options.period).targets
+    matrix = tapping_cost_matrix(
+        exp.flow.array,
+        exp.flow.positions,
+        targets,
+        suite.tech,
+        suite.options.candidate_rings,
+    )
+    finite = int((matrix.costs < FORBIDDEN_COST).sum())
+    n_ff = matrix.num_flipflops
+    n_rings = matrix.num_rings
+    return {
+        "flip_flop_nodes": float(n_ff),
+        "ring_nodes": float(n_rings),
+        "source_sink_nodes": 2.0,
+        "ff_ring_arcs": float(finite),
+        "source_arcs": float(n_ff),
+        "sink_arcs": float(n_rings),
+        "pruned_arcs": float(n_ff * n_rings - finite),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — greedy rounding behaviour
+# ---------------------------------------------------------------------------
+def fig5_greedy_rounding(suite: ExperimentSuite, name: str) -> dict[str, float]:
+    """LP fractionality and rounding quality for one circuit."""
+    exp = suite.run(name)
+    targets = exp.ilp.schedule.normalized(suite.options.period).targets
+    matrix = tapping_cost_matrix(
+        exp.ilp.array,
+        exp.ilp.positions,
+        targets,
+        suite.tech,
+        suite.options.candidate_rings,
+    )
+    cap = matrix.capacitance_matrix(suite.tech)
+    res = solve_minmax_cap(cap)
+    return {
+        "lp_bound_ff": res.lp_bound,
+        "rounded_max_cap_ff": res.ilp_value,
+        "integrality_gap": res.integrality_gap,
+        "integral_row_fraction": res.integral_fraction,
+        "solve_seconds": res.solve_seconds,
+    }

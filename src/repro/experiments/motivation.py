@@ -1,0 +1,71 @@
+"""The paper's §II motivation, quantified: zero skew wastes rotary rings.
+
+"Since at each spot on a rotary clock ring, the clock signal has a
+distinct phase, a zero clock skew design implies that only one spot on
+each ring can be utilized. [...] such usage of rotary clock is very
+inefficient.  In order to fully utilize rotary clock, intentional skew
+design is a much better choice."
+
+This experiment taps the same placed flip-flops twice — once with the
+zero-skew schedule (every target 0, so every flip-flop must reach its
+ring's unique zero-phase point, snaking as needed) and once with the
+optimized intentional-skew schedule — and compares tapping cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runner import ExperimentSuite
+from ..core import network_flow_assignment, tapping_cost_matrix, zero_skew_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class ZeroSkewComparison:
+    """Tapping cost of zero skew vs the optimized schedule."""
+
+    circuit: str
+    zero_skew_tapping_wl: float
+    scheduled_tapping_wl: float
+    zero_skew_snaked: int
+    scheduled_snaked: int
+
+    @property
+    def penalty_factor(self) -> float:
+        """How many times more tapping wire zero skew needs."""
+        if self.scheduled_tapping_wl <= 0.0:
+            return float("inf")
+        return self.zero_skew_tapping_wl / self.scheduled_tapping_wl
+
+
+def zero_skew_comparison(suite: ExperimentSuite, name: str) -> ZeroSkewComparison:
+    """Run the §II comparison on one circuit of the suite."""
+    exp = suite.run(name)
+    flow = exp.flow
+    positions = flow.positions
+    ffs = list(flow.assignment.ring_of)
+
+    def tap_with(targets: dict[str, float]):
+        matrix = tapping_cost_matrix(
+            flow.array,
+            positions,
+            targets,
+            suite.tech,
+            suite.options.candidate_rings,
+        )
+        capacities = flow.array.default_capacities(
+            len(ffs), suite.options.capacity_headroom
+        )
+        return network_flow_assignment(
+            matrix, flow.array, positions, targets, suite.tech, capacities
+        )
+
+    zero = tap_with(zero_skew_schedule(ffs).targets)
+    scheduled = tap_with(flow.schedule.normalized(suite.options.period).targets)
+    return ZeroSkewComparison(
+        circuit=name,
+        zero_skew_tapping_wl=zero.tapping_wirelength,
+        scheduled_tapping_wl=scheduled.tapping_wirelength,
+        zero_skew_snaked=sum(1 for s in zero.solutions.values() if s.snaked),
+        scheduled_snaked=sum(1 for s in scheduled.solutions.values() if s.snaked),
+    )

@@ -1,0 +1,153 @@
+"""Experiment orchestration: one place that runs the paper's evaluation.
+
+Tables III-VII all consume the same two flow runs per circuit (network-flow
+assignment and ILP assignment), and Table II needs the conventional
+clock-tree baseline on the same initial placement.  The
+:class:`ExperimentSuite` runs each circuit once and caches everything the
+table generators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..clocktree import PathLengthStats, path_length_stats, synthesize_clock_tree_dme
+from ..constants import DEFAULT_TECHNOLOGY, Technology, frequency_ghz
+from ..core import FlowOptions, FlowResult, IntegratedFlow
+from ..netlist import (
+    PROFILE_ORDER,
+    PROFILES,
+    Circuit,
+    CircuitProfile,
+    generate_circuit,
+    small_profile,
+)
+from ..power import clock_power_mw, signal_power_mw
+
+
+@dataclass(frozen=True, slots=True)
+class PowerBreakdown:
+    """Clock/signal/total dynamic power of one design point (mW)."""
+
+    clock: float
+    signal: float
+
+    @property
+    def total(self) -> float:
+        return self.clock + self.signal
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitExperiment:
+    """Everything measured for one benchmark circuit."""
+
+    profile: CircuitProfile
+    circuit: Circuit
+    flow: FlowResult  # network-flow assignment engine (Section V)
+    ilp: FlowResult  # ILP assignment engine (Section VI)
+    clock_tree_paths: PathLengthStats
+    base_power: PowerBreakdown
+    flow_power: PowerBreakdown
+    ilp_power: PowerBreakdown
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+class ExperimentSuite:
+    """Runs and caches the paper's per-circuit experiments.
+
+    Parameters
+    ----------
+    circuits:
+        Benchmark names (default: the paper's five, in table order).
+    tech:
+        Technology parameters.
+    options:
+        Flow options template; the ring grid side and assignment engine
+        are overridden per circuit/engine.
+    """
+
+    def __init__(
+        self,
+        circuits: Iterable[str] | None = None,
+        tech: Technology = DEFAULT_TECHNOLOGY,
+        options: FlowOptions | None = None,
+    ):
+        self.names = list(circuits) if circuits is not None else list(PROFILE_ORDER)
+        self.tech = tech
+        self.options = options or FlowOptions()
+        self._cache: dict[str, CircuitExperiment] = {}
+
+    # ------------------------------------------------------------------
+    def profile_for(self, name: str) -> CircuitProfile:
+        if name in PROFILES:
+            return PROFILES[name]
+        import zlib
+
+        return small_profile(name=name, seed=zlib.crc32(name.encode()) % 100_000)
+
+    def run(self, name: str) -> CircuitExperiment:
+        """Run (or return cached) experiments for one circuit."""
+        if name in self._cache:
+            return self._cache[name]
+        profile = self.profile_for(name)
+        circuit = generate_circuit(profile)
+        side = profile.ring_grid_side
+        flow_opts = _with(self.options, ring_grid_side=side, assignment="flow")
+        ilp_opts = _with(self.options, ring_grid_side=side, assignment="ilp")
+
+        flow_result = IntegratedFlow(circuit, self.tech, flow_opts).run()
+        ilp_result = IntegratedFlow(circuit, self.tech, ilp_opts).run()
+
+        # Conventional clock-tree baseline over the flip-flop locations of
+        # the (clock-oblivious) initial placement equivalent — we use the
+        # final flow placement's flip-flops, matching "for reference".
+        ff_positions = {
+            ff.name: flow_result.positions[ff.name] for ff in circuit.flip_flops
+        }
+        tree = synthesize_clock_tree_dme(ff_positions, self.tech)
+        paths = path_length_stats(tree)
+
+        freq = frequency_ghz(flow_opts.period)
+        n_ff = len(circuit.flip_flops)
+
+        def power(tap_wl: float, sig_wl: float) -> PowerBreakdown:
+            return PowerBreakdown(
+                clock=clock_power_mw(tap_wl, n_ff, freq, self.tech),
+                signal=signal_power_mw(circuit, sig_wl, freq, self.tech),
+            )
+
+        experiment = CircuitExperiment(
+            profile=profile,
+            circuit=circuit,
+            flow=flow_result,
+            ilp=ilp_result,
+            clock_tree_paths=paths,
+            base_power=power(
+                flow_result.base.tapping_wirelength,
+                flow_result.base.signal_wirelength,
+            ),
+            flow_power=power(
+                flow_result.final.tapping_wirelength,
+                flow_result.final.signal_wirelength,
+            ),
+            ilp_power=power(
+                ilp_result.final.tapping_wirelength,
+                ilp_result.final.signal_wirelength,
+            ),
+        )
+        self._cache[name] = experiment
+        return experiment
+
+    def run_all(self) -> list[CircuitExperiment]:
+        return [self.run(name) for name in self.names]
+
+
+def _with(options: FlowOptions, **overrides) -> FlowOptions:
+    from dataclasses import replace
+
+    return replace(options, **overrides)
+

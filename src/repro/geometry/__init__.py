@@ -1,0 +1,18 @@
+"""Planar geometry primitives used across the library."""
+
+from .hpwl import hpwl_by_net, hpwl_from_arrays, net_hpwl, total_hpwl
+from .point import BBox, Point, manhattan
+from .steiner import net_steiner_wl, rectilinear_mst, steiner_wirelength
+
+__all__ = [
+    "BBox",
+    "Point",
+    "manhattan",
+    "net_hpwl",
+    "total_hpwl",
+    "hpwl_from_arrays",
+    "hpwl_by_net",
+    "rectilinear_mst",
+    "steiner_wirelength",
+    "net_steiner_wl",
+]

@@ -1,0 +1,67 @@
+"""Half-perimeter wirelength (HPWL) estimation.
+
+HPWL is the standard placement wirelength model: the length of a net is the
+half-perimeter of the bounding box of its pins.  The paper's "signal WL"
+columns are HPWL sums over all signal nets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .point import Point
+
+
+def net_hpwl(pins: Sequence[Point]) -> float:
+    """HPWL of a single net given its pin locations.
+
+    Nets with fewer than two pins have zero wirelength.
+    """
+    if len(pins) < 2:
+        return 0.0
+    xs = [p.x for p in pins]
+    ys = [p.y for p in pins]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(nets: Iterable[Sequence[Point]]) -> float:
+    """Sum of HPWL over a collection of nets."""
+    return sum(net_hpwl(pins) for pins in nets)
+
+
+def hpwl_from_arrays(
+    x: np.ndarray,
+    y: np.ndarray,
+    net_members: Sequence[Sequence[int]],
+) -> float:
+    """Vectorised HPWL: ``net_members[k]`` lists indices into ``x``/``y``.
+
+    Used by the placer, which keeps coordinates as flat numpy arrays.
+    """
+    total = 0.0
+    for members in net_members:
+        if len(members) < 2:
+            continue
+        idx = np.asarray(members, dtype=np.intp)
+        nx = x[idx]
+        ny = y[idx]
+        total += float(nx.max() - nx.min() + ny.max() - ny.min())
+    return total
+
+
+def hpwl_by_net(
+    positions: Mapping[str, Point],
+    nets: Mapping[str, Sequence[str]],
+) -> dict[str, float]:
+    """Per-net HPWL for nets given as ``{net_name: [cell_name, ...]}``.
+
+    Cells missing from ``positions`` are ignored; a net whose pins all lack
+    positions contributes zero.
+    """
+    out: dict[str, float] = {}
+    for net_name, members in nets.items():
+        pins = [positions[m] for m in members if m in positions]
+        out[net_name] = net_hpwl(pins)
+    return out

@@ -1,0 +1,117 @@
+"""Planar geometry primitives: points, bounding boxes, Manhattan metrics.
+
+Physical design works almost exclusively in the rectilinear (Manhattan)
+metric; every distance in the paper (tapping cost, wirelength, AFD) is a
+Manhattan length in micrometers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the placement plane (um)."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def manhattan(ax: float, ay: float, bx: float, by: float) -> float:
+    """Manhattan distance between two coordinate pairs."""
+    return abs(ax - bx) + abs(ay - by)
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned bounding box ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(
+                f"degenerate bbox: ({self.xlo}, {self.ylo}) .. ({self.xhi}, {self.yhi})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(0.5 * (self.xlo + self.xhi), 0.5 * (self.ylo + self.yhi))
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter of the box — the HPWL of the points it spans."""
+        return self.width + self.height
+
+    def contains(self, p: Point, tol: float = 1e-9) -> bool:
+        """Whether ``p`` lies inside the box (inclusive, with tolerance)."""
+        return (
+            self.xlo - tol <= p.x <= self.xhi + tol
+            and self.ylo - tol <= p.y <= self.yhi + tol
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """The closest point to ``p`` inside the box."""
+        return Point(
+            min(max(p.x, self.xlo), self.xhi),
+            min(max(p.y, self.ylo), self.yhi),
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """A box grown by ``margin`` on every side."""
+        return BBox(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the two boxes overlap (touching counts)."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    @staticmethod
+    def of_points(points: Iterable[Point]) -> "BBox":
+        """The tight bounding box of a non-empty point collection."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot take bbox of an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return BBox(min(xs), min(ys), max(xs), max(ys))

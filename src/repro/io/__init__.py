@@ -1,0 +1,5 @@
+"""Design persistence: JSON save/load of flow results."""
+
+from .design_io import FORMAT_VERSION, SavedDesign, load_design, save_design
+
+__all__ = ["FORMAT_VERSION", "SavedDesign", "save_design", "load_design"]

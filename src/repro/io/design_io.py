@@ -1,0 +1,132 @@
+"""Save and load rotary-clocked design results as JSON.
+
+A :class:`~repro.core.flow.FlowResult` is a live object graph; this module
+persists the *design decisions* it encodes — placement, ring array
+geometry, flip-flop assignment with tapping solutions, and the skew
+schedule — in a stable, versioned JSON format, so downstream tools (or a
+later session) can consume a flow run without re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.flow import FlowResult
+from ..errors import ReproError
+from ..geometry import BBox, Point
+from ..rotary import RingArray
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SavedDesign:
+    """The persisted view of a flow result."""
+
+    circuit_name: str
+    period: float
+    die: BBox
+    ring_grid_side: int
+    positions: dict[str, Point]
+    ring_of: dict[str, int]
+    #: Per flip-flop: (segment_index, x, wirelength, periods_borrowed, snaked)
+    tappings: dict[str, dict[str, Any]]
+    schedule: dict[str, float]
+    metrics: dict[str, float]
+
+    def ring_array(self) -> RingArray:
+        """Rebuild the ring array from the stored geometry."""
+        return RingArray(self.die, self.ring_grid_side, self.period)
+
+
+def save_design(result: FlowResult, path: str | Path) -> None:
+    """Serialize ``result`` to ``path`` as JSON."""
+    array = result.array
+    side = int(round(array.num_rings**0.5))
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "circuit": result.circuit_name,
+        "period_ps": array.period,
+        "die": [
+            array.region.xlo,
+            array.region.ylo,
+            array.region.xhi,
+            array.region.yhi,
+        ],
+        "ring_grid_side": side,
+        "positions": {
+            name: [p.x, p.y] for name, p in sorted(result.positions.items())
+        },
+        "assignment": {
+            ff: {
+                "ring": ring_id,
+                "segment": result.assignment.solutions[ff].segment_index,
+                "x": result.assignment.solutions[ff].x,
+                "wirelength": result.assignment.solutions[ff].wirelength,
+                "periods_borrowed": result.assignment.solutions[ff].periods_borrowed,
+                "snaked": result.assignment.solutions[ff].snaked,
+            }
+            for ff, ring_id in sorted(result.assignment.ring_of.items())
+        },
+        "schedule": {
+            ff: t for ff, t in sorted(result.schedule.targets.items())
+        },
+        "metrics": {
+            "tapping_wirelength_um": result.final.tapping_wirelength,
+            "signal_wirelength_um": result.final.signal_wirelength,
+            "average_flipflop_distance_um": result.final.average_flipflop_distance,
+            "max_load_capacitance_ff": result.final.max_load_capacitance,
+            "slack_available_ps": result.slack_available,
+            "slack_guaranteed_ps": result.slack_guaranteed,
+        },
+    }
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_design(path: str | Path) -> SavedDesign:
+    """Load a design saved by :func:`save_design`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read design file {path}: {exc}") from exc
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported design format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    required = ("circuit", "period_ps", "die", "ring_grid_side",
+                "positions", "assignment", "schedule", "metrics")
+    missing = [key for key in required if key not in doc]
+    if missing:
+        raise ReproError(f"design file {path} is missing keys: {missing}")
+    die = BBox(*doc["die"])
+    positions = {
+        name: Point(float(x), float(y))
+        for name, (x, y) in doc["positions"].items()
+    }
+    ring_of = {ff: int(rec["ring"]) for ff, rec in doc["assignment"].items()}
+    tappings = {
+        ff: {
+            "segment": int(rec["segment"]),
+            "x": float(rec["x"]),
+            "wirelength": float(rec["wirelength"]),
+            "periods_borrowed": int(rec["periods_borrowed"]),
+            "snaked": bool(rec["snaked"]),
+        }
+        for ff, rec in doc["assignment"].items()
+    }
+    return SavedDesign(
+        circuit_name=doc["circuit"],
+        period=float(doc["period_ps"]),
+        die=die,
+        ring_grid_side=int(doc["ring_grid_side"]),
+        positions=positions,
+        ring_of=ring_of,
+        tappings=tappings,
+        schedule={ff: float(t) for ff, t in doc["schedule"].items()},
+        metrics={k: float(v) for k, v in doc["metrics"].items()},
+    )

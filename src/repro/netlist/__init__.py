@@ -1,0 +1,45 @@
+"""Netlist model, ISCAS89 ``.bench`` I/O, and synthetic benchmark generation."""
+
+from .bench_parser import bench_to_text, parse_bench_text, read_bench, write_bench
+from .cells import Cell, CellKind, Net
+from .circuit import Circuit, CircuitStats
+from .generator import (
+    S27_BENCH,
+    GeneratorOptions,
+    generate_circuit,
+    generate_named,
+)
+from .simulate import SimulationResult, simulate_activities
+from .verilog import (
+    parse_verilog_text,
+    read_verilog,
+    verilog_to_text,
+    write_verilog,
+)
+from .profiles import PROFILE_ORDER, PROFILES, CircuitProfile, small_profile
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Net",
+    "Circuit",
+    "CircuitStats",
+    "parse_bench_text",
+    "read_bench",
+    "write_bench",
+    "bench_to_text",
+    "S27_BENCH",
+    "GeneratorOptions",
+    "generate_circuit",
+    "generate_named",
+    "PROFILES",
+    "PROFILE_ORDER",
+    "CircuitProfile",
+    "small_profile",
+    "write_verilog",
+    "verilog_to_text",
+    "parse_verilog_text",
+    "read_verilog",
+    "SimulationResult",
+    "simulate_activities",
+]

@@ -1,0 +1,118 @@
+"""Reader and writer for the ISCAS89 ``.bench`` netlist format.
+
+The format is line-oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NAND(G0, G10)
+
+Gate names and signal names coincide.  The clock pin of a DFF is implicit.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..errors import BenchParseError
+from .cells import CellKind
+from .circuit import Circuit
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^()=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^()]*?)\s*\)$"
+)
+
+_KIND_ALIASES = {
+    "BUFF": CellKind.BUF,
+    "BUF": CellKind.BUF,
+    "NOT": CellKind.NOT,
+    "INV": CellKind.NOT,
+    "AND": CellKind.AND,
+    "NAND": CellKind.NAND,
+    "OR": CellKind.OR,
+    "NOR": CellKind.NOR,
+    "XOR": CellKind.XOR,
+    "XNOR": CellKind.XNOR,
+    "DFF": CellKind.DFF,
+}
+
+
+def parse_bench_text(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source into a validated :class:`Circuit`."""
+    circuit = Circuit(name)
+    pending_outputs: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            which, signal = decl.group(1).upper(), decl.group(2)
+            if which == "INPUT":
+                circuit.add_input(signal)
+            else:
+                # Defer: the driven signal may not be defined yet.
+                pending_outputs.append(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            out, kind_str, args = gate.groups()
+            kind = _KIND_ALIASES.get(kind_str.upper())
+            if kind is None:
+                raise BenchParseError(f"unknown gate type {kind_str!r}", lineno)
+            fanin = tuple(a.strip() for a in args.split(",") if a.strip())
+            try:
+                circuit.add_gate(out, kind, fanin)
+            except Exception as exc:  # fanin arity / duplicate names
+                raise BenchParseError(str(exc), lineno) from exc
+            continue
+        raise BenchParseError(f"unparseable line: {line!r}", lineno)
+    for signal in pending_outputs:
+        circuit.add_output(signal)
+    try:
+        circuit.validate()
+    except Exception as exc:
+        raise BenchParseError(f"invalid netlist: {exc}") from exc
+    return circuit
+
+
+def read_bench(path: str | Path) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench_text(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit, stream_or_path: TextIO | str | Path) -> None:
+    """Serialize ``circuit`` back to ``.bench`` syntax.
+
+    Round-trips with :func:`parse_bench_text` up to comment/whitespace.
+    """
+    if isinstance(stream_or_path, (str, Path)):
+        with open(stream_or_path, "w") as fh:
+            write_bench(circuit, fh)
+        return
+    out = stream_or_path
+    out.write(f"# {circuit.name}\n")
+    for pi in circuit.primary_inputs:
+        out.write(f"INPUT({pi})\n")
+    for po in circuit.primary_outputs:
+        out.write(f"OUTPUT({po})\n")
+    out.write("\n")
+    for cell in circuit:
+        if cell.is_pad:
+            continue
+        args = ", ".join(cell.fanin)
+        out.write(f"{cell.name} = {cell.kind.value}({args})\n")
+
+
+def bench_to_text(circuit: Circuit) -> str:
+    """Serialize to a string (convenience wrapper over :func:`write_bench`)."""
+    import io
+
+    buf = io.StringIO()
+    write_bench(circuit, buf)
+    return buf.getvalue()

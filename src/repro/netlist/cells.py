@@ -1,0 +1,148 @@
+"""Netlist primitives: cell kinds, cells, and nets.
+
+The netlist model follows the ISCAS89 convention: every gate or flip-flop
+drives exactly one signal, and the signal is named after the driving cell.
+Primary inputs are signals with no driving cell; primary outputs are signals
+additionally consumed by the outside world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CellKind(str, Enum):
+    """Gate/cell types found in ISCAS89 benchmarks (plus a generic buffer)."""
+
+    INPUT = "INPUT"  # primary-input pad (zero-area pseudo cell)
+    OUTPUT = "OUTPUT"  # primary-output pad (zero-area pseudo cell)
+    DFF = "DFF"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is CellKind.DFF
+
+    @property
+    def is_pad(self) -> bool:
+        return self in (CellKind.INPUT, CellKind.OUTPUT)
+
+    @property
+    def is_gate(self) -> bool:
+        """A combinational standard cell (excludes pads and flip-flops)."""
+        return not self.is_sequential and not self.is_pad
+
+
+#: Gate kinds the random generator draws from, with rough SIS-mapped weights.
+COMBINATIONAL_KINDS: tuple[CellKind, ...] = (
+    CellKind.NAND,
+    CellKind.NOR,
+    CellKind.AND,
+    CellKind.OR,
+    CellKind.NOT,
+    CellKind.XOR,
+    CellKind.BUF,
+)
+
+#: Maximum fanin accepted per gate kind.
+_MAX_FANIN: dict[CellKind, int] = {
+    CellKind.NOT: 1,
+    CellKind.BUF: 1,
+    CellKind.DFF: 1,
+    CellKind.AND: 9,
+    CellKind.NAND: 9,
+    CellKind.OR: 9,
+    CellKind.NOR: 9,
+    CellKind.XOR: 9,
+    CellKind.XNOR: 9,
+}
+
+_MIN_FANIN: dict[CellKind, int] = {
+    CellKind.NOT: 1,
+    CellKind.BUF: 1,
+    CellKind.DFF: 1,
+    CellKind.AND: 2,
+    CellKind.NAND: 2,
+    CellKind.OR: 2,
+    CellKind.NOR: 2,
+    CellKind.XOR: 2,
+    CellKind.XNOR: 2,
+}
+
+
+@dataclass(slots=True)
+class Cell:
+    """One netlist cell.  ``name`` is also the name of the signal it drives.
+
+    ``fanin`` lists the names of the signals feeding the cell's inputs, in
+    pin order.  Pads have special shapes: INPUT pads have no fanin; OUTPUT
+    pads have exactly one fanin and drive nothing.
+    """
+
+    name: str
+    kind: CellKind
+    fanin: tuple[str, ...] = ()
+    #: Cell width in placement sites (pads are zero-width).
+    width_sites: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell must have a non-empty name")
+        n = len(self.fanin)
+        if self.kind is CellKind.INPUT:
+            if n != 0:
+                raise ValueError(f"INPUT pad {self.name!r} cannot have fanin")
+        elif self.kind is CellKind.OUTPUT:
+            if n != 1:
+                raise ValueError(f"OUTPUT pad {self.name!r} needs exactly 1 fanin, got {n}")
+        else:
+            lo = _MIN_FANIN[self.kind]
+            hi = _MAX_FANIN[self.kind]
+            if not lo <= n <= hi:
+                raise ValueError(
+                    f"{self.kind.value} cell {self.name!r} has {n} inputs; "
+                    f"expected between {lo} and {hi}"
+                )
+
+    @property
+    def is_flipflop(self) -> bool:
+        return self.kind.is_sequential
+
+    @property
+    def is_pad(self) -> bool:
+        return self.kind.is_pad
+
+    @property
+    def is_gate(self) -> bool:
+        return self.kind.is_gate
+
+
+@dataclass(slots=True)
+class Net:
+    """A signal net: one driver and a set of sink cells.
+
+    ``driver`` is the name of the driving cell (or INPUT pad).  ``sinks``
+    are the names of cells that read the signal (OUTPUT pads included).
+    """
+
+    name: str
+    driver: str
+    sinks: tuple[str, ...] = ()
+
+    @property
+    def degree(self) -> int:
+        """Number of pins on the net (driver + sinks)."""
+        return 1 + len(self.sinks)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """All cells on the net, driver first."""
+        return (self.driver, *self.sinks)

@@ -1,0 +1,232 @@
+"""The :class:`Circuit` container: cells, nets, and derived structure.
+
+A circuit is built incrementally (``add_input`` / ``add_gate`` / ...) and
+then frozen by :meth:`Circuit.validate`, which checks referential integrity
+and materialises the net list.  All downstream subsystems (placement,
+timing, assignment) consume a validated circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import NetlistError
+from .cells import Cell, CellKind, Net
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitStats:
+    """Headline statistics, mirroring the columns of the paper's Table II."""
+
+    name: str
+    num_cells: int  # standard cells: gates + flip-flops (pads excluded)
+    num_flipflops: int
+    num_nets: int
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "circuit": self.name,
+            "#cells": self.num_cells,
+            "#flip-flops": self.num_flipflops,
+            "#nets": self.num_nets,
+        }
+
+
+class Circuit:
+    """A gate-level sequential circuit in the ISCAS89 style.
+
+    Signals and the cells driving them share names.  The clock net is
+    implicit (every DFF is clocked); this matches the .bench format, which
+    omits the clock pin.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells: dict[str, Cell] = {}
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []  # names of signals observed as POs
+        self._nets: dict[str, Net] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> Cell:
+        """Declare a primary-input pad driving signal ``name``."""
+        cell = Cell(name=name, kind=CellKind.INPUT, width_sites=0)
+        self._insert(cell)
+        self._inputs.append(name)
+        return cell
+
+    def add_output(self, signal: str) -> None:
+        """Declare signal ``signal`` as a primary output.
+
+        An OUTPUT pad cell named ``<signal>__po`` is created to observe it.
+        """
+        pad = Cell(
+            name=f"{signal}__po", kind=CellKind.OUTPUT, fanin=(signal,), width_sites=0
+        )
+        self._insert(pad)
+        self._outputs.append(signal)
+
+    def add_gate(self, name: str, kind: CellKind, fanin: Iterable[str]) -> Cell:
+        """Add a combinational gate or a DFF driving signal ``name``."""
+        if kind.is_pad:
+            raise NetlistError(f"use add_input/add_output for pads, not add_gate({kind})")
+        cell = Cell(name=name, kind=kind, fanin=tuple(fanin))
+        self._insert(cell)
+        return cell
+
+    def add_dff(self, name: str, data_input: str) -> Cell:
+        """Add a D flip-flop driving signal ``name`` from ``data_input``."""
+        return self.add_gate(name, CellKind.DFF, (data_input,))
+
+    def _insert(self, cell: Cell) -> None:
+        if cell.name in self._cells:
+            raise NetlistError(f"duplicate cell/signal name {cell.name!r} in {self.name}")
+        self._cells[cell.name] = cell
+        self._nets = None  # invalidate derived structure
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NetlistError(f"unknown cell {name!r} in circuit {self.name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> dict[str, Cell]:
+        """All cells (including pads), keyed by name."""
+        return self._cells
+
+    @property
+    def primary_inputs(self) -> list[str]:
+        return list(self._inputs)
+
+    @property
+    def primary_outputs(self) -> list[str]:
+        return list(self._outputs)
+
+    @property
+    def flip_flops(self) -> list[Cell]:
+        """All DFFs, in insertion order."""
+        return [c for c in self._cells.values() if c.is_flipflop]
+
+    @property
+    def gates(self) -> list[Cell]:
+        """All combinational standard cells."""
+        return [c for c in self._cells.values() if c.is_gate]
+
+    @property
+    def standard_cells(self) -> list[Cell]:
+        """Placeable cells: gates + flip-flops (pads excluded)."""
+        return [c for c in self._cells.values() if not c.is_pad]
+
+    # ------------------------------------------------------------------
+    # Validation and derived structure
+    # ------------------------------------------------------------------
+    def validate(self) -> "Circuit":
+        """Check referential integrity and build the net list.
+
+        Raises :class:`NetlistError` on dangling fanin references or
+        primary outputs naming unknown signals.  Returns ``self`` so calls
+        can be chained.
+        """
+        for cell in self._cells.values():
+            for sig in cell.fanin:
+                driver = self._cells.get(sig)
+                if driver is None:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads undefined signal {sig!r}"
+                    )
+                if driver.kind is CellKind.OUTPUT:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads from OUTPUT pad {sig!r}"
+                    )
+        for sig in self._outputs:
+            if sig not in self._cells:
+                raise NetlistError(f"primary output names undefined signal {sig!r}")
+        self._build_nets()
+        return self
+
+    def _build_nets(self) -> None:
+        sinks: dict[str, list[str]] = {}
+        for cell in self._cells.values():
+            for sig in cell.fanin:
+                sinks.setdefault(sig, []).append(cell.name)
+        nets: dict[str, Net] = {}
+        for name, cell in self._cells.items():
+            if cell.kind is CellKind.OUTPUT:
+                continue  # OUTPUT pads drive nothing
+            fanout = tuple(sinks.get(name, ()))
+            if fanout:
+                nets[name] = Net(name=name, driver=name, sinks=fanout)
+        self._nets = nets
+
+    @property
+    def nets(self) -> dict[str, Net]:
+        """Signal nets with at least one sink, keyed by signal name.
+
+        The clock net is not included (it is distributed by the rotary
+        array, not routed as a signal net).
+        """
+        if self._nets is None:
+            self.validate()
+        assert self._nets is not None
+        return self._nets
+
+    def fanout_of(self, signal: str) -> tuple[str, ...]:
+        """Names of cells reading ``signal`` (empty if unused)."""
+        net = self.nets.get(signal)
+        return net.sinks if net is not None else ()
+
+    def stats(self) -> CircuitStats:
+        """Headline statistics for reporting (Table II columns)."""
+        ffs = self.flip_flops
+        gates = self.gates
+        return CircuitStats(
+            name=self.name,
+            num_cells=len(gates) + len(ffs),
+            num_flipflops=len(ffs),
+            num_nets=len(self.nets),
+            num_gates=len(gates),
+            num_inputs=len(self._inputs),
+            num_outputs=len(self._outputs),
+        )
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def combinational_edges(self) -> Iterator[tuple[str, str]]:
+        """Directed edges of the combinational DAG.
+
+        Flip-flops are split at the register boundary: the edge *into* a
+        DFF targets the pseudo-node ``"<name>$D"`` while the DFF's output
+        node ``"<name>"`` sources edges into its fanout.  This cuts every
+        sequential loop, so a valid sequential circuit yields a DAG.
+        """
+        for cell in self._cells.values():
+            if cell.kind is CellKind.INPUT:
+                continue
+            target = cell.name + "$D" if cell.is_flipflop else cell.name
+            for sig in cell.fanin:
+                yield (sig, target)
+
+    @staticmethod
+    def dff_data_node(ff_name: str) -> str:
+        """The pseudo-node name used for a flip-flop's D (data) side."""
+        return ff_name + "$D"

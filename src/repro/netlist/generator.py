@@ -1,0 +1,260 @@
+"""Deterministic synthetic generator for ISCAS89-like sequential circuits.
+
+The paper evaluates on SIS-synthesized ISCAS89 netlists; the proposed
+algorithms only consume the netlist *structure* (cell count, flip-flop
+count, connectivity).  This generator produces circuits that match a
+:class:`~repro.netlist.profiles.CircuitProfile` exactly on cell and
+flip-flop counts and closely on net count, with a bounded combinational
+depth so that 1-GHz skew scheduling is feasible, as in the paper.
+
+Structure produced:
+
+* primary inputs and flip-flop outputs form level 0;
+* combinational gates are spread over ``depth`` levels, each gate reading
+  signals from strictly earlier levels (biased toward the previous level,
+  giving realistic path depth);
+* every flip-flop's D input reads a late-level gate, closing sequential
+  loops through the logic;
+* primary outputs observe late-level gates, and the generator tunes the
+  number of *unconsumed* gate outputs so the final net count lands on the
+  profile's target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .cells import CellKind
+from .circuit import Circuit
+from .profiles import PROFILES, CircuitProfile
+
+#: Embedded real ISCAS89 s27 benchmark, used by tests and the quickstart.
+S27_BENCH = """\
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+#: (fanin count, relative weight) for generated gates.
+_FANIN_WEIGHTS: tuple[tuple[int, float], ...] = ((1, 0.20), (2, 0.55), (3, 0.20), (4, 0.05))
+
+_KINDS_BY_FANIN: dict[int, tuple[CellKind, ...]] = {
+    1: (CellKind.NOT, CellKind.BUF),
+    2: (CellKind.NAND, CellKind.NOR, CellKind.AND, CellKind.OR, CellKind.XOR),
+    3: (CellKind.NAND, CellKind.NOR, CellKind.AND, CellKind.OR),
+    4: (CellKind.NAND, CellKind.NOR, CellKind.AND, CellKind.OR),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorOptions:
+    """Knobs for the synthetic generator."""
+
+    #: Number of combinational levels (bounds the longest register-to-
+    #: register path).  ``None`` uses the profile's ``logic_depth``.
+    depth: int | None = None
+    #: Fraction of cells exposed as primary inputs (at least 4).
+    input_fraction: float = 0.02
+    #: Bias toward reading the immediately preceding level (0..1).
+    previous_level_bias: float = 0.6
+
+
+def generate_circuit(
+    profile: CircuitProfile, options: GeneratorOptions | None = None
+) -> Circuit:
+    """Generate a validated circuit matching ``profile``.
+
+    Deterministic for a given ``(profile, options)`` pair.
+    """
+    opts = options or GeneratorOptions()
+    rng = random.Random(profile.seed)
+    circuit = Circuit(profile.name)
+
+    n_ff = profile.num_flipflops
+    n_gates = profile.num_gates
+    n_pi = max(4, int(profile.num_cells * opts.input_fraction))
+
+    pis = [f"pi{i}" for i in range(n_pi)]
+    for name in pis:
+        circuit.add_input(name)
+
+    ff_names = [f"ff{i}" for i in range(n_ff)]
+
+    # --- distribute gates over levels -------------------------------------
+    depth = max(2, opts.depth if opts.depth is not None else profile.logic_depth)
+    per_level = _split_evenly(n_gates, depth)
+    levels: list[list[str]] = [pis + ff_names]  # level 0: sources
+    gate_counter = 0
+    consumed: dict[str, int] = {}
+
+    for level_size in per_level:
+        current: list[str] = []
+        prev = levels[-1]
+        earlier = [s for lvl in levels[:-1] for s in lvl]
+        for _ in range(level_size):
+            name = f"g{gate_counter}"
+            gate_counter += 1
+            k = _pick_fanin_count(rng)
+            fanin = _pick_fanin(rng, prev, earlier, k, opts.previous_level_bias)
+            kind = rng.choice(_KINDS_BY_FANIN[len(fanin)])
+            circuit.add_gate(name, kind, fanin)
+            for sig in fanin:
+                consumed[sig] = consumed.get(sig, 0) + 1
+            current.append(name)
+        levels.append(current)
+
+    # --- flip-flop data inputs from late levels ---------------------------
+    late = [s for lvl in levels[-2:] for s in lvl] or pis
+    for name in ff_names:
+        data = rng.choice(late)
+        circuit.add_dff(name, data)
+        consumed[data] = consumed.get(data, 0) + 1
+
+    _consume_orphan_inputs(circuit, rng, pis, consumed)
+    _tune_net_count(circuit, rng, profile, ff_names, levels, consumed)
+
+    return circuit.validate()
+
+
+def generate_named(name: str, options: GeneratorOptions | None = None) -> Circuit:
+    """Generate one of the paper's Table II circuits by name."""
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return generate_circuit(profile, options)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _split_evenly(total: int, parts: int) -> list[int]:
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def _pick_fanin_count(rng: random.Random) -> int:
+    r = rng.random()
+    acc = 0.0
+    for count, weight in _FANIN_WEIGHTS:
+        acc += weight
+        if r <= acc:
+            return count
+    return _FANIN_WEIGHTS[-1][0]
+
+
+def _pick_fanin(
+    rng: random.Random,
+    prev_level: list[str],
+    earlier: list[str],
+    k: int,
+    prev_bias: float,
+) -> tuple[str, ...]:
+    """Pick ``k`` distinct source signals, biased toward the previous level."""
+    chosen: list[str] = []
+    pool_size = len(prev_level) + len(earlier)
+    k = min(k, pool_size)
+    seen: set[str] = set()
+    while len(chosen) < k:
+        use_prev = prev_level and (not earlier or rng.random() < prev_bias)
+        sig = rng.choice(prev_level if use_prev else earlier)
+        if sig not in seen:
+            seen.add(sig)
+            chosen.append(sig)
+    return tuple(chosen)
+
+
+def _consume_orphan_inputs(
+    circuit: Circuit,
+    rng: random.Random,
+    pis: list[str],
+    consumed: dict[str, int],
+) -> None:
+    """Rewire so that every primary input feeds at least one gate.
+
+    For each unused PI, a multi-consumer signal inside some gate's fanin is
+    swapped for the PI.  Swapping in a PI can never create a cycle.
+    """
+    orphans = [p for p in pis if consumed.get(p, 0) == 0]
+    if not orphans:
+        return
+    gates = [c for c in circuit if c.is_gate and len(c.fanin) >= 2]
+    rng.shuffle(gates)
+    it = iter(gates)
+    for pi in orphans:
+        for cell in it:
+            if pi in cell.fanin:
+                continue
+            replace_at = next(
+                (
+                    i
+                    for i, sig in enumerate(cell.fanin)
+                    if consumed.get(sig, 0) >= 2
+                ),
+                None,
+            )
+            if replace_at is None:
+                continue
+            old = cell.fanin[replace_at]
+            fanin = list(cell.fanin)
+            fanin[replace_at] = pi
+            cell.fanin = tuple(fanin)
+            consumed[old] -= 1
+            consumed[pi] = consumed.get(pi, 0) + 1
+            break
+
+
+def _tune_net_count(
+    circuit: Circuit,
+    rng: random.Random,
+    profile: CircuitProfile,
+    ff_names: list[str],
+    levels: list[list[str]],
+    consumed: dict[str, int],
+) -> None:
+    """Observe signals as primary outputs until the net count target is met.
+
+    A net exists for every signal with at least one sink.  Unconsumed gate
+    outputs therefore do not count; the paper's circuits likewise have
+    slightly fewer nets than cells.  We keep exactly the surplus needed to
+    match ``profile.num_nets`` unconsumed and expose the rest as POs.
+    """
+    n_pi = len(circuit.primary_inputs)
+    # Signals that will have sinks already: everything in `consumed`.
+    unconsumed_ffs = [f for f in ff_names if consumed.get(f, 0) == 0]
+    for ff in unconsumed_ffs:  # flip-flops should always be observed
+        circuit.add_output(ff)
+        consumed[ff] = 1
+
+    all_gates = [s for lvl in levels[1:] for s in lvl]
+    unconsumed_gates = [g for g in all_gates if consumed.get(g, 0) == 0]
+    # Every observed signal becomes a net; keep `target_unconsumed` dangling
+    # so the final net count matches the profile.
+    target_unconsumed = max(
+        0, (len(all_gates) + len(ff_names) + n_pi) - profile.num_nets
+    )
+    rng.shuffle(unconsumed_gates)
+    to_observe = unconsumed_gates[: max(0, len(unconsumed_gates) - target_unconsumed)]
+    for sig in to_observe:
+        circuit.add_output(sig)
+        consumed[sig] = 1
+    if not circuit.primary_outputs:
+        circuit.add_output(all_gates[-1])

@@ -1,0 +1,154 @@
+"""Bit-parallel logic simulation for switching-activity extraction.
+
+The paper's power model guesses signal-net activity: "Estimating alpha for
+signal net is a hard problem and setting it to 0.15 usually gives a
+reasonable approximation [30]."  This module *measures* it instead: the
+circuit is simulated cycle by cycle with random primary inputs, with ``W``
+independent random streams packed into each Python integer (classic
+bit-parallel simulation — one bitwise operation evaluates a gate across
+all streams at once).  Per-net toggle counts give per-net activity
+factors for the power model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from .cells import CellKind
+from .circuit import Circuit
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Measured switching activities."""
+
+    #: Per-signal activity: expected toggles per clock cycle, in [0, 1].
+    activities: dict[str, float]
+    cycles: int
+    streams: int
+
+    @property
+    def mean_activity(self) -> float:
+        if not self.activities:
+            return 0.0
+        return sum(self.activities.values()) / len(self.activities)
+
+    def activity(self, signal: str, default: float | None = None) -> float:
+        if signal in self.activities:
+            return self.activities[signal]
+        if default is None:
+            raise NetlistError(f"no simulated activity for signal {signal!r}")
+        return default
+
+
+def _evaluate(kind: CellKind, inputs: list[int], mask: int) -> int:
+    if kind is CellKind.NOT:
+        return ~inputs[0] & mask
+    if kind is CellKind.BUF:
+        return inputs[0]
+    acc = inputs[0]
+    if kind in (CellKind.AND, CellKind.NAND):
+        for v in inputs[1:]:
+            acc &= v
+        return (~acc & mask) if kind is CellKind.NAND else acc
+    if kind in (CellKind.OR, CellKind.NOR):
+        for v in inputs[1:]:
+            acc |= v
+        return (~acc & mask) if kind is CellKind.NOR else acc
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        for v in inputs[1:]:
+            acc ^= v
+        return (~acc & mask) if kind is CellKind.XNOR else acc
+    raise NetlistError(f"cannot simulate cell kind {kind}")
+
+
+def simulate_activities(
+    circuit: Circuit,
+    cycles: int = 64,
+    streams: int = 64,
+    seed: int = 1,
+) -> SimulationResult:
+    """Simulate ``cycles`` clock cycles and measure per-signal activity.
+
+    ``streams`` independent random runs execute in parallel (bit-packed),
+    so toggle statistics average over ``cycles * streams`` transitions.
+    Primary inputs draw fresh random values each cycle; flip-flops start at
+    random states and register their D inputs at each clock edge.
+    """
+    if cycles < 2:
+        raise NetlistError("need at least 2 cycles to observe toggles")
+    if streams < 1:
+        raise NetlistError("need at least one stream")
+    rng = random.Random(seed)
+    mask = (1 << streams) - 1
+
+    # Topological order of combinational cells.
+    gates = circuit.gates
+    order = _topological_gates(circuit, gates)
+    ffs = circuit.flip_flops
+
+    values: dict[str, int] = {}
+    for pi in circuit.primary_inputs:
+        values[pi] = rng.getrandbits(streams)
+    for ff in ffs:
+        values[ff.name] = rng.getrandbits(streams)
+
+    toggles: dict[str, int] = {}
+
+    def settle() -> None:
+        for cell in order:
+            ins = [values[s] for s in cell.fanin]
+            values[cell.name] = _evaluate(cell.kind, ins, mask)
+
+    settle()
+    prev = dict(values)
+    for _ in range(cycles):
+        # Clock edge: flip-flops capture, inputs change.
+        next_state = {ff.name: values[ff.fanin[0]] for ff in ffs}
+        for name, v in next_state.items():
+            values[name] = v
+        for pi in circuit.primary_inputs:
+            values[pi] = rng.getrandbits(streams)
+        settle()
+        for name, v in values.items():
+            diff = v ^ prev.get(name, 0)
+            if diff:
+                toggles[name] = toggles.get(name, 0) + diff.bit_count()
+        prev = dict(values)
+
+    denom = cycles * streams
+    activities = {
+        name: toggles.get(name, 0) / denom for name in values
+    }
+    return SimulationResult(
+        activities=activities, cycles=cycles, streams=streams
+    )
+
+
+def _topological_gates(circuit: Circuit, gates) -> list:
+    """Gates in evaluation order (fanins before consumers)."""
+    gate_names = {g.name for g in gates}
+    indeg = {g.name: 0 for g in gates}
+    succ: dict[str, list[str]] = {}
+    by_name = {g.name: g for g in gates}
+    for g in gates:
+        for s in g.fanin:
+            if s in gate_names:
+                indeg[g.name] += 1
+                succ.setdefault(s, []).append(g.name)
+    ready = [n for n, d in indeg.items() if d == 0]
+    out = []
+    while ready:
+        n = ready.pop()
+        out.append(by_name[n])
+        for m in succ.get(n, ()):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+    if len(out) != len(gates):
+        from ..errors import CombinationalCycleError
+
+        raise CombinationalCycleError([n for n, d in indeg.items() if d > 0])
+    return out

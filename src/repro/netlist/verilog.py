@@ -1,0 +1,175 @@
+"""Structural Verilog netlist writer and (subset) parser.
+
+Gate-level interchange with other tooling: circuits are written as a
+single module of primitive instances (``NAND2``, ``NOR3``, ``INV``,
+``BUF``, ``DFF``...).  The parser accepts exactly the subset the writer
+emits — named port connections, one instance per statement — which is the
+common denominator of synthesis-tool output.
+
+Convention: the D flip-flop instance is ``DFF (.Q(out), .D(in))`` (the
+clock pin is implicit, as everywhere in this library).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import TextIO
+
+from ..errors import NetlistError
+from .cells import CellKind
+from .circuit import Circuit
+
+#: Input pin names, in order, for multi-input primitives.
+_PIN_NAMES = ("A", "B", "C", "D", "E", "F", "G", "H", "I")
+
+_KIND_TO_PRIM = {
+    CellKind.NOT: "INV",
+    CellKind.BUF: "BUF",
+    CellKind.DFF: "DFF",
+}
+
+
+def _primitive_name(kind: CellKind, fanin: int) -> str:
+    if kind in _KIND_TO_PRIM:
+        return _KIND_TO_PRIM[kind]
+    return f"{kind.value}{fanin}"
+
+
+_PRIM_RE = re.compile(r"^(INV|BUF|DFF|AND|NAND|OR|NOR|XOR|XNOR)(\d*)$")
+
+
+def _kind_from_primitive(prim: str) -> CellKind:
+    m = _PRIM_RE.match(prim)
+    if not m:
+        raise NetlistError(f"unknown primitive {prim!r}")
+    base = m.group(1)
+    if base == "INV":
+        return CellKind.NOT
+    return CellKind(base)
+
+
+def _sanitize(name: str) -> str:
+    """Make a signal name a legal Verilog identifier."""
+    clean = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not re.match(r"^[A-Za-z_]", clean):
+        clean = "n_" + clean
+    return clean
+
+
+def write_verilog(circuit: Circuit, stream_or_path: TextIO | str | Path) -> None:
+    """Write ``circuit`` as a structural Verilog module."""
+    if isinstance(stream_or_path, (str, Path)):
+        with open(stream_or_path, "w") as fh:
+            write_verilog(circuit, fh)
+        return
+    out = stream_or_path
+    rename = {c.name: _sanitize(c.name) for c in circuit}
+    if len(set(rename.values())) != len(rename):
+        raise NetlistError("signal names collide after Verilog sanitization")
+
+    inputs = [rename[n] for n in circuit.primary_inputs]
+    outputs = [rename[n] for n in circuit.primary_outputs]
+    ports = inputs + [f"{o}_po" for o in outputs]
+    module = _sanitize(circuit.name)
+    out.write(f"module {module} ({', '.join(ports)});\n")
+    for name in inputs:
+        out.write(f"  input {name};\n")
+    for name in outputs:
+        out.write(f"  output {name}_po;\n")
+    wires = [
+        rename[c.name]
+        for c in circuit
+        if not c.is_pad
+    ]
+    for name in wires:
+        out.write(f"  wire {name};\n")
+    out.write("\n")
+    for cell in circuit:
+        if cell.is_pad:
+            continue
+        prim = _primitive_name(cell.kind, len(cell.fanin))
+        conns = [f".Q({rename[cell.name]})" if cell.is_flipflop else f".Y({rename[cell.name]})"]
+        if cell.is_flipflop:
+            conns.append(f".D({rename[cell.fanin[0]]})")
+        else:
+            for pin, sig in zip(_PIN_NAMES, cell.fanin):
+                conns.append(f".{pin}({rename[sig]})")
+        out.write(f"  {prim} u_{rename[cell.name]} ({', '.join(conns)});\n")
+    for o in outputs:
+        out.write(f"  assign {o}_po = {o};\n")
+    out.write("endmodule\n")
+
+
+def verilog_to_text(circuit: Circuit) -> str:
+    import io
+
+    buf = io.StringIO()
+    write_verilog(circuit, buf)
+    return buf.getvalue()
+
+
+_MODULE_RE = re.compile(r"module\s+([A-Za-z_][\w$]*)\s*\(([^)]*)\)\s*;")
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(.+);$")
+_INSTANCE_RE = re.compile(
+    r"^([A-Za-z_][\w$]*)\s+([A-Za-z_][\w$]*)\s*\((.*)\)\s*;$"
+)
+_CONN_RE = re.compile(r"\.([A-Za-z]+)\(\s*([A-Za-z_][\w$]*)\s*\)")
+_ASSIGN_RE = re.compile(r"^assign\s+([\w$]+)\s*=\s*([\w$]+);$")
+
+
+def parse_verilog_text(text: str) -> Circuit:
+    """Parse the structural subset written by :func:`write_verilog`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise NetlistError("no module declaration found")
+    circuit = Circuit(m.group(1))
+    body = text[m.end():]
+    outputs_via_assign: dict[str, str] = {}
+    declared_outputs: list[str] = []
+    for raw in body.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("endmodule"):
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            which, names = decl.group(1), [
+                n.strip() for n in decl.group(2).split(",")
+            ]
+            if which == "input":
+                for name in names:
+                    circuit.add_input(name)
+            elif which == "output":
+                declared_outputs.extend(names)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            outputs_via_assign[assign.group(1)] = assign.group(2)
+            continue
+        inst = _INSTANCE_RE.match(line)
+        if inst:
+            prim, _inst_name, conns_raw = inst.groups()
+            kind = _kind_from_primitive(prim)
+            conns = dict(_CONN_RE.findall(conns_raw))
+            out_pin = "Q" if kind is CellKind.DFF else "Y"
+            if out_pin not in conns:
+                raise NetlistError(f"instance missing output pin: {line!r}")
+            out_sig = conns.pop(out_pin)
+            if kind is CellKind.DFF:
+                circuit.add_dff(out_sig, conns["D"])
+            else:
+                fanin = [conns[p] for p in _PIN_NAMES if p in conns]
+                circuit.add_gate(out_sig, kind, fanin)
+            continue
+        raise NetlistError(f"unparseable Verilog line: {line!r}")
+    for port in declared_outputs:
+        driver = outputs_via_assign.get(port)
+        if driver is None:
+            raise NetlistError(f"output port {port!r} has no assign driver")
+        circuit.add_output(driver)
+    return circuit.validate()
+
+
+def read_verilog(path: str | Path) -> Circuit:
+    return parse_verilog_text(Path(path).read_text())

@@ -1,0 +1,260 @@
+"""A small linear-programming model facade.
+
+The paper solves its LPs with Soplex and its ILPs with GLPK.  This module
+provides the equivalent role: formulations elsewhere in the library build a
+:class:`LinearProgram` and stay solver-independent.  Two backends are
+available:
+
+* ``"highs"`` — scipy's HiGHS ``linprog`` (and ``milp`` when integer
+  variables are present); the default.
+* ``"simplex"`` — the from-scratch two-phase dense simplex in
+  :mod:`repro.opt.simplex`, used for cross-checking on small models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+import numpy as np
+
+from ..errors import InfeasibleError, OptimizationError, UnboundedError
+
+Sense = Literal["<=", ">=", "=="]
+
+
+@dataclass(slots=True)
+class _Constraint:
+    coeffs: dict[str, float]
+    sense: Sense
+    rhs: float
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class LPSolution:
+    """Result of an LP/MILP solve."""
+
+    status: str  # "optimal"
+    objective: float
+    values: dict[str, float]
+
+    def __getitem__(self, var: str) -> float:
+        return self.values[var]
+
+
+class LinearProgram:
+    """An LP/MILP in natural (named-variable) form.
+
+    Example::
+
+        lp = LinearProgram("toy")
+        lp.add_var("x", lb=0), lp.add_var("y", lb=0)
+        lp.add_constraint({"x": 1, "y": 2}, "<=", 14)
+        lp.set_objective({"x": -1, "y": -1})   # minimize -x - y
+        sol = lp.solve()
+    """
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._vars: dict[str, tuple[float, float, bool]] = {}
+        self._order: list[str] = []
+        self._constraints: list[_Constraint] = []
+        self._objective: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float | None = None,
+        integer: bool = False,
+    ) -> str:
+        """Declare a variable with bounds ``[lb, ub]`` (``ub=None`` = +inf)."""
+        if name in self._vars:
+            raise OptimizationError(f"duplicate variable {name!r} in LP {self.name}")
+        upper = math.inf if ub is None else ub
+        if upper < lb:
+            raise OptimizationError(f"variable {name!r}: ub {upper} < lb {lb}")
+        self._vars[name] = (lb, upper, integer)
+        self._order.append(name)
+        return name
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[str, float],
+        sense: Sense,
+        rhs: float,
+        name: str | None = None,
+    ) -> None:
+        """Add ``sum coeffs[v]*v  <sense>  rhs``."""
+        if sense not in ("<=", ">=", "=="):
+            raise OptimizationError(f"bad constraint sense {sense!r}")
+        unknown = [v for v in coeffs if v not in self._vars]
+        if unknown:
+            raise OptimizationError(f"constraint references unknown variables {unknown}")
+        self._constraints.append(
+            _Constraint(dict(coeffs), sense, rhs, name or f"c{len(self._constraints)}")
+        )
+
+    def set_objective(self, coeffs: Mapping[str, float]) -> None:
+        """Set the objective (always minimized; negate to maximize)."""
+        unknown = [v for v in coeffs if v not in self._vars]
+        if unknown:
+            raise OptimizationError(f"objective references unknown variables {unknown}")
+        self._objective = dict(coeffs)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._order)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def has_integers(self) -> bool:
+        return any(is_int for (_, _, is_int) in self._vars.values())
+
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, object]:
+        """Lower to the matrix form consumed by the backends.
+
+        Returns ``c, A_ub, b_ub, A_eq, b_eq, bounds, integrality, order``.
+        Constraint matrices are scipy CSR (skew and assignment models have
+        tens of thousands of rows but only a few nonzeros per row).
+        """
+        import scipy.sparse as sp
+
+        idx = {v: i for i, v in enumerate(self._order)}
+        n = len(self._order)
+        c = np.zeros(n)
+        for v, coef in self._objective.items():
+            c[idx[v]] = coef
+
+        def build(rows: list[_Constraint], negate: bool) -> sp.csr_matrix:
+            data: list[float] = []
+            ri: list[int] = []
+            ci: list[int] = []
+            for k, con in enumerate(rows):
+                sign = -1.0 if (negate and con.sense == ">=") else 1.0
+                for v, coef in con.coeffs.items():
+                    ri.append(k)
+                    ci.append(idx[v])
+                    data.append(sign * coef)
+            return sp.csr_matrix((data, (ri, ci)), shape=(len(rows), n))
+
+        ub_cons = [c_ for c_ in self._constraints if c_.sense in ("<=", ">=")]
+        eq_cons = [c_ for c_ in self._constraints if c_.sense == "=="]
+        b_ub = np.array(
+            [c_.rhs if c_.sense == "<=" else -c_.rhs for c_ in ub_cons]
+        )
+        b_eq = np.array([c_.rhs for c_ in eq_cons])
+        bounds = [(self._vars[v][0], self._vars[v][1]) for v in self._order]
+        integrality = np.array(
+            [1 if self._vars[v][2] else 0 for v in self._order], dtype=int
+        )
+        return {
+            "c": c,
+            "A_ub": build(ub_cons, negate=True) if ub_cons else None,
+            "b_ub": b_ub if ub_cons else None,
+            "A_eq": build(eq_cons, negate=False) if eq_cons else None,
+            "b_eq": b_eq if eq_cons else None,
+            "bounds": bounds,
+            "integrality": integrality,
+            "order": list(self._order),
+        }
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: Literal["highs", "simplex"] = "highs",
+        relax_integrality: bool = False,
+        time_limit: float | None = None,
+    ) -> LPSolution:
+        """Solve and return an :class:`LPSolution`.
+
+        Raises :class:`InfeasibleError` / :class:`UnboundedError` on those
+        outcomes; any other solver failure raises
+        :class:`OptimizationError`.
+        """
+        arrays = self.to_arrays()
+        if backend == "simplex":
+            from .simplex import solve_simplex
+
+            if self.has_integers and not relax_integrality:
+                raise OptimizationError("simplex backend cannot solve integer models")
+            a_ub = arrays["A_ub"].toarray() if arrays["A_ub"] is not None else None
+            a_eq = arrays["A_eq"].toarray() if arrays["A_eq"] is not None else None
+            x, obj = solve_simplex(
+                arrays["c"],
+                a_ub,
+                arrays["b_ub"],
+                a_eq,
+                arrays["b_eq"],
+                arrays["bounds"],
+            )
+            values = dict(zip(arrays["order"], (float(v) for v in x)))
+            return LPSolution("optimal", float(obj), values)
+        if backend != "highs":
+            raise OptimizationError(f"unknown LP backend {backend!r}")
+        if self.has_integers and not relax_integrality:
+            return self._solve_milp(arrays, time_limit)
+        return self._solve_linprog(arrays)
+
+    def _solve_linprog(self, arrays: dict[str, object]) -> LPSolution:
+        from scipy.optimize import linprog
+
+        res = linprog(
+            arrays["c"],
+            A_ub=arrays["A_ub"],
+            b_ub=arrays["b_ub"],
+            A_eq=arrays["A_eq"],
+            b_eq=arrays["b_eq"],
+            bounds=arrays["bounds"],
+            method="highs",
+        )
+        if res.status == 2:
+            raise InfeasibleError(f"LP {self.name} is infeasible")
+        if res.status == 3:
+            raise UnboundedError(f"LP {self.name} is unbounded")
+        if not res.success:
+            raise OptimizationError(f"LP {self.name} failed: {res.message}")
+        values = dict(zip(arrays["order"], (float(v) for v in res.x)))
+        return LPSolution("optimal", float(res.fun), values)
+
+    def _solve_milp(
+        self, arrays: dict[str, object], time_limit: float | None
+    ) -> LPSolution:
+        from scipy.optimize import LinearConstraint, milp
+        from scipy.optimize import Bounds as ScipyBounds
+
+        constraints = []
+        if arrays["A_ub"] is not None:
+            constraints.append(
+                LinearConstraint(arrays["A_ub"], -np.inf, arrays["b_ub"])
+            )
+        if arrays["A_eq"] is not None:
+            constraints.append(
+                LinearConstraint(arrays["A_eq"], arrays["b_eq"], arrays["b_eq"])
+            )
+        lbs = np.array([b[0] for b in arrays["bounds"]])
+        ubs = np.array([b[1] for b in arrays["bounds"]])
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = time_limit
+        res = milp(
+            c=arrays["c"],
+            constraints=constraints,
+            bounds=ScipyBounds(lbs, ubs),
+            integrality=arrays["integrality"],
+            options=options,
+        )
+        if res.status == 2:
+            raise InfeasibleError(f"MILP {self.name} is infeasible")
+        if res.x is None:
+            raise OptimizationError(f"MILP {self.name} failed: {res.message}")
+        values = dict(zip(arrays["order"], (float(v) for v in res.x)))
+        return LPSolution("optimal" if res.status == 0 else "feasible",
+                          float(res.fun), values)

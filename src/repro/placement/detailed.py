@@ -1,0 +1,170 @@
+"""Detailed placement: greedy relocate/swap refinement on legal sites.
+
+After legalization, each cell is visited in turn and tried at free sites
+(and in swaps with occupants) inside a window around its connectivity
+centroid; moves that reduce total HPWL are committed.  Legality (one cell
+per site, everything on the row grid) is preserved by construction, and
+the HPWL is monotonically non-increasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..geometry import Point, net_hpwl
+from ..netlist import Circuit
+from .region import PlacementRegion
+
+
+@dataclass(frozen=True, slots=True)
+class DetailedOptions:
+    """Refinement knobs."""
+
+    #: Search window half-size in rows / sites around the target.
+    row_window: int = 2
+    site_window: int = 6
+    #: Maximum full passes over all cells.
+    max_passes: int = 2
+    #: Stop when a pass improves HPWL by less than this fraction.
+    min_pass_gain: float = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class DetailedResult:
+    """Refined positions plus improvement statistics."""
+
+    positions: dict[str, Point]
+    hpwl_before: float
+    hpwl_after: float
+    moves: int
+    swaps: int
+
+    @property
+    def improvement(self) -> float:
+        if self.hpwl_before <= 0.0:
+            return 0.0
+        return 1.0 - self.hpwl_after / self.hpwl_before
+
+
+def refine_placement(
+    circuit: Circuit,
+    region: PlacementRegion,
+    positions: Mapping[str, Point],
+    options: DetailedOptions | None = None,
+) -> DetailedResult:
+    """Greedy relocate/swap refinement of a legalized placement.
+
+    ``positions`` must contain every movable cell on a legal site plus the
+    (immovable) pad locations; pads are recognized from the circuit.
+    """
+    opts = options or DetailedOptions()
+    pos: dict[str, Point] = dict(positions)
+    movable = [c.name for c in circuit.standard_cells if c.name in pos]
+
+    # Incident nets per cell (net -> member names).
+    nets = {name: list(net.members) for name, net in circuit.nets.items()}
+    incident: dict[str, list[str]] = {m: [] for m in movable}
+    for net_name, members in nets.items():
+        for m in members:
+            if m in incident:
+                incident[m].append(net_name)
+
+    def net_len(net_name: str) -> float:
+        return net_hpwl([pos[m] for m in nets[net_name] if m in pos])
+
+    def cells_cost(cells: tuple[str, ...]) -> float:
+        seen: set[str] = set()
+        total = 0.0
+        for cell in cells:
+            for net_name in incident.get(cell, ()):
+                if net_name not in seen:
+                    seen.add(net_name)
+                    total += net_len(net_name)
+        return total
+
+    occupant: dict[tuple[int, int], str] = {}
+    slot_of: dict[str, tuple[int, int]] = {}
+    for name in movable:
+        p = pos[name]
+        slot = (region.nearest_row(p.y), region.nearest_site(p.x))
+        occupant[slot] = name
+        slot_of[name] = slot
+
+    def slot_point(slot: tuple[int, int]) -> Point:
+        return Point(region.site_x(slot[1]), region.row_y(slot[0]))
+
+    hpwl_before = sum(net_len(n) for n in nets)
+    moves = swaps = 0
+
+    for _ in range(opts.max_passes):
+        pass_gain = 0.0
+        for cell in movable:
+            pins = [
+                pos[m]
+                for net_name in incident[cell]
+                for m in nets[net_name]
+                if m != cell and m in pos
+            ]
+            if not pins:
+                continue
+            cx = sum(p.x for p in pins) / len(pins)
+            cy = sum(p.y for p in pins) / len(pins)
+            target = (region.nearest_row(cy), region.nearest_site(cx))
+            here = slot_of[cell]
+            best_gain = 0.0
+            best_action: tuple[str, tuple[int, int]] | None = None
+            for dr in range(-opts.row_window, opts.row_window + 1):
+                for ds in range(-opts.site_window, opts.site_window + 1):
+                    slot = (target[0] + dr, target[1] + ds)
+                    if slot == here:
+                        continue
+                    if not (
+                        0 <= slot[0] < region.num_rows
+                        and 0 <= slot[1] < region.sites_per_row
+                    ):
+                        continue
+                    other = occupant.get(slot)
+                    group = (cell,) if other is None else (cell, other)
+                    before = cells_cost(group)
+                    old_cell_pos = pos[cell]
+                    pos[cell] = slot_point(slot)
+                    if other is not None:
+                        pos[other] = old_cell_pos
+                    after = cells_cost(group)
+                    # Roll back; commit only the best candidate later.
+                    pos[cell] = old_cell_pos
+                    if other is not None:
+                        pos[other] = slot_point(slot)
+                    gain = before - after
+                    if gain > best_gain + 1e-9:
+                        best_gain = gain
+                        best_action = ("swap" if other else "move", slot)
+            if best_action is None:
+                continue
+            kind, slot = best_action
+            other = occupant.get(slot)
+            old_pos = pos[cell]
+            pos[cell] = slot_point(slot)
+            occupant[slot] = cell
+            slot_of[cell] = slot
+            if other is not None:
+                pos[other] = old_pos
+                occupant[here] = other
+                slot_of[other] = here
+                swaps += 1
+            else:
+                del occupant[here]
+                moves += 1
+            pass_gain += best_gain
+        if pass_gain < opts.min_pass_gain * max(hpwl_before, 1e-9):
+            break
+
+    hpwl_after = sum(net_len(n) for n in nets)
+    return DetailedResult(
+        positions=pos,
+        hpwl_before=hpwl_before,
+        hpwl_after=hpwl_after,
+        moves=moves,
+        swaps=swaps,
+    )

@@ -1,0 +1,97 @@
+"""Tetris-style legalization: snap a global placement onto rows and sites.
+
+Cells are processed in x order; each is assigned the free site (searched
+over nearby rows) minimizing its displacement.  All generated cells occupy
+one site, so a per-row occupancy bitmap suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import PlacementError
+from ..geometry import Point
+from .region import PlacementRegion
+
+
+@dataclass(frozen=True, slots=True)
+class LegalizationResult:
+    """Legal positions plus displacement statistics."""
+
+    positions: dict[str, Point]
+    total_displacement: float
+    max_displacement: float
+
+    @property
+    def mean_displacement(self) -> float:
+        n = len(self.positions)
+        return self.total_displacement / n if n else 0.0
+
+
+def legalize(
+    global_positions: Mapping[str, Point],
+    region: PlacementRegion,
+    row_search_radius: int = 8,
+) -> LegalizationResult:
+    """Legalize ``global_positions`` onto the region's row/site grid.
+
+    Raises :class:`PlacementError` if the region cannot hold the cells.
+    """
+    names = list(global_positions)
+    if len(names) > region.capacity_sites:
+        raise PlacementError(
+            f"{len(names)} cells exceed region capacity {region.capacity_sites}"
+        )
+    occupied = np.zeros((region.num_rows, region.sites_per_row), dtype=bool)
+    # Process in x order (classic Tetris) for deterministic packing.
+    names.sort(key=lambda n: (global_positions[n].x, global_positions[n].y, n))
+    out: dict[str, Point] = {}
+    total_disp = 0.0
+    max_disp = 0.0
+    for name in names:
+        p = global_positions[name]
+        target_row = region.nearest_row(p.y)
+        target_site = region.nearest_site(p.x)
+        best: tuple[float, int, int] | None = None
+        radius = row_search_radius
+        while best is None:
+            lo = max(0, target_row - radius)
+            hi = min(region.num_rows - 1, target_row + radius)
+            for row in range(lo, hi + 1):
+                site = _nearest_free_site(occupied[row], target_site)
+                if site is None:
+                    continue
+                cost = abs(region.row_y(row) - p.y) + abs(
+                    region.site_x(site) - p.x
+                )
+                if best is None or cost < best[0]:
+                    best = (cost, row, site)
+            if best is None:
+                if lo == 0 and hi == region.num_rows - 1:
+                    raise PlacementError("no free site found during legalization")
+                radius *= 2
+        _, row, site = best
+        occupied[row, site] = True
+        q = Point(region.site_x(site), region.row_y(row))
+        out[name] = q
+        d = p.manhattan(q)
+        total_disp += d
+        max_disp = max(max_disp, d)
+    return LegalizationResult(out, total_disp, max_disp)
+
+
+def _nearest_free_site(row_mask: np.ndarray, target: int) -> int | None:
+    """Index of the free site nearest ``target`` in one row, or ``None``."""
+    free = np.flatnonzero(~row_mask)
+    if free.size == 0:
+        return None
+    pos = int(np.searchsorted(free, target))
+    candidates = []
+    if pos < free.size:
+        candidates.append(int(free[pos]))
+    if pos > 0:
+        candidates.append(int(free[pos - 1]))
+    return min(candidates, key=lambda s: abs(s - target))

@@ -1,0 +1,27 @@
+"""Pseudo nets: spring anchors that pull cells toward target points.
+
+The paper (Section IV, stage 5) inserts "a pseudo net between each
+flip-flop and its ring" so the incremental placement pulls flip-flops
+toward their assigned rotary rings "without intrusive disturbance to
+traditional placement".  A pseudo net is simply an extra quadratic term
+``w * ||pos(cell) - anchor||^2`` in the placement objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class PseudoNet:
+    """A weighted two-pin net from ``cell`` to a fixed ``anchor`` point."""
+
+    cell: str
+    anchor: Point
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ValueError(f"pseudo net weight must be non-negative: {self.weight}")

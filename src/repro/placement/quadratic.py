@@ -1,0 +1,273 @@
+"""Quadratic (analytic) global placement with recursive spreading.
+
+The paper obtains its placements from mPL and stresses that "the placers
+can be used without any change"; any analytic placer exposing pseudo-net
+hooks fits the flow.  This is a GORDIAN-style engine:
+
+1. nets become springs (clique model for small nets, star with an
+   auxiliary node for large ones) and the resulting sparse SPD system is
+   solved for x and y independently;
+2. cells are spread by recursive area bisection — each subregion's cells
+   get anchor springs toward their subregion, and the system is re-solved
+   level by level;
+3. :mod:`repro.placement.legalize` snaps the spread placement onto rows.
+
+Pseudo nets (flip-flop -> ring anchors) and stability anchors (previous
+positions) enter the same quadratic form, which is exactly how the
+integrated flow's incremental placement works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import PlacementError
+from ..geometry import BBox, Point
+from ..netlist import Circuit
+from .pseudonet import PseudoNet
+from .region import PlacementRegion, pad_positions
+
+#: Nets up to this degree use the clique spring model; bigger nets use a star.
+_CLIQUE_MAX_DEGREE = 5
+#: Tiny centering anchor guaranteeing a non-singular system.
+_EPS_ANCHOR = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class PlacerOptions:
+    """Knobs for the quadratic placer."""
+
+    #: Stop bisection when a subregion holds at most this many cells.
+    min_partition_cells: int = 24
+    #: Anchor weight at the first spreading level (doubles per level).
+    spreading_weight: float = 0.05
+    #: Hard cap on bisection levels.
+    max_levels: int = 12
+
+
+class QuadraticPlacer:
+    """Analytic global placement for one circuit on one region."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        region: PlacementRegion,
+        options: PlacerOptions | None = None,
+    ):
+        self.circuit = circuit
+        self.region = region
+        self.options = options or PlacerOptions()
+        self._movable = [c.name for c in circuit.standard_cells]
+        if not self._movable:
+            raise PlacementError("no movable cells")
+        self._index = {name: i for i, name in enumerate(self._movable)}
+        self._fixed = pad_positions(circuit, region)
+        self._springs = self._build_springs()
+
+    # ------------------------------------------------------------------
+    def _build_springs(self) -> list[tuple[int, int | None, float, Point | None]]:
+        """Spring list: (cell_index, other_index|None, weight, fixed_point).
+
+        ``other_index=None`` with a point = spring to a fixed location
+        (pad or star auxiliary handled separately).
+        """
+        springs: list[tuple[int, int | None, float, Point | None]] = []
+        self._star_nets: list[tuple[list[int], list[Point], float]] = []
+        for net in self.circuit.nets.values():
+            members = net.members
+            degree = len(members)
+            if degree < 2:
+                continue
+            movable_idx = [self._index[m] for m in members if m in self._index]
+            fixed_pts = [self._fixed[m] for m in members if m in self._fixed]
+            if len(movable_idx) + len(fixed_pts) < 2:
+                continue
+            if degree <= _CLIQUE_MAX_DEGREE:
+                w = 1.0 / (degree - 1)
+                for a in range(len(movable_idx)):
+                    for b in range(a + 1, len(movable_idx)):
+                        springs.append((movable_idx[a], movable_idx[b], w, None))
+                    for p in fixed_pts:
+                        springs.append((movable_idx[a], None, w, p))
+            else:
+                # Star: one auxiliary node per big net.
+                w = degree / (degree - 1.0)
+                self._star_nets.append((movable_idx, fixed_pts, w))
+        return springs
+
+    # ------------------------------------------------------------------
+    def _solve_axis(
+        self,
+        axis: int,
+        anchors: Sequence[tuple[int, float, float]],
+        warm: np.ndarray | None,
+    ) -> np.ndarray:
+        """Solve one coordinate axis.  ``anchors`` = (cell, target, weight)."""
+        n = len(self._movable)
+        n_aux = len(self._star_nets)
+        size = n + n_aux
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        rhs = np.zeros(size)
+
+        def add(i: int, j: int | None, w: float, fixed_val: float = 0.0) -> None:
+            rows.append(i)
+            cols.append(i)
+            vals.append(w)
+            if j is None:
+                rhs[i] += w * fixed_val
+            else:
+                rows.append(j)
+                cols.append(j)
+                vals.append(w)
+                rows.append(i)
+                cols.append(j)
+                vals.append(-w)
+                rows.append(j)
+                cols.append(i)
+                vals.append(-w)
+
+        for i, j, w, p in self._springs:
+            if p is None:
+                add(i, j, w)
+            else:
+                add(i, None, w, (p.x, p.y)[axis])
+        for k, (movable_idx, fixed_pts, w) in enumerate(self._star_nets):
+            aux = n + k
+            for i in movable_idx:
+                add(i, aux, w)
+            for p in fixed_pts:
+                add(aux, None, w, (p.x, p.y)[axis])
+        center = (self.region.bbox.center.x, self.region.bbox.center.y)[axis]
+        for i in range(size):
+            add(i, None, _EPS_ANCHOR, center)
+        for i, target, w in anchors:
+            add(i, None, w, target)
+
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(size, size))
+        x0 = None
+        if warm is not None:
+            x0 = np.concatenate([warm, np.full(n_aux, center)])
+        sol, info = spla.cg(A, rhs, x0=x0, rtol=1e-8, maxiter=2000)
+        if info != 0:
+            sol = spla.spsolve(A.tocsc(), rhs)
+        return np.asarray(sol[:n])
+
+    def _solve(
+        self,
+        anchors_x: Sequence[tuple[int, float, float]],
+        anchors_y: Sequence[tuple[int, float, float]],
+        warm_x: np.ndarray | None = None,
+        warm_y: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x = self._solve_axis(0, anchors_x, warm_x)
+        y = self._solve_axis(1, anchors_y, warm_y)
+        return x, y
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        pseudo_nets: Iterable[PseudoNet] = (),
+        stability_anchors: Mapping[str, Point] | None = None,
+        stability_weight: float = 0.0,
+    ) -> dict[str, Point]:
+        """Global placement (unlegalized).
+
+        ``pseudo_nets`` add springs toward fixed anchor points;
+        ``stability_anchors`` (typically the previous placement) with
+        ``stability_weight > 0`` turn the solve into a *stable
+        incremental* placement, as required by stage 6 of the flow.
+        """
+        base_x: list[tuple[int, float, float]] = []
+        base_y: list[tuple[int, float, float]] = []
+        for pn in pseudo_nets:
+            idx = self._index.get(pn.cell)
+            if idx is None:
+                raise PlacementError(f"pseudo net targets unknown cell {pn.cell!r}")
+            base_x.append((idx, pn.anchor.x, pn.weight))
+            base_y.append((idx, pn.anchor.y, pn.weight))
+        warm_x = warm_y = None
+        if stability_anchors is not None and stability_weight > 0.0:
+            warm_x = np.zeros(len(self._movable))
+            warm_y = np.zeros(len(self._movable))
+            for name, p in stability_anchors.items():
+                idx = self._index.get(name)
+                if idx is None:
+                    continue
+                base_x.append((idx, p.x, stability_weight))
+                base_y.append((idx, p.y, stability_weight))
+                warm_x[idx] = p.x
+                warm_y[idx] = p.y
+
+        x, y = self._solve(base_x, base_y, warm_x, warm_y)
+        x, y = self._spread(x, y, base_x, base_y)
+        clamped = {
+            name: self.region.bbox.clamp(Point(float(x[i]), float(y[i])))
+            for name, i in self._index.items()
+        }
+        return clamped
+
+    # ------------------------------------------------------------------
+    def _spread(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        base_x: Sequence[tuple[int, float, float]],
+        base_y: Sequence[tuple[int, float, float]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Recursive-bisection spreading with per-level anchor re-solves."""
+        n = len(self._movable)
+        opts = self.options
+        regions: list[tuple[BBox, np.ndarray, bool]] = [
+            (self.region.bbox, np.arange(n), True)
+        ]
+        level = 0
+        weight = opts.spreading_weight
+        while level < opts.max_levels:
+            next_regions: list[tuple[BBox, np.ndarray, bool]] = []
+            split_any = False
+            for bbox, idx, vertical in regions:
+                if len(idx) <= opts.min_partition_cells:
+                    next_regions.append((bbox, idx, vertical))
+                    continue
+                split_any = True
+                coords = x[idx] if vertical else y[idx]
+                order = np.argsort(coords, kind="stable")
+                half = len(idx) // 2
+                lo_idx, hi_idx = idx[order[:half]], idx[order[half:]]
+                frac = half / len(idx)
+                if vertical:
+                    cut = bbox.xlo + frac * bbox.width
+                    lo_box = BBox(bbox.xlo, bbox.ylo, cut, bbox.yhi)
+                    hi_box = BBox(cut, bbox.ylo, bbox.xhi, bbox.yhi)
+                else:
+                    cut = bbox.ylo + frac * bbox.height
+                    lo_box = BBox(bbox.xlo, bbox.ylo, bbox.xhi, cut)
+                    hi_box = BBox(bbox.xlo, cut, bbox.xhi, bbox.yhi)
+                next_regions.append((lo_box, lo_idx, not vertical))
+                next_regions.append((hi_box, hi_idx, not vertical))
+            regions = next_regions
+            if not split_any:
+                break
+            anchors_x = list(base_x)
+            anchors_y = list(base_y)
+            for bbox, idx, _ in regions:
+                cx, cy = bbox.center.x, bbox.center.y
+                for i in idx:
+                    anchors_x.append((int(i), cx, weight))
+                    anchors_y.append((int(i), cy, weight))
+            x, y = self._solve(anchors_x, anchors_y, x, y)
+            weight *= 2.0
+            level += 1
+        return x, y
+
+    @property
+    def fixed_positions(self) -> dict[str, Point]:
+        """Pad locations (fixed throughout placement)."""
+        return dict(self._fixed)

@@ -1,0 +1,110 @@
+"""Placement region: die outline, standard-cell rows, pad ring.
+
+The die is sized from the circuit's total cell area at a target row
+utilization, then snapped to whole rows and sites.  Primary input/output
+pads are distributed around the periphery and stay fixed during placement,
+anchoring the quadratic system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import Technology
+from ..errors import PlacementError
+from ..geometry import BBox, Point
+from ..netlist import Circuit
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementRegion:
+    """Die outline plus the row/site grid."""
+
+    bbox: BBox
+    row_height: float
+    site_width: float
+    num_rows: int
+    sites_per_row: int
+
+    @property
+    def capacity_sites(self) -> int:
+        return self.num_rows * self.sites_per_row
+
+    def row_y(self, row: int) -> float:
+        """Center y of a row."""
+        if not 0 <= row < self.num_rows:
+            raise PlacementError(f"row {row} out of range 0..{self.num_rows - 1}")
+        return self.bbox.ylo + (row + 0.5) * self.row_height
+
+    def site_x(self, site: int) -> float:
+        """Center x of a site column."""
+        if not 0 <= site < self.sites_per_row:
+            raise PlacementError(f"site {site} out of range")
+        return self.bbox.xlo + (site + 0.5) * self.site_width
+
+    def nearest_row(self, y: float) -> int:
+        row = int((y - self.bbox.ylo) / self.row_height)
+        return min(max(row, 0), self.num_rows - 1)
+
+    def nearest_site(self, x: float) -> int:
+        site = int((x - self.bbox.xlo) / self.site_width)
+        return min(max(site, 0), self.sites_per_row - 1)
+
+
+def region_for_circuit(
+    circuit: Circuit,
+    tech: Technology,
+    utilization: float = 0.5,
+    aspect_ratio: float = 1.0,
+) -> PlacementRegion:
+    """Size a die for ``circuit`` at the given row utilization."""
+    if not 0.0 < utilization <= 1.0:
+        raise PlacementError(f"utilization must be in (0, 1], got {utilization}")
+    num_cells = len(circuit.standard_cells)
+    if num_cells == 0:
+        raise PlacementError("circuit has no placeable cells")
+    total_sites = sum(max(c.width_sites, 1) for c in circuit.standard_cells)
+    site_area = tech.row_height * tech.site_width
+    area = total_sites * site_area / utilization
+    width = math.sqrt(area * aspect_ratio)
+    num_rows = max(2, round(math.sqrt(area / aspect_ratio) / tech.row_height))
+    sites_per_row = max(2, math.ceil(width / tech.site_width))
+    # Grow until capacity definitely exceeds demand.
+    while num_rows * sites_per_row < total_sites / utilization:
+        sites_per_row += 1
+    bbox = BBox(
+        0.0,
+        0.0,
+        sites_per_row * tech.site_width,
+        num_rows * tech.row_height,
+    )
+    return PlacementRegion(
+        bbox=bbox,
+        row_height=tech.row_height,
+        site_width=tech.site_width,
+        num_rows=num_rows,
+        sites_per_row=sites_per_row,
+    )
+
+
+def pad_positions(circuit: Circuit, region: PlacementRegion) -> dict[str, Point]:
+    """Fixed locations for I/O pads, spaced evenly around the periphery."""
+    pads = [c.name for c in circuit if c.is_pad]
+    if not pads:
+        return {}
+    b = region.bbox
+    perimeter = 2.0 * (b.width + b.height)
+    spacing = perimeter / len(pads)
+    out: dict[str, Point] = {}
+    for k, name in enumerate(pads):
+        s = (k + 0.5) * spacing
+        if s < b.width:
+            out[name] = Point(b.xlo + s, b.ylo)
+        elif s < b.width + b.height:
+            out[name] = Point(b.xhi, b.ylo + (s - b.width))
+        elif s < 2.0 * b.width + b.height:
+            out[name] = Point(b.xhi - (s - b.width - b.height), b.yhi)
+        else:
+            out[name] = Point(b.xlo, b.yhi - (s - 2.0 * b.width - b.height))
+    return out

@@ -1,0 +1,21 @@
+"""Power models: dynamic (eq. 8), leakage (eq. 9), buffer estimation [31]."""
+
+from .buffers import buffers_for_net, estimate_buffers_by_net, estimate_signal_buffers
+from .dynamic import (
+    clock_power_mw,
+    dynamic_power_mw,
+    measured_signal_power_mw,
+    signal_power_mw,
+)
+from .leakage import leakage_power_mw
+
+__all__ = [
+    "dynamic_power_mw",
+    "clock_power_mw",
+    "signal_power_mw",
+    "measured_signal_power_mw",
+    "leakage_power_mw",
+    "buffers_for_net",
+    "estimate_signal_buffers",
+    "estimate_buffers_by_net",
+]

@@ -1,0 +1,39 @@
+"""Floorplan-level signal-buffer count estimation (reference [31]).
+
+Alpert et al. estimate, before routing, how many repeaters long signal
+nets will need.  We use the standard linear rule: one buffer per
+``buffer_critical_length`` of wire beyond the first segment, aggregated
+over the total signal wirelength.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..constants import Technology
+
+
+def buffers_for_net(length: float, tech: Technology) -> int:
+    """Buffers needed on one net of the given routed length (um)."""
+    if length < 0:
+        raise ValueError("net length cannot be negative")
+    return int(length // tech.buffer_critical_length)
+
+
+def estimate_signal_buffers(total_wirelength: float, tech: Technology) -> int:
+    """Aggregate buffer-count estimate over the whole signal netlist.
+
+    Operating on total wirelength (rather than per net) matches the
+    floorplan-stage granularity of [31]: per-net routes are unknown, only
+    the wire budget is.
+    """
+    if total_wirelength < 0:
+        raise ValueError("total wirelength cannot be negative")
+    return int(total_wirelength // tech.buffer_critical_length)
+
+
+def estimate_buffers_by_net(
+    net_lengths: Mapping[str, float], tech: Technology
+) -> dict[str, int]:
+    """Per-net buffer estimate when net lengths are available."""
+    return {name: buffers_for_net(l, tech) for name, l in net_lengths.items()}

@@ -1,0 +1,24 @@
+"""Leakage power estimation — eq. (9) of the paper.
+
+    P_leakage = Vdd * I_off * (S + N_F * S_F)
+
+where ``I_off`` is the unit leakage current, ``S`` the total inverter/gate
+size, ``N_F`` the flip-flop count and ``S_F`` the size of one flip-flop.
+The paper notes its methodology does not resize gates, so leakage is
+unchanged by the flow; we expose it anyway for completeness.
+"""
+
+from __future__ import annotations
+
+from ..constants import Technology
+from ..netlist import Circuit
+
+
+def leakage_power_mw(circuit: Circuit, tech: Technology) -> float:
+    """Eq. (9) in mW (Vdd in V, I_off in mA)."""
+    n_ff = len(circuit.flip_flops)
+    n_gates = len(circuit.gates)
+    total_gate_size = n_gates * tech.gate_size
+    return tech.vdd * tech.unit_leakage_current * (
+        total_gate_size + n_ff * tech.flipflop_size
+    )

@@ -1,0 +1,45 @@
+"""Rotary traveling-wave clock model: rings, arrays, tapping, oscillator."""
+
+from .array import RingArray, RingArrayOptions
+from .oscillator import (
+    RingElectrical,
+    dummy_budget,
+    dummy_capacitance,
+    required_total_capacitance,
+    ring_electrical,
+    ring_inductance,
+    ring_self_capacitance,
+    stub_load_capacitance,
+)
+from .ring import RingSegment, RotaryRing
+from .wave_sim import WaveSimResult, simulate_ring, uniform_load
+from .tapping import (
+    TappingSolution,
+    best_tapping,
+    solve_segment,
+    stub_delay,
+    tapping_arc_length,
+)
+
+__all__ = [
+    "RotaryRing",
+    "RingSegment",
+    "RingArray",
+    "RingArrayOptions",
+    "TappingSolution",
+    "best_tapping",
+    "solve_segment",
+    "stub_delay",
+    "tapping_arc_length",
+    "RingElectrical",
+    "ring_electrical",
+    "ring_inductance",
+    "ring_self_capacitance",
+    "stub_load_capacitance",
+    "dummy_capacitance",
+    "dummy_budget",
+    "required_total_capacitance",
+    "WaveSimResult",
+    "simulate_ring",
+    "uniform_load",
+]

@@ -1,0 +1,111 @@
+"""Rotary ring arrays (Fig. 1(b) of the paper).
+
+Multiple rings are tiled over the die and cross-connected so that they
+phase-lock; all rings then share a set of equal-phase points (the small
+triangles in Fig. 1(b)).  We model this steady state directly: every ring
+gets the same reference delay at its reference corner.  The array is
+"generated as in [13]" — a regular grid sized to the placement region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry import BBox, Point
+from .ring import RotaryRing
+
+
+@dataclass(frozen=True, slots=True)
+class RingArrayOptions:
+    """Geometry knobs for ring array generation."""
+
+    #: Ring half-width as a fraction of half the ring pitch (<1 keeps
+    #: neighbouring rings from overlapping and leaves routing space).
+    fill_factor: float = 0.7
+    #: Reference delay at every ring's reference corner (ps).
+    reference_delay: float = 0.0
+
+
+class RingArray:
+    """A ``side x side`` grid of phase-locked rotary rings over a region."""
+
+    def __init__(
+        self,
+        region: BBox,
+        side: int,
+        period: float,
+        options: RingArrayOptions | None = None,
+    ):
+        if side <= 0:
+            raise ValueError("ring array side must be positive")
+        opts = options or RingArrayOptions()
+        if not 0.0 < opts.fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in (0, 1]")
+        self.region = region
+        self.side = side
+        self.period = period
+        self.options = opts
+        pitch_x = region.width / side
+        pitch_y = region.height / side
+        half = 0.5 * min(pitch_x, pitch_y) * opts.fill_factor
+        self._rings: list[RotaryRing] = []
+        for gy in range(side):
+            for gx in range(side):
+                center = Point(
+                    region.xlo + (gx + 0.5) * pitch_x,
+                    region.ylo + (gy + 0.5) * pitch_y,
+                )
+                self._rings.append(
+                    RotaryRing(
+                        ring_id=len(self._rings),
+                        center=center,
+                        half_width=half,
+                        period=period,
+                        reference_delay=opts.reference_delay,
+                    )
+                )
+
+    def __len__(self) -> int:
+        return len(self._rings)
+
+    def __iter__(self):
+        return iter(self._rings)
+
+    def __getitem__(self, ring_id: int) -> RotaryRing:
+        return self._rings[ring_id]
+
+    @property
+    def rings(self) -> list[RotaryRing]:
+        return list(self._rings)
+
+    @property
+    def num_rings(self) -> int:
+        return len(self._rings)
+
+    def nearest_ring(self, p: Point) -> RotaryRing:
+        """The ring whose center is closest to ``p``."""
+        return min(self._rings, key=lambda r: r.center.manhattan(p))
+
+    def rings_by_distance(self, p: Point, k: int | None = None) -> list[RotaryRing]:
+        """Rings sorted by center distance to ``p`` (optionally top ``k``).
+
+        Used to prune flip-flop/ring arcs in the assignment network: the
+        paper inserts an arc only "if the corresponding flip-flop is
+        considered to be a potential candidate of the ring".
+        """
+        ordered = sorted(self._rings, key=lambda r: r.center.manhattan(p))
+        return ordered if k is None else ordered[:k]
+
+    def default_capacities(self, num_flipflops: int, headroom: float = 1.5) -> list[int]:
+        """Per-ring flip-flop capacities ``U_j``.
+
+        Uniform capacity with ``headroom`` slack over a perfectly even
+        spread, so the network flow has room to trade capacity for cost.
+        """
+        if num_flipflops <= 0:
+            raise ValueError("num_flipflops must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        per = math.ceil(num_flipflops / self.num_rings * headroom)
+        return [per] * self.num_rings

@@ -1,0 +1,143 @@
+"""Electrical model of a rotary ring: oscillation frequency and dummy load.
+
+Equation (2) of the paper: ``f_osc = 1 / (2 sqrt(L_total * C_total))``
+where ``C_total`` is the ring's own capacitance plus the *load capacitance*
+(stub wires + flip-flop input caps) hung on it.  Minimizing the maximum
+load capacitance over rings maximizes the achievable frequency — the
+objective of the Section VI ILP.
+
+The module also models the dummy capacitors the paper inserts "at places
+where no flip-flops exist" to keep the capacitance per unit length uniform
+(non-uniform loading distorts the wave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constants import Technology
+from .ring import RotaryRing
+
+
+@dataclass(frozen=True, slots=True)
+class RingElectrical:
+    """Electrical summary of one loaded ring."""
+
+    ring_id: int
+    inductance_ph: float
+    ring_cap_ff: float
+    load_cap_ff: float
+    dummy_cap_ff: float
+
+    @property
+    def total_cap_ff(self) -> float:
+        return self.ring_cap_ff + self.load_cap_ff + self.dummy_cap_ff
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Oscillation frequency from eq. (2), in GHz."""
+        seconds = 2.0 * (
+            (self.inductance_ph * 1e-12) * (self.total_cap_ff * 1e-15)
+        ) ** 0.5
+        return 1e-9 / seconds
+
+
+def ring_inductance(ring: RotaryRing, tech: Technology) -> float:
+    """Loop inductance (pH) of the differential pair."""
+    return tech.unit_inductance * ring.perimeter
+
+
+def ring_self_capacitance(ring: RotaryRing, tech: Technology) -> float:
+    """Capacitance (fF) of the ring conductors themselves."""
+    return tech.unit_capacitance * ring.perimeter
+
+
+def stub_load_capacitance(stub_length: float, tech: Technology) -> float:
+    """Load (fF) a tapped flip-flop presents to the ring: stub wire plus
+    the flip-flop clock-pin input capacitance."""
+    if stub_length < 0:
+        raise ValueError("stub length cannot be negative")
+    return tech.wire_cap(stub_length) + tech.flipflop_input_cap
+
+
+def dummy_capacitance(
+    ring: RotaryRing,
+    tap_positions: Sequence[float],
+    tap_caps: Sequence[float],
+    num_sectors: int = 8,
+) -> float:
+    """Dummy capacitance (fF) needed to even out the loading of a ring.
+
+    The loop is divided into ``num_sectors`` equal arcs; each sector's
+    attached load is summed and every sector is topped up with dummy
+    capacitors to the maximum sector load.  Returns the total dummy cap.
+    """
+    if len(tap_positions) != len(tap_caps):
+        raise ValueError("tap_positions and tap_caps must have equal length")
+    if num_sectors <= 0:
+        raise ValueError("num_sectors must be positive")
+    sector_len = ring.perimeter / num_sectors
+    loads = [0.0] * num_sectors
+    for s, cap in zip(tap_positions, tap_caps):
+        sector = int((s % ring.perimeter) / sector_len)
+        sector = min(sector, num_sectors - 1)
+        loads[sector] += cap
+    peak = max(loads) if loads else 0.0
+    return sum(peak - load for load in loads)
+
+
+def required_total_capacitance(ring: RotaryRing, target_period: float, tech: Technology) -> float:
+    """Total capacitance (fF) that makes the ring oscillate at the target.
+
+    Inverts eq. (2): ``C_total = T^2 / (4 L_total)``.  Real rotary designs
+    hit their frequency by adding dummy capacitors; the gap between this
+    value and the attached load is the dummy budget.
+    """
+    if target_period <= 0:
+        raise ValueError("target period must be positive")
+    L = ring_inductance(ring, tech) * 1e-12  # H
+    seconds = target_period * 1e-12
+    c_farad = seconds * seconds / (4.0 * L)
+    return c_farad * 1e15
+
+
+def dummy_budget(
+    ring: RotaryRing,
+    load_cap_ff: float,
+    target_period: float,
+    tech: Technology,
+) -> float:
+    """Dummy capacitance (fF) still needed at the given attached load.
+
+    Negative means the ring is over-loaded for the target frequency —
+    precisely what the Section VI min-max formulation guards against.
+    """
+    total = required_total_capacitance(ring, target_period, tech)
+    return total - ring_self_capacitance(ring, tech) - load_cap_ff
+
+
+def ring_electrical(
+    ring: RotaryRing,
+    stub_lengths: Sequence[float],
+    tech: Technology,
+    tap_positions: Sequence[float] | None = None,
+) -> RingElectrical:
+    """Full electrical summary of a ring given its assigned flip-flops.
+
+    ``stub_lengths`` are the tapping wirelengths of the flip-flops
+    assigned to this ring.  ``tap_positions`` (arc lengths) enable the
+    dummy-capacitance estimate; when omitted taps are assumed uniform and
+    no dummy cap is needed.
+    """
+    caps = [stub_load_capacitance(l, tech) for l in stub_lengths]
+    dummy = 0.0
+    if tap_positions is not None:
+        dummy = dummy_capacitance(ring, tap_positions, caps)
+    return RingElectrical(
+        ring_id=ring.ring_id,
+        inductance_ph=ring_inductance(ring, tech),
+        ring_cap_ff=ring_self_capacitance(ring, tech),
+        load_cap_ff=sum(caps),
+        dummy_cap_ff=dummy,
+    )

@@ -1,0 +1,210 @@
+"""Flexible tapping-point computation (Section III of the paper).
+
+Given a flip-flop at ``(x_f, y_f)`` with clock-delay target ``t_hat``, find
+the tapping point ``p`` on a rotary ring and the stub wirelength ``l`` such
+that the Elmore delay through the stub satisfies the target:
+
+    t_f(x) = t0 + rho*x + 1/2 r c l^2 + r l C_ff = t_hat          (eq. 1)
+
+with ``l = |x - x_f| + y_f`` (Manhattan stub).  The curve ``t_f(x)`` is two
+parabolas joined at ``x = x_f``; the paper's four cases are handled:
+
+* **Case 1** (target below the curve): borrow whole periods — reduce ``t0``
+  by ``k*T`` with minimal ``k`` (phase is unchanged).
+* **Case 2** (two roots): keep the smaller-wirelength root.
+* **Case 3** (one root): take it.
+* **Case 4** (target above the curve): tap at the segment end and *snake*
+  the wire — intentionally detour so the stub delay makes up the surplus,
+  like wire snaking in clock-tree routing.
+
+The minimum-wirelength solution over all eight segments of the ring is the
+flip-flop's tapping point; its wirelength is the *tapping cost*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import OHM_FF_TO_PS, Technology
+from ..errors import TappingError
+from ..geometry import Point
+from .ring import RingSegment, RotaryRing
+
+_TOL = 1e-9
+#: Maximum number of whole periods Case 1 may borrow.
+_MAX_PERIOD_REDUCTIONS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class TappingSolution:
+    """A feasible tapping of one flip-flop onto one ring."""
+
+    ring_id: int
+    segment_index: int
+    #: Local coordinate of the tapping point along the segment.
+    x: float
+    #: Planar location of the tapping point.
+    point: Point
+    #: Stub wirelength (um) — the *tapping cost* of Section III.
+    wirelength: float
+    #: Whole periods borrowed by Case 1 (0 when none).
+    periods_borrowed: int
+    #: True when Case 4 wire snaking was required.
+    snaked: bool
+    #: The clock-delay target this solution satisfies (ps).
+    target_delay: float
+
+    @property
+    def is_direct(self) -> bool:
+        return not self.snaked
+
+
+def stub_delay(length: float, tech: Technology, load_cap: float | None = None) -> float:
+    """Elmore delay (ps) of a stub of ``length`` um driving ``load_cap`` fF.
+
+    ``load_cap`` defaults to the flip-flop clock-pin input capacitance;
+    local-tree tapping (Section IX) passes the subtree capacitance instead.
+    """
+    cf = tech.flipflop_input_cap if load_cap is None else load_cap
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    return OHM_FF_TO_PS * (
+        0.5 * r * c * length * length + r * length * cf
+    )
+
+
+def _stub_length_for_delay(
+    delay: float, tech: Technology, load_cap: float | None = None
+) -> float | None:
+    """Invert :func:`stub_delay`: the stub length realizing ``delay`` ps."""
+    if delay < -_TOL:
+        return None
+    if delay <= 0.0:
+        return 0.0
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    cf = tech.flipflop_input_cap if load_cap is None else load_cap
+    # 0.5 r c l^2 + r cf l - delay/K = 0
+    a = 0.5 * r * c
+    b = r * cf
+    disc = b * b + 4.0 * a * delay / OHM_FF_TO_PS
+    return (-b + math.sqrt(disc)) / (2.0 * a)
+
+
+def _quadratic_roots(a: float, b: float, c: float) -> list[float]:
+    """Real roots of ``a x^2 + b x + c = 0`` (``a > 0`` assumed)."""
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        return []
+    sq = math.sqrt(disc)
+    return [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)]
+
+
+def solve_segment(
+    segment: RingSegment,
+    flipflop: Point,
+    target: float,
+    tech: Technology,
+    period: float,
+    load_cap: float | None = None,
+) -> TappingSolution | None:
+    """Best (minimum-wirelength) tapping of ``flipflop`` on one segment.
+
+    Applies Case 1 period borrowing with the minimal ``k``; returns
+    ``None`` only if no case yields a solution within the borrowing limit
+    (cannot happen for sane geometry because Case 4 always closes).
+    """
+    xf, yf = segment.project(flipflop)
+    r, c = tech.unit_resistance, tech.unit_capacitance
+    cf = tech.flipflop_input_cap if load_cap is None else load_cap
+    K = OHM_FF_TO_PS
+    rho = segment.rho
+    b_len = segment.length
+
+    A = K * 0.5 * r * c
+    wire_lin = K * (r * c * yf + r * cf)
+    # g(x) - seg.t0 at x = xf is C0 (the joint of the two parabolas).
+    C0 = rho * xf + A * yf * yf + K * r * cf * yf
+
+    target_norm = target % period
+
+    for k in range(_MAX_PERIOD_REDUCTIONS + 1):
+        budget = target_norm + k * period - segment.t0
+        candidates: list[tuple[float, float, bool]] = []  # (x, wirelength, snaked)
+
+        # Right parabola: x = xf + u, u >= 0, stub = u + yf.
+        u_lo = max(0.0, -xf)
+        u_hi = b_len - xf
+        if u_hi >= u_lo - _TOL:
+            for u in _quadratic_roots(A, rho + wire_lin, C0 - budget):
+                if u_lo - 1e-7 <= u <= u_hi + 1e-7:
+                    u = min(max(u, u_lo), u_hi)
+                    candidates.append((xf + u, u + yf, False))
+
+        # Left parabola: x = xf - v, v >= 0, stub = v + yf.
+        v_lo = max(0.0, xf - b_len)
+        v_hi = xf
+        if v_hi >= v_lo - _TOL:
+            for v in _quadratic_roots(A, -rho + wire_lin, C0 - budget):
+                if v_lo - 1e-7 <= v <= v_hi + 1e-7:
+                    v = min(max(v, v_lo), v_hi)
+                    candidates.append((xf - v, v + yf, False))
+
+        # Case 4: snake from the far segment end (maximum ring delay).
+        direct_at_end = abs(b_len - xf) + yf
+        snake_budget = budget - rho * b_len
+        if snake_budget >= stub_delay(direct_at_end, tech, cf) - _TOL:
+            l_snake = _stub_length_for_delay(snake_budget, tech, cf)
+            if l_snake is not None:
+                candidates.append((b_len, max(l_snake, direct_at_end), True))
+
+        if candidates:
+            x_best, wl_best, snaked = min(candidates, key=lambda t: t[1])
+            x_best = min(max(x_best, 0.0), b_len)
+            return TappingSolution(
+                ring_id=segment.ring_id,
+                segment_index=segment.index,
+                x=x_best,
+                point=segment.point_at(x_best),
+                wirelength=wl_best,
+                periods_borrowed=k,
+                snaked=snaked,
+                target_delay=target_norm,
+            )
+    return None
+
+
+def best_tapping(
+    ring: RotaryRing,
+    flipflop: Point,
+    target: float,
+    tech: Technology,
+    load_cap: float | None = None,
+) -> TappingSolution:
+    """Minimum-wirelength tapping of ``flipflop`` anywhere on ``ring``.
+
+    Evaluates all eight segments (four sides on each line of the
+    differential pair) and returns the cheapest feasible solution.
+    Raises :class:`TappingError` if every segment fails (degenerate
+    geometry only).
+    """
+    best: TappingSolution | None = None
+    for segment in ring.segments():
+        sol = solve_segment(segment, flipflop, target, tech, ring.period, load_cap)
+        if sol is not None and (best is None or sol.wirelength < best.wirelength):
+            best = sol
+    if best is None:
+        raise TappingError(
+            f"no tapping point on ring {ring.ring_id} reaches delay {target:.3f} ps "
+            f"for flip-flop at ({flipflop.x:.1f}, {flipflop.y:.1f})"
+        )
+    return best
+
+
+def tapping_arc_length(ring: RotaryRing, solution: TappingSolution) -> float:
+    """Arc length (from the reference corner) of a solution's tap point.
+
+    Complementary-line segments (indices 4-7) map to the same physical
+    location as their primary counterparts.
+    """
+    side_index = solution.segment_index % 4
+    return side_index * ring.side + solution.x

@@ -1,0 +1,15 @@
+"""Congestion-aware global routing over a G-cell grid."""
+
+from .grid import GCell, RoutingError, RoutingGrid
+from .router import GlobalRouter, Route, RoutingResult, route_clock_stubs, route_design
+
+__all__ = [
+    "GCell",
+    "RoutingGrid",
+    "RoutingError",
+    "GlobalRouter",
+    "Route",
+    "RoutingResult",
+    "route_design",
+    "route_clock_stubs",
+]

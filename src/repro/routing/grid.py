@@ -1,0 +1,124 @@
+"""Global-routing grid (G-cells) with edge capacities and congestion.
+
+The die is tiled into G-cells; routing demand is tracked on the
+boundaries between adjacent cells.  Horizontal edges `(x, y) -> (x+1, y)`
+and vertical edges `(x, y) -> (x, y+1)` carry independent usage counters
+against a per-edge capacity, giving the classic congestion/overflow
+metrics of global routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..geometry import BBox, Point
+
+
+class RoutingError(ReproError):
+    """Global-routing failure (unroutable net, bad grid)."""
+
+
+@dataclass(frozen=True, slots=True)
+class GCell:
+    """Grid coordinates of one G-cell."""
+
+    x: int
+    y: int
+
+
+class RoutingGrid:
+    """A W x H G-cell grid over a die region."""
+
+    def __init__(self, region: BBox, gcell_size: float, capacity: int = 16):
+        if gcell_size <= 0:
+            raise RoutingError("gcell size must be positive")
+        if capacity <= 0:
+            raise RoutingError("edge capacity must be positive")
+        self.region = region
+        self.gcell_size = gcell_size
+        self.capacity = capacity
+        self.width = max(1, int(np.ceil(region.width / gcell_size)))
+        self.height = max(1, int(np.ceil(region.height / gcell_size)))
+        # usage_h[x, y]: edge from (x, y) to (x+1, y); shape (W-1, H).
+        self._usage_h = np.zeros((max(self.width - 1, 0), self.height), dtype=int)
+        # usage_v[x, y]: edge from (x, y) to (x, y+1); shape (W, H-1).
+        self._usage_v = np.zeros((self.width, max(self.height - 1, 0)), dtype=int)
+
+    # ------------------------------------------------------------------
+    def cell_of(self, p: Point) -> GCell:
+        """The G-cell containing planar point ``p`` (clamped to the die)."""
+        gx = int((p.x - self.region.xlo) / self.gcell_size)
+        gy = int((p.y - self.region.ylo) / self.gcell_size)
+        return GCell(
+            min(max(gx, 0), self.width - 1), min(max(gy, 0), self.height - 1)
+        )
+
+    def cell_center(self, cell: GCell) -> Point:
+        return Point(
+            self.region.xlo + (cell.x + 0.5) * self.gcell_size,
+            self.region.ylo + (cell.y + 0.5) * self.gcell_size,
+        )
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    # ------------------------------------------------------------------
+    def edge_usage(self, a: GCell, b: GCell) -> int:
+        ix, arr = self._edge_index(a, b)
+        return int(arr[ix])
+
+    def add_usage(self, a: GCell, b: GCell, amount: int = 1) -> None:
+        ix, arr = self._edge_index(a, b)
+        arr[ix] += amount
+
+    def _edge_index(self, a: GCell, b: GCell):
+        dx, dy = b.x - a.x, b.y - a.y
+        if abs(dx) + abs(dy) != 1:
+            raise RoutingError(f"cells {a} and {b} are not adjacent")
+        if dx != 0:
+            x = min(a.x, b.x)
+            return (x, a.y), self._usage_h
+        y = min(a.y, b.y)
+        return (a.x, y), self._usage_v
+
+    # ------------------------------------------------------------------
+    @property
+    def total_usage(self) -> int:
+        return int(self._usage_h.sum() + self._usage_v.sum())
+
+    @property
+    def overflow(self) -> int:
+        """Total demand above capacity, summed over edges."""
+        over_h = np.maximum(self._usage_h - self.capacity, 0).sum()
+        over_v = np.maximum(self._usage_v - self.capacity, 0).sum()
+        return int(over_h + over_v)
+
+    @property
+    def max_congestion(self) -> float:
+        """Worst edge utilization (usage / capacity)."""
+        peak = 0
+        if self._usage_h.size:
+            peak = max(peak, int(self._usage_h.max()))
+        if self._usage_v.size:
+            peak = max(peak, int(self._usage_v.max()))
+        return peak / self.capacity
+
+    def congestion_map(self) -> np.ndarray:
+        """Per-cell congestion: max utilization of the cell's edges."""
+        out = np.zeros((self.width, self.height))
+        for x in range(self.width):
+            for y in range(self.height):
+                vals = []
+                if x > 0:
+                    vals.append(self._usage_h[x - 1, y])
+                if x < self.width - 1:
+                    vals.append(self._usage_h[x, y])
+                if y > 0:
+                    vals.append(self._usage_v[x, y - 1])
+                if y < self.height - 1:
+                    vals.append(self._usage_v[x, y])
+                out[x, y] = max(vals) / self.capacity if vals else 0.0
+        return out

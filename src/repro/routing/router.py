@@ -1,0 +1,250 @@
+"""Congestion-aware global router.
+
+Nets are decomposed into two-pin connections along their rectilinear MST;
+each connection is routed by, in order of cost:
+
+1. the two **L-shapes** (one bend), picking the less congested;
+2. congestion-aware **A\\* maze routing** when both L-shapes would overflow.
+
+Edge cost is ``1 + penalty * max(0, usage + 1 - capacity)``: free edges
+cost their length, over-capacity edges are strongly discouraged but never
+forbidden (every net completes; overflow is reported, as is standard in
+global routing).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..geometry import Point, rectilinear_mst
+from ..netlist import Circuit
+from .grid import GCell, RoutingGrid, RoutingError
+
+#: Cost penalty per unit of overflow on an edge.
+_OVERFLOW_PENALTY = 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One routed net: a set of grid edges (as cell pairs)."""
+
+    net: str
+    edges: tuple[tuple[GCell, GCell], ...]
+
+    @property
+    def length_cells(self) -> int:
+        return len(self.edges)
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingResult:
+    """Outcome of routing a whole design."""
+
+    routes: dict[str, Route]
+    total_wirelength: float  # um, edge count * gcell size
+    overflow: int
+    max_congestion: float
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.routes)
+
+
+class GlobalRouter:
+    """Routes nets over a :class:`RoutingGrid`, accumulating congestion."""
+
+    def __init__(self, grid: RoutingGrid):
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    def route_net(self, name: str, pins: Sequence[Point]) -> Route:
+        """Route one net; commits its usage to the grid."""
+        cells = [self.grid.cell_of(p) for p in pins]
+        # Deduplicate pins sharing a G-cell.
+        unique: list[GCell] = []
+        seen: set[tuple[int, int]] = set()
+        for c in cells:
+            if (c.x, c.y) not in seen:
+                seen.add((c.x, c.y))
+                unique.append(c)
+        if len(unique) < 2:
+            return Route(net=name, edges=())
+        # Two-pin decomposition along the MST of cell centers.
+        order = self._mst_edges(unique)
+        edges: list[tuple[GCell, GCell]] = []
+        used: set[frozenset[tuple[int, int]]] = set()
+        for a, b in order:
+            for e in self._route_two_pin(a, b):
+                key = frozenset(((e[0].x, e[0].y), (e[1].x, e[1].y)))
+                if key in used:
+                    continue  # shared trunk: no extra wire or usage
+                used.add(key)
+                self.grid.add_usage(*e)
+                edges.append(e)
+        return Route(net=name, edges=tuple(edges))
+
+    def _mst_edges(self, cells: list[GCell]) -> list[tuple[GCell, GCell]]:
+        n = len(cells)
+        in_tree = [False] * n
+        dist = [float("inf")] * n
+        parent = [-1] * n
+        dist[0] = 0.0
+        out: list[tuple[GCell, GCell]] = []
+        for _ in range(n):
+            best, best_d = -1, float("inf")
+            for i in range(n):
+                if not in_tree[i] and dist[i] < best_d:
+                    best, best_d = i, dist[i]
+            in_tree[best] = True
+            if parent[best] >= 0:
+                out.append((cells[parent[best]], cells[best]))
+            for i in range(n):
+                if not in_tree[i]:
+                    d = abs(cells[best].x - cells[i].x) + abs(
+                        cells[best].y - cells[i].y
+                    )
+                    if d < dist[i]:
+                        dist[i] = d
+                        parent[i] = best
+        return out
+
+    # ------------------------------------------------------------------
+    def _route_two_pin(self, a: GCell, b: GCell) -> list[tuple[GCell, GCell]]:
+        if a == b:
+            return []
+        best_l = None
+        best_cost = float("inf")
+        for corner in (GCell(b.x, a.y), GCell(a.x, b.y)):
+            path = self._l_path(a, corner, b)
+            cost = sum(self._edge_cost(u, v) for u, v in path)
+            if cost < best_cost:
+                best_cost, best_l = cost, path
+        assert best_l is not None
+        # If the best L overflows anywhere, let the maze router detour.
+        if any(
+            self.grid.edge_usage(u, v) >= self.grid.capacity for u, v in best_l
+        ):
+            return self._maze(a, b)
+        return best_l
+
+    def _l_path(self, a: GCell, corner: GCell, b: GCell) -> list[tuple[GCell, GCell]]:
+        return self._straight(a, corner) + self._straight(corner, b)
+
+    @staticmethod
+    def _straight(a: GCell, b: GCell) -> list[tuple[GCell, GCell]]:
+        out: list[tuple[GCell, GCell]] = []
+        if a.x != b.x:
+            step = 1 if b.x > a.x else -1
+            for x in range(a.x, b.x, step):
+                out.append((GCell(x, a.y), GCell(x + step, a.y)))
+        if a.y != b.y:
+            step = 1 if b.y > a.y else -1
+            for y in range(a.y, b.y, step):
+                out.append((GCell(b.x, y), GCell(b.x, y + step)))
+        return out
+
+    def _edge_cost(self, a: GCell, b: GCell) -> float:
+        usage = self.grid.edge_usage(a, b)
+        over = max(0, usage + 1 - self.grid.capacity)
+        return 1.0 + _OVERFLOW_PENALTY * over
+
+    def _maze(self, a: GCell, b: GCell) -> list[tuple[GCell, GCell]]:
+        """Congestion-aware A* over the grid graph."""
+        start = (a.x, a.y)
+        goal = (b.x, b.y)
+
+        def h(n: tuple[int, int]) -> float:
+            return abs(n[0] - goal[0]) + abs(n[1] - goal[1])
+
+        dist: dict[tuple[int, int], float] = {start: 0.0}
+        prev: dict[tuple[int, int], tuple[int, int]] = {}
+        heap: list[tuple[float, tuple[int, int]]] = [(h(start), start)]
+        closed: set[tuple[int, int]] = set()
+        while heap:
+            f, node = heapq.heappop(heap)
+            if node in closed:
+                continue
+            if node == goal:
+                break
+            closed.add(node)
+            x, y = node
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if not self.grid.in_bounds(nx, ny) or (nx, ny) in closed:
+                    continue
+                cost = dist[node] + self._edge_cost(
+                    GCell(x, y), GCell(nx, ny)
+                )
+                if cost < dist.get((nx, ny), float("inf")) - 1e-12:
+                    dist[(nx, ny)] = cost
+                    prev[(nx, ny)] = node
+                    heapq.heappush(heap, (cost + h((nx, ny)), (nx, ny)))
+        if goal not in dist:
+            raise RoutingError(f"maze router failed {start} -> {goal}")
+        # Reconstruct.
+        path: list[tuple[GCell, GCell]] = []
+        node = goal
+        while node != start:
+            p = prev[node]
+            path.append((GCell(p[0], p[1]), GCell(node[0], node[1])))
+            node = p
+        path.reverse()
+        return path
+
+
+def route_clock_stubs(
+    assignment,
+    positions: Mapping[str, Point],
+    grid: RoutingGrid,
+) -> RoutingResult:
+    """Route every tapping stub (ring tapping point -> flip-flop).
+
+    Uses the same congestion machinery as signal routing, so clock stubs
+    can be routed on a grid already loaded with signal demand to check
+    that the tapping wires actually fit.  ``assignment`` is a
+    :class:`repro.core.cost.Assignment`.
+    """
+    router = GlobalRouter(grid)
+    routes: dict[str, Route] = {}
+    for ff, sol in sorted(assignment.solutions.items()):
+        pins = [sol.point, positions[ff]]
+        routes[f"clk_{ff}"] = router.route_net(f"clk_{ff}", pins)
+    total_wl = sum(r.length_cells for r in routes.values()) * grid.gcell_size
+    return RoutingResult(
+        routes=routes,
+        total_wirelength=total_wl,
+        overflow=grid.overflow,
+        max_congestion=grid.max_congestion,
+    )
+
+
+def route_design(
+    circuit: Circuit,
+    positions: Mapping[str, Point],
+    grid: RoutingGrid,
+) -> RoutingResult:
+    """Route every signal net of a placed design.
+
+    Nets are routed in decreasing-HPWL order (big nets claim trunks
+    first, the standard global-routing heuristic).
+    """
+    router = GlobalRouter(grid)
+    jobs = []
+    for name, net in circuit.nets.items():
+        pins = [positions[m] for m in net.members if m in positions]
+        if len(pins) >= 2:
+            from ..geometry import net_hpwl
+
+            jobs.append((net_hpwl(pins), name, pins))
+    jobs.sort(key=lambda j: (-j[0], j[1]))
+    routes: dict[str, Route] = {}
+    for _, name, pins in jobs:
+        routes[name] = router.route_net(name, pins)
+    total_wl = sum(r.length_cells for r in routes.values()) * grid.gcell_size
+    return RoutingResult(
+        routes=routes,
+        total_wirelength=total_wl,
+        overflow=grid.overflow,
+        max_congestion=grid.max_congestion,
+    )

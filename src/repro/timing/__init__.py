@@ -1,0 +1,30 @@
+"""Static timing analysis: Elmore delays, gate model, sequential pairs."""
+
+from .constraints import (
+    PermissibleRange,
+    permissible_range,
+    permissible_ranges,
+    skew_constraints,
+    validate_schedule,
+)
+from .corners import Corner, MultiCornerTiming, analyze_corners, default_corners
+from .elmore import RCTree, star_net_delay
+from .gates import GateDelayModel
+from .sta import PathBounds, SequentialTiming
+
+__all__ = [
+    "RCTree",
+    "star_net_delay",
+    "GateDelayModel",
+    "PathBounds",
+    "SequentialTiming",
+    "PermissibleRange",
+    "permissible_range",
+    "permissible_ranges",
+    "skew_constraints",
+    "validate_schedule",
+    "Corner",
+    "MultiCornerTiming",
+    "default_corners",
+    "analyze_corners",
+]

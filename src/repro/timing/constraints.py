@@ -1,0 +1,112 @@
+"""Setup/hold timing constraints and skew permissible ranges.
+
+For a sequentially adjacent pair ``i -> j`` the skew ``s = t_i - t_j``
+must satisfy (eqs. (6)-(7) of the paper with slack ``M``):
+
+    long path  (setup):  s <= T - D_max^ij - t_setup - M
+    short path (hold):   s >= t_hold - D_min^ij + M
+
+The closed interval between those bounds is the *permissible range* [4];
+a wider range means more tolerance to skew variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..constants import Technology
+from ..opt.diffconstraints import SkewConstraint
+from .sta import PathBounds
+
+
+@dataclass(frozen=True, slots=True)
+class PermissibleRange:
+    """Allowed skew interval ``[lo, hi]`` for one sequential pair."""
+
+    launch: str
+    capture: str
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def feasible(self) -> bool:
+        return self.hi >= self.lo
+
+    def contains(self, skew: float, tol: float = 1e-9) -> bool:
+        return self.lo - tol <= skew <= self.hi + tol
+
+
+def permissible_range(
+    launch: str,
+    capture: str,
+    bounds: PathBounds,
+    period: float,
+    tech: Technology,
+    slack: float = 0.0,
+) -> PermissibleRange:
+    """Permissible skew range of one pair at a given guaranteed slack."""
+    hi = period - bounds.d_max - tech.setup_time - slack
+    lo = tech.hold_time - bounds.d_min + slack
+    return PermissibleRange(launch, capture, lo, hi)
+
+
+def permissible_ranges(
+    pairs: Mapping[tuple[str, str], PathBounds],
+    period: float,
+    tech: Technology,
+    slack: float = 0.0,
+) -> dict[tuple[str, str], PermissibleRange]:
+    """Permissible ranges for every sequentially adjacent pair."""
+    return {
+        (i, j): permissible_range(i, j, b, period, tech, slack)
+        for (i, j), b in pairs.items()
+    }
+
+
+def skew_constraints(
+    pairs: Mapping[tuple[str, str], PathBounds],
+    period: float,
+    tech: Technology,
+) -> list[SkewConstraint]:
+    """Eqs. (6)-(7) as difference constraints parameterized by slack M.
+
+    Long path:  t_i - t_j <= (T - D_max - setup) - 1*M
+    Short path: t_j - t_i <= (D_min - hold)      - 1*M
+    """
+    constraints: list[SkewConstraint] = []
+    for (i, j), b in pairs.items():
+        constraints.append(
+            SkewConstraint(i, j, period - b.d_max - tech.setup_time, 1.0)
+        )
+        constraints.append(SkewConstraint(j, i, b.d_min - tech.hold_time, 1.0))
+    return constraints
+
+
+def validate_schedule(
+    schedule: Mapping[str, float],
+    pairs: Mapping[tuple[str, str], PathBounds],
+    period: float,
+    tech: Technology,
+    slack: float = 0.0,
+    tol: float = 1e-6,
+) -> list[str]:
+    """Human-readable violations of a skew schedule (empty = clean)."""
+    problems: list[str] = []
+    for (i, j), b in pairs.items():
+        skew = schedule[i] - schedule[j]
+        hi = period - b.d_max - tech.setup_time - slack
+        lo = tech.hold_time - b.d_min + slack
+        if skew > hi + tol:
+            problems.append(
+                f"setup violation {i}->{j}: skew {skew:.3f} > {hi:.3f}"
+            )
+        if skew < lo - tol:
+            problems.append(
+                f"hold violation {i}->{j}: skew {skew:.3f} < {lo:.3f}"
+            )
+    return problems

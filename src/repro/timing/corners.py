@@ -1,0 +1,105 @@
+"""Multi-corner timing: process corners and corner-merged constraints.
+
+The paper's motivation is variation tolerance; a schedule computed at one
+(nominal) corner can violate setup at the slow corner or hold at the fast
+corner.  This module runs the STA at several :class:`Technology` corners
+and merges the per-pair bounds pessimistically —
+
+    D_max = max over corners,   D_min = min over corners
+
+— so a skew schedule feasible against the merged bounds is feasible at
+*every* corner simultaneously (the standard multi-corner guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from ..constants import Technology
+from ..geometry import Point
+from ..netlist import Circuit
+from .sta import PathBounds, SequentialTiming
+
+
+@dataclass(frozen=True, slots=True)
+class Corner:
+    """A named process corner."""
+
+    name: str
+    tech: Technology
+
+
+def default_corners(
+    nominal: Technology,
+    spread: float = 0.15,
+) -> tuple[Corner, Corner, Corner]:
+    """Slow/nominal/fast corners at ±``spread`` on wires and cells."""
+    if not 0.0 <= spread < 1.0:
+        raise ValueError("corner spread must be in [0, 1)")
+
+    def scaled(factor: float) -> Technology:
+        return replace(
+            nominal,
+            unit_resistance=nominal.unit_resistance * factor,
+            unit_capacitance=nominal.unit_capacitance * factor,
+            gate_intrinsic_delay=nominal.gate_intrinsic_delay * factor,
+            gate_drive_resistance=nominal.gate_drive_resistance * factor,
+            buffer_intrinsic_delay=nominal.buffer_intrinsic_delay * factor,
+            buffer_drive_resistance=nominal.buffer_drive_resistance * factor,
+        )
+
+    return (
+        Corner("slow", scaled(1.0 + spread)),
+        Corner("nominal", nominal),
+        Corner("fast", scaled(1.0 - spread)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MultiCornerTiming:
+    """Per-corner pair bounds plus the pessimistic merge."""
+
+    corners: tuple[str, ...]
+    per_corner: dict[str, dict[tuple[str, str], PathBounds]]
+    merged: dict[tuple[str, str], PathBounds]
+
+    def corner_pairs(self, name: str) -> dict[tuple[str, str], PathBounds]:
+        try:
+            return self.per_corner[name]
+        except KeyError:
+            known = ", ".join(self.corners)
+            raise KeyError(f"unknown corner {name!r}; known: {known}") from None
+
+
+def analyze_corners(
+    circuit: Circuit,
+    positions: Mapping[str, Point],
+    corners: Sequence[Corner],
+) -> MultiCornerTiming:
+    """STA at every corner and the pessimistic cross-corner merge.
+
+    The pair set is identical across corners (adjacency is structural);
+    only the delays move.
+    """
+    if not corners:
+        raise ValueError("need at least one corner")
+    per_corner: dict[str, dict[tuple[str, str], PathBounds]] = {}
+    for corner in corners:
+        timing = SequentialTiming(circuit, positions, corner.tech)
+        per_corner[corner.name] = dict(timing.pairs)
+
+    merged: dict[tuple[str, str], PathBounds] = {}
+    names = [c.name for c in corners]
+    keys = set().union(*(per_corner[n].keys() for n in names))
+    for key in keys:
+        d_max = max(
+            per_corner[n][key].d_max for n in names if key in per_corner[n]
+        )
+        d_min = min(
+            per_corner[n][key].d_min for n in names if key in per_corner[n]
+        )
+        merged[key] = PathBounds(d_min=d_min, d_max=d_max)
+    return MultiCornerTiming(
+        corners=tuple(names), per_corner=per_corner, merged=merged
+    )

@@ -1,0 +1,62 @@
+"""Load-dependent linear gate-delay model.
+
+Each cell kind gets a delay ``d = intrinsic * k_i + (R_drive * k_r) * C_load``
+where the per-kind factors roughly track SIS-era standard-cell libraries
+(inverters fast, XOR slow, flip-flop clock-to-Q in between).  The absolute
+values come from :class:`repro.constants.Technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import OHM_FF_TO_PS, Technology
+from ..netlist import CellKind
+
+#: (intrinsic multiplier, drive-resistance multiplier) per cell kind.
+_KIND_FACTORS: dict[CellKind, tuple[float, float]] = {
+    CellKind.NOT: (0.6, 0.8),
+    CellKind.BUF: (0.8, 0.7),
+    CellKind.NAND: (1.0, 1.0),
+    CellKind.NOR: (1.1, 1.1),
+    CellKind.AND: (1.3, 1.0),
+    CellKind.OR: (1.4, 1.1),
+    CellKind.XOR: (1.8, 1.3),
+    CellKind.XNOR: (1.8, 1.3),
+    CellKind.DFF: (1.5, 1.0),  # clock-to-Q
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GateDelayModel:
+    """Evaluates cell delays and pin capacitances for one technology."""
+
+    tech: Technology
+
+    def input_cap(self, kind: CellKind) -> float:
+        """Input-pin capacitance (fF) of a cell of ``kind``."""
+        if kind is CellKind.DFF:
+            return self.tech.gate_input_cap  # D pin (clock pin is separate)
+        if kind.is_pad:
+            return 0.0
+        return self.tech.gate_input_cap
+
+    def drive_resistance(self, kind: CellKind) -> float:
+        """Output drive resistance (ohm)."""
+        if kind.is_pad:
+            return 0.0  # primary inputs are ideal sources
+        _, kr = _KIND_FACTORS[kind]
+        return self.tech.gate_drive_resistance * kr
+
+    def delay(self, kind: CellKind, load_cap: float) -> float:
+        """Cell delay (ps) driving ``load_cap`` fF.
+
+        For a DFF this is the clock-to-Q delay; pads have zero delay.
+        """
+        if kind.is_pad:
+            return 0.0
+        ki, kr = _KIND_FACTORS[kind]
+        return (
+            self.tech.gate_intrinsic_delay * ki
+            + self.tech.gate_drive_resistance * kr * load_cap * OHM_FF_TO_PS
+        )

@@ -1,0 +1,223 @@
+"""Levelized static timing analysis over a placed netlist.
+
+Produces exactly what skew optimization needs: for every *sequentially
+adjacent* flip-flop pair ``i -> j`` (combinational logic only between
+them), the maximum and minimum path delays ``D_max^ij`` / ``D_min^ij``,
+measured from the launching flip-flop's clock-to-Q through gates and star-
+routed wires (Elmore) to the capturing flip-flop's D pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..constants import Technology
+from ..errors import CombinationalCycleError, TimingError
+from ..geometry import Point
+from ..netlist import Cell, CellKind, Circuit
+from .elmore import buffered_branch_load, buffered_wire_delay
+from .gates import GateDelayModel
+
+
+@dataclass(frozen=True, slots=True)
+class PathBounds:
+    """Min/max combinational delay between one sequential pair (ps)."""
+
+    d_min: float
+    d_max: float
+
+
+class SequentialTiming:
+    """D_min/D_max for all sequentially adjacent flip-flop pairs.
+
+    Parameters
+    ----------
+    circuit:
+        A validated circuit.
+    positions:
+        Placement: cell name -> :class:`Point`.  Missing cells default to
+        the origin (useful for pre-placement estimates); wire delays then
+        collapse to zero length.
+    tech:
+        Technology parameters.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        positions: Mapping[str, Point],
+        tech: Technology,
+    ):
+        self.circuit = circuit
+        self.tech = tech
+        self.model = GateDelayModel(tech)
+        self._positions = positions
+        self._pairs: dict[tuple[str, str], PathBounds] = {}
+        self._analyze()
+
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> dict[tuple[str, str], PathBounds]:
+        """``{(launch_ff, capture_ff): PathBounds}`` for adjacent pairs."""
+        return self._pairs
+
+    def bounds(self, launch: str, capture: str) -> PathBounds:
+        try:
+            return self._pairs[(launch, capture)]
+        except KeyError:
+            raise TimingError(
+                f"flip-flops {launch!r} -> {capture!r} are not sequentially adjacent"
+            ) from None
+
+    @property
+    def max_delay(self) -> float:
+        """Largest D_max over all pairs (the critical register-to-register
+        path); 0.0 when there are no pairs."""
+        return max((b.d_max for b in self._pairs.values()), default=0.0)
+
+    # ------------------------------------------------------------------
+    def _pos(self, name: str) -> Point:
+        return self._positions.get(name, Point(0.0, 0.0))
+
+    def _analyze(self) -> None:
+        circuit = self.circuit
+        tech = self.tech
+        model = self.model
+
+        # Wire length and driver load per net (star model, long branches
+        # repeater-buffered so the driver only sees the first segment).
+        # Nets whose aggregate load still exceeds the driver limit get a
+        # buffer tree: the driver sees the capped load and every branch
+        # pays the tree's level delay.
+        branch_len: dict[tuple[str, str], float] = {}
+        load_cap: dict[str, float] = {}
+        tree_delay: dict[str, float] = {}
+        limit = tech.max_driver_load
+        branching = tech.buffer_tree_branching
+        buf_stage = (
+            tech.buffer_intrinsic_delay
+            + tech.buffer_drive_resistance * limit * 1e-3
+        )
+        for net in circuit.nets.values():
+            dp = self._pos(net.driver)
+            total = 0.0
+            for sink in net.sinks:
+                length = dp.manhattan(self._pos(sink))
+                branch_len[(net.driver, sink)] = length
+                total += buffered_branch_load(
+                    length, model.input_cap(circuit.cell(sink).kind), tech
+                )
+            if total > limit:
+                levels = math.ceil(math.log(total / limit) / math.log(branching))
+                tree_delay[net.driver] = levels * buf_stage
+                total = limit
+            load_cap[net.driver] = total
+
+        # Per-cell output delay (gate or clock-to-Q).
+        cell_delay: dict[str, float] = {}
+        for cell in circuit:
+            cell_delay[cell.name] = model.delay(cell.kind, load_cap.get(cell.name, 0.0))
+
+        # Edge delay from driver output to sink input: buffered-wire
+        # Elmore (the driver's own resistance is inside cell_delay).
+        def edge_delay(driver: str, sink: str) -> float:
+            length = branch_len[(driver, sink)]
+            sink_cap = model.input_cap(circuit.cell(sink).kind)
+            return tree_delay.get(driver, 0.0) + buffered_wire_delay(
+                length, sink_cap, tech
+            )
+
+        topo_index = self._topological_order()
+
+        # Combinational adjacency: signal -> [(consumer node, wire delay)].
+        consumers: dict[str, list[tuple[str, float]]] = {}
+        for net in circuit.nets.values():
+            lst = []
+            for sink in net.sinks:
+                sink_cell = circuit.cell(sink)
+                if sink_cell.kind is CellKind.OUTPUT:
+                    continue  # PO paths are not register-to-register
+                node = (
+                    Circuit.dff_data_node(sink)
+                    if sink_cell.is_flipflop
+                    else sink
+                )
+                lst.append((node, edge_delay(net.driver, sink)))
+            consumers[net.driver] = lst
+
+        for ff in circuit.flip_flops:
+            self._propagate_from(ff, consumers, cell_delay, topo_index)
+
+    def _topological_order(self) -> dict[str, int]:
+        """Topological index of every node in the combinational DAG."""
+        indeg: dict[str, int] = {}
+        succ: dict[str, list[str]] = {}
+        for u, v in self.circuit.combinational_edges():
+            indeg[v] = indeg.get(v, 0) + 1
+            indeg.setdefault(u, 0)
+            succ.setdefault(u, []).append(v)
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: dict[str, int] = {}
+        while ready:
+            n = ready.pop()
+            order[n] = len(order)
+            for m in succ.get(n, ()):
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+        if len(order) != len(indeg):
+            stuck = [n for n, d in indeg.items() if d > 0]
+            raise CombinationalCycleError(stuck)
+        return order
+
+    def _propagate_from(
+        self,
+        source: Cell,
+        consumers: dict[str, list[tuple[str, float]]],
+        cell_delay: dict[str, float],
+        topo_index: dict[str, int],
+    ) -> None:
+        """Min/max arrival propagation over the source's fanout cone."""
+        circuit = self.circuit
+        start = cell_delay[source.name]  # clock-to-Q
+        arrivals: dict[str, tuple[float, float]] = {source.name: (start, start)}
+        heap: list[tuple[int, str]] = [(topo_index[source.name], source.name)]
+        seen: set[str] = set()
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node in seen:
+                continue
+            seen.add(node)
+            mn, mx = arrivals[node]
+            if node.endswith("$D"):
+                # Captured at a register (self-loops i -> i are legitimate
+                # sequential pairs); do not pass through.
+                capture = node[:-2]
+                key = (source.name, capture)
+                prev = self._pairs.get(key)
+                if prev is None:
+                    self._pairs[key] = PathBounds(mn, mx)
+                else:
+                    self._pairs[key] = PathBounds(
+                        min(prev.d_min, mn), max(prev.d_max, mx)
+                    )
+                continue
+            # Leaving a gate node adds its delay (already included for the
+            # source's clock-to-Q in `start`).
+            for succ, wire in consumers.get(node, ()):  # signal fanout
+                base_mn = mn + wire
+                base_mx = mx + wire
+                if not succ.endswith("$D"):
+                    gd = cell_delay[succ]
+                    base_mn += gd
+                    base_mx += gd
+                cur = arrivals.get(succ)
+                if cur is None:
+                    arrivals[succ] = (base_mn, base_mx)
+                    heapq.heappush(heap, (topo_index[succ], succ))
+                else:
+                    arrivals[succ] = (min(cur[0], base_mn), max(cur[1], base_mx))
+        return None

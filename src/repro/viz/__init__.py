@@ -1,0 +1,5 @@
+"""SVG visualization of rotary-clocked designs."""
+
+from .svg import render_flow_svg, render_positions_svg
+
+__all__ = ["render_flow_svg", "render_positions_svg"]

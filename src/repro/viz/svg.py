@@ -1,0 +1,156 @@
+"""SVG rendering of a rotary-clocked design.
+
+Produces a standalone SVG showing the die, the placement rows, the rotary
+ring array (both lines of each differential pair), every flip-flop colored
+by its assigned ring, and the tapping stubs from ring to flip-flop.
+Depends only on the standard library; meant for quick visual inspection of
+flow results::
+
+    from repro.viz import render_flow_svg
+    svg = render_flow_svg(flow_result, circuit)
+    open("design.svg", "w").write(svg)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+from xml.sax.saxutils import escape
+
+from ..core.flow import FlowResult
+from ..geometry import BBox, Point
+from ..netlist import Circuit
+
+#: Categorical ring colors (cycled).
+_PALETTE = (
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+    "#eeca3b", "#b279a2", "#ff9da6", "#9d755d", "#bab0ac",
+)
+
+
+class _Svg:
+    def __init__(self, view: BBox, margin: float = 20.0):
+        self.parts: list[str] = []
+        self.view = view
+        self.margin = margin
+
+    def line(self, a: Point, b: Point, stroke: str, width: float = 1.0,
+             dash: str | None = None, opacity: float = 1.0) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{a.x:.2f}" y1="{self._y(a.y):.2f}" '
+            f'x2="{b.x:.2f}" y2="{self._y(b.y):.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.2f}"{dash_attr}/>'
+        )
+
+    def rect(self, box: BBox, stroke: str, fill: str = "none",
+             width: float = 1.0, opacity: float = 1.0) -> None:
+        self.parts.append(
+            f'<rect x="{box.xlo:.2f}" y="{self._y(box.yhi):.2f}" '
+            f'width="{box.width:.2f}" height="{box.height:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}" fill="{fill}" '
+            f'opacity="{opacity:.2f}"/>'
+        )
+
+    def circle(self, center: Point, radius: float, fill: str,
+               opacity: float = 1.0) -> None:
+        self.parts.append(
+            f'<circle cx="{center.x:.2f}" cy="{self._y(center.y):.2f}" '
+            f'r="{radius:.2f}" fill="{fill}" fill-opacity="{opacity:.2f}"/>'
+        )
+
+    def text(self, at: Point, content: str, size: float = 10.0,
+             fill: str = "#333333") -> None:
+        self.parts.append(
+            f'<text x="{at.x:.2f}" y="{self._y(at.y):.2f}" '
+            f'font-size="{size:.1f}" fill="{fill}" '
+            f'font-family="monospace">{escape(content)}</text>'
+        )
+
+    def _y(self, y: float) -> float:
+        """Flip to SVG's top-left origin."""
+        return self.view.yhi - y + self.view.ylo
+
+    def render(self) -> str:
+        m = self.margin
+        v = self.view
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'viewBox="{v.xlo - m:.2f} {v.ylo - m:.2f} '
+            f'{v.width + 2 * m:.2f} {v.height + 2 * m:.2f}">'
+        )
+        return header + "".join(self.parts) + "</svg>"
+
+
+def render_flow_svg(
+    result: FlowResult,
+    circuit: Circuit,
+    show_cells: bool = False,
+    show_rows: bool = True,
+) -> str:
+    """Render a :class:`FlowResult` as an SVG string."""
+    die = result.array.region
+    svg = _Svg(die)
+    svg.rect(die, stroke="#222222", width=1.5)
+
+    if show_rows:
+        step = max(die.height / 40.0, 1.0)
+        y = die.ylo + step
+        while y < die.yhi:
+            svg.line(Point(die.xlo, y), Point(die.xhi, y), "#dddddd", 0.4)
+            y += step
+
+    if show_cells:
+        ff_names = set(result.assignment.ring_of)
+        for cell in circuit.standard_cells:
+            if cell.name in ff_names:
+                continue
+            p = result.positions.get(cell.name)
+            if p is not None:
+                svg.circle(p, 0.8, "#bbbbbb", opacity=0.6)
+
+    ring_color = {
+        ring.ring_id: _PALETTE[ring.ring_id % len(_PALETTE)]
+        for ring in result.array
+    }
+    for ring in result.array:
+        color = ring_color[ring.ring_id]
+        svg.rect(ring.bbox, stroke=color, width=1.4)
+        inner = BBox(
+            ring.bbox.xlo + 2.0,
+            ring.bbox.ylo + 2.0,
+            ring.bbox.xhi - 2.0,
+            ring.bbox.yhi - 2.0,
+        )
+        if inner.width > 0 and inner.height > 0:
+            svg.rect(inner, stroke=color, width=0.7, opacity=0.6)
+        ref = ring.corners()[0]
+        svg.circle(ref, 1.6, color)  # equal-phase reference point
+
+    for ff, sol in result.assignment.solutions.items():
+        color = ring_color[result.assignment.ring_of[ff]]
+        p = result.positions[ff]
+        svg.line(sol.point, p, color, 0.8, dash="2,2" if sol.snaked else None)
+        svg.circle(p, 1.8, color)
+
+    svg.text(
+        Point(die.xlo, die.yhi + 8.0),
+        f"{result.circuit_name}: {len(result.assignment.ring_of)} FFs on "
+        f"{result.array.num_rings} rings, tap WL "
+        f"{result.final.tapping_wirelength:.0f} um",
+    )
+    return svg.render()
+
+
+def render_positions_svg(
+    positions: Mapping[str, Point],
+    die: BBox,
+    highlight: Mapping[str, str] | None = None,
+) -> str:
+    """Render bare cell positions (debugging aid for the placer)."""
+    svg = _Svg(die)
+    svg.rect(die, stroke="#222222", width=1.5)
+    colors = highlight or {}
+    for name, p in positions.items():
+        svg.circle(p, 1.0, colors.get(name, "#4c78a8"), opacity=0.7)
+    return svg.render()

@@ -1,0 +1,109 @@
+"""Tests for the Monte-Carlo skew-variation analysis."""
+
+import random
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.analysis import (
+    SkewVariationStats,
+    VariationModel,
+    rotary_skew_variation,
+    tree_skew_variation,
+)
+from repro.clocktree import synthesize_clock_tree
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import Point
+from repro.netlist import generate_circuit, small_profile
+from repro.timing import SequentialTiming
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def variation_setup():
+    circuit = generate_circuit(small_profile(num_cells=220, num_flipflops=40, seed=31))
+    result = IntegratedFlow(circuit, options=FlowOptions(ring_grid_side=2)).run()
+    timing = SequentialTiming(circuit, result.positions, TECH)
+    pairs = list(timing.pairs.keys())
+    ff_positions = {ff.name: result.positions[ff.name] for ff in circuit.flip_flops}
+    tree = synthesize_clock_tree(ff_positions, TECH)
+    return result, pairs, tree
+
+
+class TestRotaryVariation:
+    def test_deterministic(self, variation_setup):
+        result, pairs, _ = variation_setup
+        a = rotary_skew_variation(result.assignment, pairs, TECH)
+        b = rotary_skew_variation(result.assignment, pairs, TECH)
+        assert a == b
+
+    def test_scales_with_sigma(self, variation_setup):
+        result, pairs, _ = variation_setup
+        small = rotary_skew_variation(
+            result.assignment, pairs, TECH,
+            VariationModel(interconnect_sigma=0.02, ring_jitter_ps=0.5, samples=500),
+        )
+        large = rotary_skew_variation(
+            result.assignment, pairs, TECH,
+            VariationModel(interconnect_sigma=0.20, ring_jitter_ps=5.0, samples=500),
+        )
+        assert large.sigma_ps > small.sigma_ps
+
+    def test_zero_variation_zero_skew_spread(self, variation_setup):
+        result, pairs, _ = variation_setup
+        stats = rotary_skew_variation(
+            result.assignment, pairs, TECH,
+            VariationModel(
+                interconnect_sigma=0.0, buffer_sigma=0.0, ring_jitter_ps=0.0,
+                samples=100,
+            ),
+        )
+        assert stats.sigma_ps == pytest.approx(0.0, abs=1e-12)
+        assert stats.worst_ps == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_usable_pairs(self, variation_setup):
+        result, _, _ = variation_setup
+        stats = rotary_skew_variation(result.assignment, [], TECH)
+        assert stats == SkewVariationStats(0.0, 0.0, 0.0, 0, VariationModel().samples)
+
+    def test_self_pairs_excluded(self, variation_setup):
+        result, _, _ = variation_setup
+        ff = next(iter(result.assignment.ring_of))
+        stats = rotary_skew_variation(result.assignment, [(ff, ff)], TECH)
+        assert stats.num_pairs == 0
+
+
+class TestTreeVariation:
+    def test_deeper_trees_vary_more(self):
+        rng = random.Random(7)
+        pairs = []
+        shallow_sinks = {
+            f"s{i}": Point(rng.uniform(0, 200), rng.uniform(0, 200)) for i in range(4)
+        }
+        deep_sinks = {
+            f"s{i}": Point(rng.uniform(0, 200), rng.uniform(0, 200)) for i in range(64)
+        }
+        pairs4 = [(f"s{i}", f"s{(i + 1) % 4}") for i in range(4)]
+        pairs64 = [(f"s{i}", f"s{(i + 1) % 64}") for i in range(64)]
+        shallow = tree_skew_variation(
+            synthesize_clock_tree(shallow_sinks, TECH), pairs4, TECH
+        )
+        deep = tree_skew_variation(
+            synthesize_clock_tree(deep_sinks, TECH), pairs64, TECH
+        )
+        assert deep.sigma_ps > shallow.sigma_ps
+
+    def test_rotary_beats_tree(self, variation_setup):
+        """The paper's motivating claim on our own designs."""
+        result, pairs, tree = variation_setup
+        rotary = rotary_skew_variation(result.assignment, pairs, TECH)
+        conventional = tree_skew_variation(tree, pairs, TECH)
+        assert rotary.sigma_ps < conventional.sigma_ps
+        assert rotary.worst_ps < conventional.worst_ps
+
+    def test_pair_count_reported(self, variation_setup):
+        _, pairs, tree = variation_setup
+        stats = tree_skew_variation(tree, pairs, TECH)
+        usable = {(i, j) for i, j in pairs if i != j}
+        assert stats.num_pairs == len(usable)

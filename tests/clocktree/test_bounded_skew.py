@@ -1,0 +1,129 @@
+"""Tests for bounded-skew clock-tree embedding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocktree import (
+    TopologyNode,
+    embed_bounded_skew,
+    embed_zero_skew,
+    synthesize_bounded_skew_tree,
+    synthesize_clock_tree,
+)
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import ClockTreeError
+from repro.geometry import Point
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+def leaf(name: str, p: Point) -> TopologyNode:
+    return TopologyNode(name=name, location=p)
+
+
+def snakey_topology():
+    """Deep slow subtree merged with a central fast leaf: zero skew must
+    snake, so a budget buys wire."""
+    deep = TopologyNode(
+        name="m", left=leaf("a", Point(0, 0)), right=leaf("b", Point(1200, 0))
+    )
+    topo = TopologyNode(name="root", left=deep, right=leaf("c", Point(600, 0)))
+    caps = {"a": 12.0, "b": 12.0, "c": 12.0}
+    return topo, caps
+
+
+def recomputed_delays(tree):
+    delays = {}
+
+    def subtree_cap(node):
+        if not node.children:
+            return node.subtree_cap
+        return sum(
+            subtree_cap(ch) + TECH.wire_cap(ch.edge_length) for ch in node.children
+        )
+
+    def walk(node, acc):
+        for ch in node.children:
+            r = TECH.wire_res(ch.edge_length)
+            c_down = subtree_cap(ch) + 0.5 * TECH.wire_cap(ch.edge_length)
+            d = acc + r * c_down * 1e-3
+            if ch.children:
+                walk(ch, d)
+            else:
+                delays[ch.name] = d
+
+    walk(tree.root, 0.0)
+    return delays
+
+
+class TestBoundedSkew:
+    def test_zero_bound_matches_zero_skew(self):
+        rng = random.Random(3)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 500), rng.uniform(0, 500))
+            for i in range(15)
+        }
+        zs = synthesize_clock_tree(sinks, TECH)
+        bst = synthesize_bounded_skew_tree(sinks, TECH, skew_bound=0.0)
+        assert bst.total_wirelength == pytest.approx(zs.total_wirelength, rel=1e-6)
+        assert bst.skew_spread == pytest.approx(0.0, abs=1e-9)
+
+    def test_budget_saves_wire_on_snakey_instance(self):
+        topo, caps = snakey_topology()
+        zs = embed_zero_skew(topo, caps, TECH)
+        bst = embed_bounded_skew(topo, caps, TECH, skew_bound=2.0)
+        assert bst.total_wirelength < zs.total_wirelength - 1.0
+
+    def test_wirelength_monotone_in_bound(self):
+        topo, caps = snakey_topology()
+        wls = [
+            embed_bounded_skew(topo, caps, TECH, skew_bound=b).total_wirelength
+            for b in (0.0, 0.5, 2.0, 10.0)
+        ]
+        assert all(a >= b - 1e-6 for a, b in zip(wls, wls[1:]))
+
+    def test_spread_respects_bound(self):
+        topo, caps = snakey_topology()
+        for bound in (0.0, 0.5, 2.0, 10.0):
+            bst = embed_bounded_skew(topo, caps, TECH, skew_bound=bound)
+            assert bst.skew_spread <= bound + 1e-6
+            # Verify via independent delay recomputation.
+            delays = recomputed_delays(bst.tree)
+            spread = max(delays.values()) - min(delays.values())
+            assert spread <= bound + 1e-6
+            assert max(delays.values()) == pytest.approx(
+                bst.delay_max, rel=1e-6, abs=1e-6
+            )
+
+    def test_negative_bound_rejected(self):
+        topo, caps = snakey_topology()
+        with pytest.raises(ClockTreeError):
+            embed_bounded_skew(topo, caps, TECH, skew_bound=-1.0)
+
+    def test_missing_cap_rejected(self):
+        topo, caps = snakey_topology()
+        del caps["c"]
+        with pytest.raises(ClockTreeError):
+            embed_bounded_skew(topo, caps, TECH, skew_bound=1.0)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(2, 16),
+        seed=st.integers(0, 2**16),
+        bound=st.floats(0.0, 20.0),
+    )
+    def test_property_spread_and_dominance(self, n, seed, bound):
+        rng = random.Random(seed)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 600), rng.uniform(0, 600))
+            for i in range(n)
+        }
+        zs = synthesize_clock_tree(sinks, TECH)
+        bst = synthesize_bounded_skew_tree(sinks, TECH, skew_bound=bound)
+        assert bst.total_wirelength <= zs.total_wirelength + 1e-6
+        delays = recomputed_delays(bst.tree)
+        if delays:
+            assert max(delays.values()) - min(delays.values()) <= bound + 1e-6

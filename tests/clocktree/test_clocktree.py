@@ -1,0 +1,167 @@
+"""Tests for clock-tree topology generation and zero-skew embedding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocktree import (
+    build_topology,
+    embed_zero_skew,
+    path_length_stats,
+    synthesize_clock_tree,
+)
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import ClockTreeError
+from repro.geometry import Point
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestTopology:
+    def test_single_sink(self):
+        topo = build_topology({"a": Point(0, 0)})
+        assert topo.is_leaf
+        assert topo.name == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClockTreeError):
+            build_topology({})
+
+    def test_leaf_count(self):
+        sinks = {f"s{i}": Point(float(i), 0.0) for i in range(13)}
+        topo = build_topology(sinks)
+        leaves = topo.leaves()
+        assert len(leaves) == 13
+        assert {l.name for l in leaves} == set(sinks)
+
+    def test_binary_internal_nodes(self):
+        sinks = {f"s{i}": Point(float(i), float(i % 3)) for i in range(8)}
+        topo = build_topology(sinks)
+        assert topo.internal_count() == 7  # full binary tree: n-1 merges
+
+    def test_deterministic(self):
+        sinks = {f"s{i}": Point(float(i * 7 % 13), float(i)) for i in range(9)}
+        a = build_topology(sinks)
+        b = build_topology(sinks)
+
+        def shape(n):
+            if n.is_leaf:
+                return n.name
+            return (shape(n.left), shape(n.right))
+
+        assert shape(a) == shape(b)
+
+
+class TestZeroSkew:
+    def test_two_sink_merge_balances(self):
+        sinks = {"a": Point(0.0, 0.0), "b": Point(300.0, 0.0)}
+        tree = synthesize_clock_tree(sinks, TECH)
+        # With equal loads the merge point is the midpoint.
+        a, b = tree.root.children
+        assert a.edge_length == pytest.approx(150.0, rel=1e-6)
+        assert b.edge_length == pytest.approx(150.0, rel=1e-6)
+
+    def test_unequal_loads_shift_tap(self):
+        topo = build_topology({"a": Point(0.0, 0.0), "b": Point(300.0, 0.0)})
+        tree = embed_zero_skew(topo, {"a": 50.0, "b": 5.0}, TECH)
+        heavy = next(c for c in tree.root.children if c.name == "a")
+        light = next(c for c in tree.root.children if c.name == "b")
+        # The heavy sink gets the shorter edge.
+        assert heavy.edge_length < light.edge_length
+
+    def test_missing_cap_rejected(self):
+        topo = build_topology({"a": Point(0, 0), "b": Point(1, 0)})
+        with pytest.raises(ClockTreeError):
+            embed_zero_skew(topo, {"a": 1.0}, TECH)
+
+    def test_skew_is_zero_by_recomputation(self):
+        """Independently recompute per-sink Elmore delays on the embedded
+        tree; all sinks must match the root's subtree_delay."""
+        rng = random.Random(3)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 500), rng.uniform(0, 500))
+            for i in range(24)
+        }
+        tree = synthesize_clock_tree(sinks, TECH)
+
+        # Bottom-up subtree caps.
+        def subtree_cap(node):
+            if not node.children:
+                return node.subtree_cap
+            return sum(
+                subtree_cap(ch) + TECH.wire_cap(ch.edge_length)
+                for ch in node.children
+            )
+
+        delays = {}
+
+        def walk(node, acc):
+            for ch in node.children:
+                r = TECH.wire_res(ch.edge_length)
+                c_down = subtree_cap(ch) + 0.5 * TECH.wire_cap(ch.edge_length)
+                d = acc + r * c_down * 1e-3
+                if ch.children:
+                    walk(ch, d)
+                else:
+                    delays[ch.name] = d
+
+        walk(tree.root, 0.0)
+        values = list(delays.values())
+        assert len(values) == 24
+        for v in values:
+            assert v == pytest.approx(tree.source_delay, rel=1e-6, abs=1e-6)
+
+    def test_snaking_keeps_zero_skew(self):
+        """Merging a slow deep subtree with a co-located leaf forces a
+        snaked (detoured) edge on the fast side."""
+        from repro.clocktree import TopologyNode
+
+        def leaf(name, p):
+            return TopologyNode(name=name, location=p)
+
+        deep = TopologyNode(
+            name="m", left=leaf("a", Point(0.0, 0.0)), right=leaf("b", Point(1000.0, 0.0))
+        )
+        topo = TopologyNode(name="root", left=deep, right=leaf("c", Point(500.0, 0.0)))
+        tree = embed_zero_skew(topo, {"a": 10.0, "b": 10.0, "c": 10.0}, TECH)
+        c_node = next(ch for ch in tree.root.children if ch.name == "c")
+        m_node = next(ch for ch in tree.root.children if ch.name == "m")
+        # The fast leaf's edge must exceed its geometric separation from
+        # the merge point (wire detour), and the embed asserts zero skew.
+        assert c_node.edge_length > 0.0
+        assert (
+            c_node.edge_length + m_node.edge_length
+            > m_node.location.manhattan(c_node.location) + 1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 2**16))
+    def test_zero_skew_property(self, n, seed):
+        rng = random.Random(seed)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 800), rng.uniform(0, 800))
+            for i in range(n)
+        }
+        tree = synthesize_clock_tree(sinks, TECH)
+        assert tree.total_wirelength >= 0.0
+        stats = path_length_stats(tree)
+        assert stats.num_sinks == n
+        assert stats.minimum <= stats.average + 1e-9
+        assert stats.average <= stats.maximum + 1e-9
+
+
+class TestPathStats:
+    def test_single_sink_zero_path(self):
+        tree = synthesize_clock_tree({"a": Point(5.0, 5.0)}, TECH)
+        stats = path_length_stats(tree)
+        assert stats.average == 0.0
+        assert stats.num_sinks == 1
+
+    def test_collinear_pair(self):
+        tree = synthesize_clock_tree(
+            {"a": Point(0.0, 0.0), "b": Point(100.0, 0.0)}, TECH
+        )
+        stats = path_length_stats(tree)
+        assert stats.average == pytest.approx(50.0, rel=1e-6)

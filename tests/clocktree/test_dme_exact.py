@@ -1,0 +1,164 @@
+"""Tests for exact DME embedding with Manhattan-arc merging segments."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocktree import (
+    Rect,
+    build_topology,
+    embed_zero_skew_dme,
+    path_length_stats,
+    synthesize_clock_tree,
+    synthesize_clock_tree_dme,
+)
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import ClockTreeError
+from repro.geometry import Point
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestRect:
+    def test_point_rect_degenerate(self):
+        r = Rect.from_point(Point(3.0, 4.0))
+        assert r.ulo == r.uhi == 7.0
+        assert r.vlo == r.vhi == -1.0
+
+    def test_chebyshev_is_manhattan(self):
+        a = Rect.from_point(Point(0.0, 0.0))
+        b = Rect.from_point(Point(3.0, 4.0))
+        assert a.distance(b) == pytest.approx(7.0)
+
+    def test_expand_and_intersect(self):
+        a = Rect.from_point(Point(0.0, 0.0)).expanded(5.0)
+        b = Rect.from_point(Point(6.0, 0.0)).expanded(1.0)
+        overlap = a.intersect(b)
+        assert overlap is not None
+        # Touching exactly along u = 5 (rotated): a Manhattan arc.
+        assert overlap.ulo == pytest.approx(overlap.uhi)
+
+    def test_disjoint_intersection_none(self):
+        a = Rect.from_point(Point(0.0, 0.0)).expanded(1.0)
+        b = Rect.from_point(Point(10.0, 0.0)).expanded(1.0)
+        assert a.intersect(b) is None
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ClockTreeError):
+            Rect.from_point(Point(0, 0)).expanded(-1.0)
+
+    def test_nearest_clamps(self):
+        r = Rect(0.0, 2.0, -1.0, 1.0)
+        assert r.nearest(5.0, 0.0) == (2.0, 0.0)
+        assert r.nearest(1.0, -9.0) == (1.0, -1.0)
+
+
+class TestDmeEmbedding:
+    def _recomputed_sink_delays(self, tree):
+        delays = {}
+
+        def subtree_cap(node):
+            if not node.children:
+                return node.subtree_cap
+            return sum(
+                subtree_cap(ch) + TECH.wire_cap(ch.edge_length)
+                for ch in node.children
+            )
+
+        def walk(node, acc):
+            for ch in node.children:
+                r = TECH.wire_res(ch.edge_length)
+                c_down = subtree_cap(ch) + 0.5 * TECH.wire_cap(ch.edge_length)
+                d = acc + r * c_down * 1e-3
+                if ch.children:
+                    walk(ch, d)
+                else:
+                    delays[ch.name] = d
+
+        walk(tree.root, 0.0)
+        return delays
+
+    def test_zero_skew_exact(self):
+        rng = random.Random(11)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 600), rng.uniform(0, 600))
+            for i in range(20)
+        }
+        tree = synthesize_clock_tree_dme(sinks, TECH)
+        for delay in self._recomputed_sink_delays(tree).values():
+            assert delay == pytest.approx(tree.source_delay, rel=1e-6, abs=1e-6)
+
+    def test_never_worse_than_point_merging(self):
+        rng = random.Random(13)
+        for n in (2, 5, 16, 64):
+            sinks = {
+                f"s{i}": Point(rng.uniform(0, 700), rng.uniform(0, 700))
+                for i in range(n)
+            }
+            pm = synthesize_clock_tree(sinks, TECH)
+            dme = synthesize_clock_tree_dme(sinks, TECH)
+            assert dme.total_wirelength <= pm.total_wirelength + 1e-6
+
+    def test_edge_lengths_cover_geometry(self):
+        """Each edge is at least the geometric parent-child distance
+        (equality unless snaked)."""
+        rng = random.Random(17)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 500), rng.uniform(0, 500))
+            for i in range(12)
+        }
+        tree = synthesize_clock_tree_dme(sinks, TECH)
+
+        def walk(node):
+            for ch in node.children:
+                geo = node.location.manhattan(ch.location)
+                assert ch.edge_length >= geo - 1e-6
+                walk(ch)
+
+        walk(tree.root)
+
+    def test_total_wirelength_matches_edges(self):
+        rng = random.Random(19)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 500), rng.uniform(0, 500))
+            for i in range(10)
+        }
+        tree = synthesize_clock_tree_dme(sinks, TECH)
+        edge_sum = [0.0]
+
+        def walk(node):
+            for ch in node.children:
+                edge_sum[0] += ch.edge_length
+                walk(ch)
+
+        walk(tree.root)
+        assert tree.total_wirelength == pytest.approx(edge_sum[0])
+
+    def test_leaf_locations_preserved(self):
+        sinks = {"a": Point(10.0, 20.0), "b": Point(200.0, 50.0)}
+        tree = synthesize_clock_tree_dme(sinks, TECH)
+        leaf_locs = {leaf.name: leaf.location for leaf in tree.root.sinks()}
+        assert leaf_locs == sinks
+
+    def test_missing_cap_rejected(self):
+        topo = build_topology({"a": Point(0, 0), "b": Point(1, 0)})
+        with pytest.raises(ClockTreeError):
+            embed_zero_skew_dme(topo, {"a": 1.0}, TECH)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 25), st.integers(0, 2**16))
+    def test_dme_property(self, n, seed):
+        rng = random.Random(seed)
+        sinks = {
+            f"s{i}": Point(rng.uniform(0, 800), rng.uniform(0, 800))
+            for i in range(n)
+        }
+        pm = synthesize_clock_tree(sinks, TECH)
+        dme = synthesize_clock_tree_dme(sinks, TECH)
+        assert dme.total_wirelength <= pm.total_wirelength + 1e-6
+        for delay in self._recomputed_sink_delays(dme).values():
+            assert delay == pytest.approx(dme.source_delay, rel=1e-6, abs=1e-6)
+        stats = path_length_stats(dme)
+        assert stats.num_sinks == n

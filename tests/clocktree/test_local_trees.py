@@ -1,0 +1,118 @@
+"""Tests for local clock trees below ring tapping points (§IX extension)."""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.clocktree import LocalTreeOptions, build_local_trees
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.netlist import generate_circuit, small_profile
+from repro.rotary import stub_delay
+from repro.timing import SequentialTiming, validate_schedule
+
+TECH = DEFAULT_TECHNOLOGY
+T = 1000.0
+
+
+@pytest.fixture(scope="module")
+def flow_setup():
+    circuit = generate_circuit(small_profile(num_cells=220, num_flipflops=40, seed=21))
+    result = IntegratedFlow(circuit, options=FlowOptions(ring_grid_side=2)).run()
+    timing = SequentialTiming(circuit, result.positions, TECH)
+    return circuit, result, timing
+
+
+def build(flow_setup, **kwargs):
+    _, result, timing = flow_setup
+    opts = LocalTreeOptions(**kwargs) if kwargs else None
+    return build_local_trees(
+        result.assignment,
+        result.array,
+        result.positions,
+        result.schedule.targets,
+        timing.pairs,
+        TECH,
+        period=T,
+        slack=0.0,
+        options=opts,
+    )
+
+
+class TestLocalTrees:
+    def test_partition_is_complete(self, flow_setup):
+        circuit, result, _ = flow_setup
+        lt = build(flow_setup)
+        in_trees = {ff for tree in lt.trees for ff in tree.members}
+        assert in_trees | set(lt.direct_stubs) == set(result.assignment.ring_of)
+        assert not in_trees & set(lt.direct_stubs)
+
+    def test_never_worse_than_baseline(self, flow_setup):
+        """The per-cluster economics test guarantees non-negative saving."""
+        lt = build(flow_setup)
+        assert lt.total_wirelength <= lt.baseline_wirelength + 1e-6
+        assert lt.wirelength_saving >= -1e-9
+
+    def test_trees_have_min_size(self, flow_setup):
+        lt = build(flow_setup, min_cluster_size=3)
+        assert all(len(t.members) >= 3 for t in lt.trees)
+
+    def test_members_share_ring(self, flow_setup):
+        _, result, _ = flow_setup
+        lt = build(flow_setup)
+        for tree in lt.trees:
+            rings = {result.assignment.ring_of[ff] for ff in tree.members}
+            assert rings == {tree.ring_id}
+
+    def test_merged_schedule_is_feasible(self, flow_setup):
+        _, _, timing = flow_setup
+        lt = build(flow_setup)
+        assert validate_schedule(lt.schedule, timing.pairs, T, TECH, slack=0.0) == []
+
+    def test_tree_members_share_target(self, flow_setup):
+        lt = build(flow_setup)
+        for tree in lt.trees:
+            values = {lt.schedule[ff] for ff in tree.members}
+            assert len(values) == 1
+            assert values == {tree.common_target}
+
+    def test_root_tapping_delivers_common_target(self, flow_setup):
+        """Ring delay at root tap + root stub + subtree delay == target."""
+        _, result, _ = flow_setup
+        lt = build(flow_setup)
+        for tree in lt.trees:
+            ring = result.array[tree.ring_id]
+            seg = ring.segments()[tree.root_tapping.segment_index]
+            root_load = tree.tree.root.subtree_cap
+            delivered = (
+                seg.t0
+                - tree.root_tapping.periods_borrowed * T
+                + seg.rho * tree.root_tapping.x
+                + stub_delay(tree.root_tapping.wirelength, TECH, root_load)
+                + tree.tree.source_delay
+            )
+            assert delivered == pytest.approx(tree.common_target % T, abs=1e-5)
+
+    def test_zero_radius_yields_no_trees(self, flow_setup):
+        lt = build(flow_setup, radius=0.0, target_tolerance=0.0)
+        assert lt.trees == ()
+        assert lt.total_wirelength == pytest.approx(lt.baseline_wirelength)
+
+    def test_skew_bound_option(self, flow_setup):
+        """A skew budget keeps the result valid and never hurts the
+        guarantee (savings are instance-dependent)."""
+        lt = build(flow_setup, skew_bound=10.0)
+        assert lt.total_wirelength <= lt.baseline_wirelength + 1e-6
+        _, _, timing = flow_setup
+        # Conservative validation: merged schedule feasible with the
+        # budget charged as extra slack.
+        assert (
+            validate_schedule(lt.schedule, timing.pairs, T, TECH, slack=10.0)
+            == []
+        )
+
+    def test_wirelength_accounting(self, flow_setup):
+        _, result, _ = flow_setup
+        lt = build(flow_setup)
+        recomputed = sum(t.wirelength for t in lt.trees) + sum(
+            result.assignment.solutions[ff].wirelength for ff in lt.direct_stubs
+        )
+        assert lt.total_wirelength == pytest.approx(recomputed)

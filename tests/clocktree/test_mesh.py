@@ -1,0 +1,75 @@
+"""Tests for the clock-mesh baseline."""
+
+import pytest
+
+from repro.clocktree import (
+    ClockMesh,
+    mesh_for_sinks,
+    mesh_report,
+    synthesize_clock_tree_dme,
+)
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import BBox, Point
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestClockMesh:
+    def test_wirelength(self):
+        mesh = ClockMesh(BBox(0, 0, 100, 200), rows=3, cols=4)
+        assert mesh.wirelength == 3 * 100 + 4 * 200
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ClockMesh(BBox(0, 0, 10, 10), rows=1, cols=2)
+
+    def test_stub_length_on_wire_is_zero(self):
+        mesh = ClockMesh(BBox(0, 0, 100, 100), rows=2, cols=2)
+        # Row wires at y = 25 and 75.
+        assert mesh.stub_length(Point(40.0, 25.0)) == pytest.approx(0.0)
+
+    def test_stub_length_between_wires(self):
+        mesh = ClockMesh(BBox(0, 0, 100, 100), rows=2, cols=2)
+        # Point at (50, 50): 25 from rows at 25/75, 25 from cols at 25/75.
+        assert mesh.stub_length(Point(50.0, 50.0)) == pytest.approx(25.0)
+
+    def test_denser_mesh_shorter_stubs(self):
+        region = BBox(0, 0, 400, 400)
+        p = Point(123.0, 321.0)
+        sparse = ClockMesh(region, rows=2, cols=2)
+        dense = ClockMesh(region, rows=8, cols=8)
+        assert dense.stub_length(p) <= sparse.stub_length(p)
+
+    def test_mesh_for_sinks_scales(self):
+        region = BBox(0, 0, 100, 100)
+        small = mesh_for_sinks(region, 9)
+        large = mesh_for_sinks(region, 900)
+        assert large.rows > small.rows
+
+
+class TestMeshReport:
+    def test_report_components(self):
+        mesh = ClockMesh(BBox(0, 0, 100, 100), rows=2, cols=2)
+        sinks = {"a": Point(50.0, 50.0), "b": Point(25.0, 25.0)}
+        report = mesh_report(mesh, sinks, TECH)
+        assert report.stub_wirelength == pytest.approx(25.0)
+        assert report.total_wirelength == pytest.approx(
+            mesh.wirelength + 25.0
+        )
+        expected_cap = (
+            TECH.wire_cap(report.total_wirelength)
+            + 2 * TECH.flipflop_input_cap
+        )
+        assert report.total_capacitance_ff == pytest.approx(expected_cap)
+
+    def test_mesh_costs_more_than_tree(self, tiny_circuit, tiny_placed):
+        """The paper's §I claim: the mesh carries far more metal than a
+        tree over the same sinks."""
+        region, positions = tiny_placed
+        sinks = {
+            ff.name: positions[ff.name] for ff in tiny_circuit.flip_flops
+        }
+        mesh = mesh_for_sinks(region.bbox, len(sinks))
+        report = mesh_report(mesh, sinks, TECH)
+        tree = synthesize_clock_tree_dme(sinks, TECH)
+        assert report.total_wirelength > tree.total_wirelength

@@ -1,0 +1,143 @@
+"""Integration tests for the full Fig. 3 methodology flow."""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import ReproError
+from repro.netlist import Circuit, generate_circuit, small_profile
+from repro.rotary import stub_delay
+from repro.timing import SequentialTiming, validate_schedule
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    circuit = generate_circuit(small_profile(num_cells=160, num_flipflops=24, seed=11))
+    return circuit, IntegratedFlow(
+        circuit, options=FlowOptions(ring_grid_side=2)
+    ).run()
+
+
+class TestFlowResult:
+    def test_improves_tapping_cost(self, flow_result):
+        _, res = flow_result
+        assert res.final.tapping_wirelength < res.base.tapping_wirelength
+        assert res.tapping_improvement > 0.0
+
+    def test_history_and_records(self, flow_result):
+        _, res = flow_result
+        assert res.history
+        # final is the best-cost iterate of the history.
+        assert res.final in res.history
+        assert res.final.overall_cost == min(r.overall_cost for r in res.history)
+        assert res.base.iteration == 0
+        assert [r.iteration for r in res.history] == list(
+            range(1, len(res.history) + 1)
+        )
+
+    def test_iteration_limit_respected(self, flow_result):
+        _, res = flow_result
+        assert len(res.history) <= FlowOptions().max_iterations
+
+    def test_assignment_covers_all_flipflops(self, flow_result):
+        circuit, res = flow_result
+        ffs = {ff.name for ff in circuit.flip_flops}
+        assert set(res.assignment.ring_of) == ffs
+        assert set(res.assignment.solutions) == ffs
+
+    def test_capacities_respected(self, flow_result):
+        circuit, res = flow_result
+        caps = res.array.default_capacities(len(circuit.flip_flops))
+        occ = res.assignment.ring_occupancy(res.array)
+        assert (occ <= caps).all()
+
+    def test_tapping_solutions_satisfy_targets(self, flow_result):
+        """Every final tapping point must hit its skew target (eq. 1)."""
+        _, res = flow_result
+        period = res.array.period
+        for ff, sol in res.assignment.solutions.items():
+            ring = res.array[res.assignment.ring_of[ff]]
+            seg = ring.segments()[sol.segment_index]
+            achieved = (
+                seg.t0
+                - sol.periods_borrowed * period
+                + seg.rho * sol.x
+                + stub_delay(sol.wirelength, TECH)
+            )
+            target = res.schedule.targets[ff] % period
+            assert achieved == pytest.approx(target, abs=1e-5)
+
+    def test_final_schedule_meets_timing(self, flow_result):
+        """Recompute STA on the final placement: the schedule must honor
+        the guaranteed slack."""
+        circuit, res = flow_result
+        timing = SequentialTiming(circuit, res.positions, TECH)
+        violations = validate_schedule(
+            res.schedule.targets,
+            timing.pairs,
+            1000.0,
+            TECH,
+            slack=res.slack_guaranteed - 1e-6,
+        )
+        assert violations == []
+
+    def test_positions_inside_die(self, flow_result):
+        circuit, res = flow_result
+        # All standard cells have legal positions (pads live on the edge).
+        for cell in circuit.standard_cells:
+            assert cell.name in res.positions
+
+    def test_seconds_accounted(self, flow_result):
+        _, res = flow_result
+        assert res.seconds_algorithm > 0.0
+        assert res.seconds_placer > 0.0
+
+
+class TestFlowOptionsVariants:
+    def test_ilp_engine(self):
+        circuit = generate_circuit(small_profile(num_cells=140, num_flipflops=20, seed=3))
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, assignment="ilp")
+        ).run()
+        assert res.ilp_stats is not None
+        assert res.ilp_stats.integrality_gap >= 1.0 - 1e-9
+
+    def test_ilp_reduces_max_cap_vs_flow(self):
+        circuit = generate_circuit(small_profile(num_cells=200, num_flipflops=32, seed=9))
+        flow = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, assignment="flow")
+        ).run()
+        ilp = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, assignment="ilp")
+        ).run()
+        assert (
+            ilp.final.max_load_capacitance
+            <= flow.final.max_load_capacitance + 1e-6
+        )
+
+    def test_minmax_skew_mode(self):
+        circuit = generate_circuit(small_profile(num_cells=120, num_flipflops=16, seed=5))
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, skew_mode="minmax")
+        ).run()
+        assert res.final.tapping_wirelength <= res.base.tapping_wirelength
+
+    def test_single_iteration(self):
+        circuit = generate_circuit(small_profile(num_cells=120, num_flipflops=16, seed=6))
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+        ).run()
+        assert len(res.history) == 1
+
+    def test_no_flipflops_rejected(self):
+        from repro.netlist import CellKind
+
+        c = Circuit("comb")
+        c.add_input("a")
+        c.add_gate("g", CellKind.NOT, ("a",))
+        c.add_output("g")
+        c.validate()
+        with pytest.raises(ReproError):
+            IntegratedFlow(c)

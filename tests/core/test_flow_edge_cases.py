@@ -1,0 +1,52 @@
+"""Edge-case integration tests for the integrated flow."""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.netlist import S27_BENCH, parse_bench_text
+
+
+class TestMinimalCircuits:
+    def test_s27_full_flow(self):
+        """The real (13-cell, 3-flip-flop) ISCAS89 s27 runs end to end."""
+        circuit = parse_bench_text(S27_BENCH, "s27")
+        result = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=1, max_iterations=2)
+        ).run()
+        assert set(result.assignment.ring_of) == {"G5", "G6", "G7"}
+        assert result.array.num_rings == 1
+        assert result.final.tapping_wirelength >= 0.0
+        # All three flip-flops on the single ring.
+        assert set(result.assignment.ring_of.values()) == {0}
+
+    def test_s27_ilp_engine(self):
+        circuit = parse_bench_text(S27_BENCH, "s27")
+        result = IntegratedFlow(
+            circuit,
+            options=FlowOptions(ring_grid_side=1, assignment="ilp", max_iterations=1),
+        ).run()
+        assert result.ilp_stats is not None
+        assert result.ilp_stats.integrality_gap >= 1.0 - 1e-9
+
+    def test_candidate_rings_exceeding_array(self):
+        """Asking for more candidate rings than exist must still work."""
+        circuit = parse_bench_text(S27_BENCH, "s27")
+        result = IntegratedFlow(
+            circuit,
+            options=FlowOptions(
+                ring_grid_side=2, candidate_rings=99, max_iterations=1
+            ),
+        ).run()
+        assert len(result.assignment.ring_of) == 3
+
+    def test_tight_capacity(self):
+        """Headroom 1.0 forces a perfectly balanced assignment."""
+        circuit = parse_bench_text(S27_BENCH, "s27")
+        result = IntegratedFlow(
+            circuit,
+            options=FlowOptions(
+                ring_grid_side=2, capacity_headroom=1.0, max_iterations=1
+            ),
+        ).run()
+        occ = result.assignment.ring_occupancy(result.array)
+        assert occ.max() <= 1  # ceil(3/4 * 1.0) = 1 per ring

@@ -1,0 +1,81 @@
+"""Tests for assorted FlowOptions behaviours."""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.netlist import generate_circuit, small_profile
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_circuit(small_profile(num_cells=150, num_flipflops=20, seed=71))
+
+
+class TestFlowOptions:
+    def test_detailed_refinement_improves_signal(self, circuit):
+        plain = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+        ).run()
+        refined = IntegratedFlow(
+            circuit,
+            options=FlowOptions(
+                ring_grid_side=2, max_iterations=1, detailed_refinement=True
+            ),
+        ).run()
+        assert refined.base.signal_wirelength <= plain.base.signal_wirelength
+
+    def test_default_ring_side_derived(self, circuit):
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(max_iterations=1)
+        ).run()
+        # 20 flip-flops -> heuristic picks a small grid (>= 2 per side).
+        assert res.array.num_rings >= 4
+
+    def test_custom_period(self, circuit):
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, period=2000.0, max_iterations=1)
+        ).run()
+        assert res.array.period == 2000.0
+        # All normalized targets land inside the period.
+        for t in res.schedule.normalized(2000.0).targets.values():
+            assert 0.0 <= t < 2000.0
+
+    def test_slower_clock_never_less_slack(self, circuit):
+        """Slack is non-decreasing in the period.  (It is often *equal*:
+        the hold constraint M <= D_min - t_hold does not involve T, so
+        hold-limited designs cap out regardless of frequency.)"""
+        fast = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, period=500.0, max_iterations=1)
+        ).run()
+        slow = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, period=2000.0, max_iterations=1)
+        ).run()
+        assert slow.slack_available >= fast.slack_available - 1e-9
+
+    def test_local_trees_post_pass(self, circuit):
+        res = IntegratedFlow(
+            circuit,
+            options=FlowOptions(ring_grid_side=2, max_iterations=2, local_trees=True),
+        ).run()
+        assert res.local_trees is not None
+        lt = res.local_trees
+        # Never worse than direct stubs; partitions the flip-flops.
+        assert lt.total_wirelength <= lt.baseline_wirelength + 1e-6
+        in_trees = {ff for t in lt.trees for ff in t.members}
+        assert in_trees | set(lt.direct_stubs) == set(res.assignment.ring_of)
+
+    def test_local_trees_off_by_default(self, circuit):
+        res = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+        ).run()
+        assert res.local_trees is None
+
+    def test_tapping_weight_changes_overall_cost(self, circuit):
+        res = IntegratedFlow(
+            circuit,
+            options=FlowOptions(ring_grid_side=2, max_iterations=1, tapping_weight=10.0),
+        ).run()
+        rec = res.final
+        assert rec.overall_cost == pytest.approx(
+            10.0 * rec.tapping_wirelength + rec.signal_wirelength
+        )

@@ -1,0 +1,50 @@
+"""Tests for the ring-count sweep (§IX extension)."""
+
+import pytest
+
+from repro import FlowOptions
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import sweep_ring_count
+from repro.netlist import generate_circuit, small_profile
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    circuit = generate_circuit(small_profile(num_cells=180, num_flipflops=28, seed=41))
+    options = FlowOptions(max_iterations=2)
+    return sweep_ring_count(circuit, TECH, options, grid_sides=(1, 2, 3))
+
+
+class TestRingSweep:
+    def test_all_points_present(self, sweep):
+        assert [p.grid_side for p in sweep.points] == [1, 2, 3]
+        assert [p.num_rings for p in sweep.points] == [1, 4, 9]
+
+    def test_best_minimizes_clock_wirelength(self, sweep):
+        best_wl = min(p.clock_wirelength for p in sweep.points)
+        assert sweep.best.clock_wirelength == pytest.approx(best_wl)
+
+    def test_more_rings_shorter_stubs(self, sweep):
+        """Tapping wirelength decreases (weakly) as rings densify."""
+        taps = [p.tapping_wirelength for p in sweep.points]
+        assert taps[-1] < taps[0]
+
+    def test_ring_wirelength_grows(self, sweep):
+        ring_wl = [p.ring_wirelength for p in sweep.points]
+        assert ring_wl == sorted(ring_wl)
+
+    def test_rows_export(self, sweep):
+        rows = sweep.as_rows()
+        assert len(rows) == 3
+        assert sum(row["selected"] for row in rows) == 1.0
+        for row in rows:
+            assert row["clock_wl_um"] == pytest.approx(
+                row["tapping_wl_um"] + row["ring_wl_um"]
+            )
+
+    def test_empty_sides_rejected(self):
+        circuit = generate_circuit(small_profile(seed=1))
+        with pytest.raises(ValueError):
+            sweep_ring_count(circuit, TECH, FlowOptions(), grid_sides=())

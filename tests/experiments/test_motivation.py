@@ -1,0 +1,26 @@
+"""Tests for the §II zero-skew motivation experiment."""
+
+import pytest
+
+from repro.experiments import ExperimentSuite, zero_skew_comparison
+
+
+@pytest.fixture(scope="module")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(circuits=["tinyM"])
+
+
+class TestZeroSkewComparison:
+    def test_intentional_skew_wins(self, suite):
+        cmp = zero_skew_comparison(suite, "tinyM")
+        assert cmp.scheduled_tapping_wl < cmp.zero_skew_tapping_wl
+        assert cmp.penalty_factor > 1.0
+
+    def test_fields_consistent(self, suite):
+        cmp = zero_skew_comparison(suite, "tinyM")
+        assert cmp.circuit == "tinyM"
+        assert cmp.zero_skew_snaked >= 0
+        assert cmp.scheduled_snaked >= 0
+        assert cmp.penalty_factor == pytest.approx(
+            cmp.zero_skew_tapping_wl / cmp.scheduled_tapping_wl
+        )

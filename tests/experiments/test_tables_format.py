@@ -1,0 +1,54 @@
+"""Tests for table rendering (text and Markdown)."""
+
+import pytest
+
+from repro.experiments import format_table
+
+
+ROWS = [
+    {"circuit": "s9234", "tap_improvement": 0.523, "wl_um": 12345.6, "cpu_s": 0.25},
+    {"circuit": "s5378", "tap_improvement": -0.013, "wl_um": 987.4, "cpu_s": None},
+]
+
+
+class TestTextFormat:
+    def test_title_and_alignment(self):
+        text = format_table(ROWS, "My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1].startswith("circuit")
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_percent_columns(self):
+        text = format_table(ROWS)
+        assert "+52.3%" in text
+        assert "-1.3%" in text
+
+    def test_thousands_separator(self):
+        assert "12,346" in format_table(ROWS)
+
+    def test_none_renders_dash(self):
+        rendered = format_table(ROWS).splitlines()[-1]
+        assert rendered.rstrip().endswith("-")
+
+    def test_empty(self):
+        assert format_table([], "Empty") == "Empty\n(no rows)"
+
+
+class TestMarkdownFormat:
+    def test_structure(self):
+        md = format_table(ROWS, "My Table", markdown=True)
+        lines = md.splitlines()
+        assert lines[0] == "### My Table"
+        assert lines[2].startswith("| circuit |")
+        assert lines[3].startswith("|---")
+        assert lines[4].startswith("| s9234 |")
+
+    def test_cell_formatting_shared(self):
+        md = format_table(ROWS, markdown=True)
+        assert "+52.3%" in md
+        assert "12,346" in md
+
+    def test_row_count(self):
+        md = format_table(ROWS, markdown=True)
+        assert md.count("\n") == 3  # header + separator + 2 rows - 1

@@ -1,0 +1,104 @@
+"""Unit and property tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import BBox, Point, manhattan
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_manhattan_basic(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7.0
+
+    def test_euclidean_basic(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translated(self):
+        p = Point(1.0, 2.0).translated(3.0, -1.0)
+        assert (p.x, p.y) == (4.0, 1.0)
+
+    def test_iter_unpacks(self):
+        x, y = Point(5.0, 6.0)
+        assert (x, y) == (5.0, 6.0)
+
+    def test_module_level_manhattan(self):
+        assert manhattan(0, 0, -2, 5) == 7.0
+
+    @given(coords, coords, coords, coords)
+    def test_manhattan_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_manhattan_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6
+
+    @given(coords, coords)
+    def test_manhattan_identity(self, x, y):
+        p = Point(x, y)
+        assert p.manhattan(p) == 0.0
+
+    @given(coords, coords, coords, coords)
+    def test_euclidean_lower_bounds_manhattan(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.euclidean(b) <= a.manhattan(b) + 1e-6
+
+
+class TestBBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_allowed(self):
+        box = BBox(1.0, 2.0, 1.0, 2.0)
+        assert box.area == 0.0
+
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3
+        assert box.area == 12
+        assert box.half_perimeter == 7
+
+    def test_center(self):
+        assert BBox(0, 0, 4, 2).center == Point(2.0, 1.0)
+
+    def test_contains_and_clamp(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains(Point(5, 5))
+        assert not box.contains(Point(11, 5))
+        clamped = box.clamp(Point(15, -3))
+        assert clamped == Point(10, 0)
+
+    def test_expanded(self):
+        assert BBox(0, 0, 2, 2).expanded(1).width == 4
+
+    def test_intersects(self):
+        a = BBox(0, 0, 2, 2)
+        assert a.intersects(BBox(1, 1, 3, 3))
+        assert a.intersects(BBox(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(BBox(3, 3, 4, 4))
+
+    def test_of_points(self):
+        box = BBox.of_points([Point(1, 5), Point(-2, 3), Point(0, 0)])
+        assert (box.xlo, box.ylo, box.xhi, box.yhi) == (-2, 0, 1, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_of_points_contains_all(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        box = BBox.of_points(pts)
+        assert all(box.contains(p) for p in pts)
+
+    @given(coords, coords)
+    def test_clamp_is_inside(self, x, y):
+        box = BBox(-10, -10, 10, 10)
+        assert box.contains(box.clamp(Point(x, y)))

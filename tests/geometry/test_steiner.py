@@ -1,0 +1,75 @@
+"""Tests for rectilinear MST / Steiner wirelength estimation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    net_hpwl,
+    net_steiner_wl,
+    rectilinear_mst,
+    steiner_wirelength,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestRectilinearMst:
+    def test_two_points(self):
+        assert rectilinear_mst([Point(0, 0), Point(3, 4)]) == 7.0
+
+    def test_fewer_than_two(self):
+        assert rectilinear_mst([]) == 0.0
+        assert rectilinear_mst([Point(1, 1)]) == 0.0
+
+    def test_collinear_chain(self):
+        pts = [Point(float(x), 0.0) for x in (0, 5, 10, 15)]
+        assert rectilinear_mst(pts) == 15.0
+
+    def test_known_square(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        assert rectilinear_mst(pts) == 30.0
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=10))
+    @settings(max_examples=50)
+    def test_mst_at_least_hpwl(self, raw):
+        pts = [Point(x, y) for x, y in raw]
+        assert rectilinear_mst(pts) >= net_hpwl(pts) - 1e-6
+
+
+class TestSteiner:
+    def test_cross_uses_steiner_point(self):
+        """4 corners + center: the optimal RSMT uses the Hanan center."""
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10), Point(5, 5)]
+        assert steiner_wirelength(pts) == pytest.approx(30.0)
+        assert steiner_wirelength(pts) < rectilinear_mst(pts)
+
+    def test_three_pins_equals_hpwl(self):
+        pts = [Point(0, 0), Point(10, 4), Point(3, 8)]
+        assert steiner_wirelength(pts) == net_hpwl(pts)
+
+    def test_t_shape(self):
+        # Classic: 3 points forming a T need a Steiner point via HPWL rule.
+        pts = [Point(0, 0), Point(20, 0), Point(10, 10)]
+        assert net_steiner_wl(pts) == pytest.approx(30.0)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_sandwich_bounds(self, raw):
+        """HPWL <= Steiner <= MST always."""
+        pts = [Point(x, y) for x, y in raw]
+        steiner = steiner_wirelength(pts)
+        assert net_hpwl(pts) - 1e-6 <= steiner <= rectilinear_mst(pts) + 1e-6
+
+    def test_signal_wirelength_steiner_model(self, tiny_circuit, tiny_placed):
+        from repro.core import signal_wirelength
+
+        _, positions = tiny_placed
+        hpwl = signal_wirelength(tiny_circuit, positions, model="hpwl")
+        steiner = signal_wirelength(tiny_circuit, positions, model="steiner")
+        assert steiner >= hpwl - 1e-6
+        with pytest.raises(ValueError):
+            signal_wirelength(tiny_circuit, positions, model="flute")

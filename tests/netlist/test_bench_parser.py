@@ -1,0 +1,74 @@
+"""Tests for ISCAS89 .bench parsing and writing."""
+
+import pytest
+
+from repro.errors import BenchParseError
+from repro.netlist import (
+    S27_BENCH,
+    CellKind,
+    bench_to_text,
+    parse_bench_text,
+    read_bench,
+    write_bench,
+)
+
+
+class TestParse:
+    def test_s27_structure(self, s27):
+        stats = s27.stats()
+        assert stats.num_flipflops == 3
+        assert stats.num_gates == 10
+        assert stats.num_inputs == 4
+        assert stats.num_outputs == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        c = parse_bench_text("# hi\n\nINPUT(a)\nOUTPUT(g)\ng = NOT(a)  # inline\n")
+        assert c.stats().num_gates == 1
+
+    def test_buff_alias(self):
+        c = parse_bench_text("INPUT(a)\ng = BUFF(a)\nOUTPUT(g)\n")
+        assert c.cell("g").kind is CellKind.BUF
+
+    def test_forward_reference_output(self):
+        """OUTPUT() lines may precede the gate driving the signal."""
+        c = parse_bench_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+        assert c.primary_outputs == ["z"]
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench_text("INPUT(a)\ng = FROB(a)\n")
+        assert exc.value.line_number == 2
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError):
+            parse_bench_text("INPUT(a)\nthis is not bench\n")
+
+    def test_bad_arity_reports_line(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench_text("INPUT(a)\ng = NAND(a)\n")
+        assert exc.value.line_number == 2
+
+    def test_dangling_signal_caught(self):
+        with pytest.raises(BenchParseError):
+            parse_bench_text("INPUT(a)\ng = NOT(ghost)\nOUTPUT(g)\n")
+
+
+class TestWrite:
+    def test_roundtrip_s27(self, s27):
+        text = bench_to_text(s27)
+        again = parse_bench_text(text, "s27rt")
+        assert again.stats().num_cells == s27.stats().num_cells
+        assert again.stats().num_nets == s27.stats().num_nets
+        assert sorted(again.primary_inputs) == sorted(s27.primary_inputs)
+        assert sorted(again.primary_outputs) == sorted(s27.primary_outputs)
+        for cell in s27:
+            if not cell.is_pad:
+                assert again.cell(cell.name).kind is cell.kind
+                assert again.cell(cell.name).fanin == cell.fanin
+
+    def test_file_io(self, tmp_path, s27):
+        path = tmp_path / "s27.bench"
+        write_bench(s27, path)
+        again = read_bench(path)
+        assert again.name == "s27"
+        assert again.stats().num_flipflops == 3

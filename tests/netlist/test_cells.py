@@ -1,0 +1,62 @@
+"""Tests for cell/net primitives."""
+
+import pytest
+
+from repro.netlist import Cell, CellKind, Net
+
+
+class TestCellKind:
+    def test_dff_is_sequential(self):
+        assert CellKind.DFF.is_sequential
+        assert not CellKind.NAND.is_sequential
+
+    def test_pads(self):
+        assert CellKind.INPUT.is_pad and CellKind.OUTPUT.is_pad
+        assert not CellKind.DFF.is_pad
+
+    def test_is_gate(self):
+        assert CellKind.NAND.is_gate
+        assert not CellKind.DFF.is_gate
+        assert not CellKind.INPUT.is_gate
+
+
+class TestCell:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cell(name="", kind=CellKind.NAND, fanin=("a", "b"))
+
+    def test_input_pad_no_fanin(self):
+        with pytest.raises(ValueError):
+            Cell(name="pi", kind=CellKind.INPUT, fanin=("x",))
+
+    def test_output_pad_single_fanin(self):
+        Cell(name="po", kind=CellKind.OUTPUT, fanin=("x",))
+        with pytest.raises(ValueError):
+            Cell(name="po2", kind=CellKind.OUTPUT, fanin=("x", "y"))
+
+    def test_inverter_arity(self):
+        Cell(name="n1", kind=CellKind.NOT, fanin=("a",))
+        with pytest.raises(ValueError):
+            Cell(name="n2", kind=CellKind.NOT, fanin=("a", "b"))
+
+    def test_nand_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Cell(name="g", kind=CellKind.NAND, fanin=("a",))
+
+    def test_dff_single_input(self):
+        ff = Cell(name="ff", kind=CellKind.DFF, fanin=("d",))
+        assert ff.is_flipflop
+        with pytest.raises(ValueError):
+            Cell(name="ff2", kind=CellKind.DFF, fanin=("a", "b"))
+
+
+class TestNet:
+    def test_degree_and_members(self):
+        net = Net(name="n", driver="g1", sinks=("g2", "g3"))
+        assert net.degree == 3
+        assert net.members == ("g1", "g2", "g3")
+
+    def test_sinkless_net(self):
+        net = Net(name="n", driver="g1")
+        assert net.degree == 1
+        assert net.members == ("g1",)

@@ -1,0 +1,119 @@
+"""Tests for the Circuit container and its derived structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Circuit, CellKind
+
+
+def build_simple() -> Circuit:
+    c = Circuit("simple")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", CellKind.NAND, ("a", "b"))
+    c.add_dff("ff1", "g1")
+    c.add_gate("g2", CellKind.NOT, ("ff1",))
+    c.add_output("g2")
+    return c.validate()
+
+
+class TestConstruction:
+    def test_counts(self):
+        c = build_simple()
+        stats = c.stats()
+        assert stats.num_cells == 3  # g1, ff1, g2
+        assert stats.num_flipflops == 1
+        assert stats.num_gates == 2
+        assert stats.num_inputs == 2
+        assert stats.num_outputs == 1
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit("dup")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_dangling_fanin_rejected(self):
+        c = Circuit("dangling")
+        c.add_input("a")
+        c.add_gate("g", CellKind.NOT, ("missing",))
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_output_of_unknown_signal_rejected(self):
+        c = Circuit("badpo")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_output("nope")
+            c.validate()
+
+    def test_reading_from_output_pad_rejected(self):
+        c = Circuit("readpo")
+        c.add_input("a")
+        c.add_output("a")
+        c.add_gate("g", CellKind.NOT, ("a__po",))
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_pad_gate_via_add_gate_rejected(self):
+        c = Circuit("padgate")
+        with pytest.raises(NetlistError):
+            c.add_gate("x", CellKind.INPUT, ())
+
+
+class TestNets:
+    def test_net_membership(self):
+        c = build_simple()
+        net = c.nets["g1"]
+        assert net.driver == "g1"
+        assert net.sinks == ("ff1",)
+
+    def test_output_pad_is_sink(self):
+        c = build_simple()
+        assert "g2__po" in c.nets["g2"].sinks
+
+    def test_unused_signal_has_no_net(self):
+        c = Circuit("unused")
+        c.add_input("a")
+        c.add_gate("g", CellKind.NOT, ("a",))
+        # g drives nothing -> no net named g
+        c.validate()
+        assert "g" not in c.nets
+        assert "a" in c.nets
+
+    def test_fanout_of(self):
+        c = build_simple()
+        assert c.fanout_of("a") == ("g1",)
+        assert c.fanout_of("nonexistent") == ()
+
+
+class TestCombinationalGraph:
+    def test_dff_edges_are_split(self):
+        c = build_simple()
+        edges = set(c.combinational_edges())
+        assert ("g1", "ff1$D") in edges
+        assert ("ff1", "g2") in edges
+        # No edge passes *through* the register node.
+        assert ("g1", "ff1") not in edges
+
+    def test_sequential_loop_is_acyclic_after_split(self, s27):
+        """s27 has flip-flop feedback; the split graph must be a DAG."""
+        import networkx as nx
+
+        g = nx.DiGraph(s27.combinational_edges())
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_dff_data_node_name(self):
+        assert Circuit.dff_data_node("ff3") == "ff3$D"
+
+
+class TestAccess:
+    def test_unknown_cell_raises(self):
+        c = build_simple()
+        with pytest.raises(NetlistError):
+            c.cell("ghost")
+
+    def test_contains_and_len(self):
+        c = build_simple()
+        assert "g1" in c
+        assert len(c) == 6  # 2 pads + 3 cells + 1 PO pad

@@ -1,0 +1,99 @@
+"""Tests for the synthetic ISCAS89-like circuit generator."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    PROFILES,
+    CircuitProfile,
+    GeneratorOptions,
+    generate_circuit,
+    generate_named,
+    small_profile,
+)
+
+
+class TestProfiles:
+    def test_paper_table2_values(self):
+        p = PROFILES["s9234"]
+        assert (p.num_cells, p.num_flipflops, p.num_nets) == (1510, 135, 1471)
+        assert p.num_rings == 16
+        assert p.ring_grid_side == 4
+
+    def test_all_ring_counts_are_squares(self):
+        for p in PROFILES.values():
+            assert p.ring_grid_side**2 == p.num_rings
+
+    def test_inconsistent_profile_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitProfile("bad", 10, 20, 10, 4, 0.0)
+
+    def test_non_square_rings_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitProfile("bad", 100, 10, 100, 5, 0.0)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_exact_cell_and_net_counts(self, name):
+        circuit = generate_named(name)
+        stats = circuit.stats()
+        profile = PROFILES[name]
+        assert stats.num_cells == profile.num_cells
+        assert stats.num_flipflops == profile.num_flipflops
+        assert stats.num_nets == profile.num_nets
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate_named("s000")
+
+    def test_deterministic(self):
+        p = small_profile(seed=3)
+        a = generate_circuit(p)
+        b = generate_circuit(p)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert [c.fanin for c in a] == [c.fanin for c in b]
+
+    def test_combinational_graph_is_dag(self):
+        circuit = generate_circuit(small_profile(num_cells=300, num_flipflops=40))
+        g = nx.DiGraph(circuit.combinational_edges())
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_depth_bound_respected(self):
+        depth = 5
+        circuit = generate_circuit(
+            small_profile(num_cells=400, num_flipflops=50),
+            GeneratorOptions(depth=depth),
+        )
+        g = nx.DiGraph(circuit.combinational_edges())
+        longest = nx.dag_longest_path_length(g)
+        # Levels gates + the final register-input edge.
+        assert longest <= depth + 1
+
+    def test_every_primary_input_consumed(self):
+        circuit = generate_circuit(small_profile(num_cells=200, num_flipflops=30))
+        for pi in circuit.primary_inputs:
+            assert circuit.fanout_of(pi), f"primary input {pi} is dangling"
+
+    def test_every_flipflop_has_data_source(self):
+        circuit = generate_circuit(small_profile())
+        for ff in circuit.flip_flops:
+            assert len(ff.fanin) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cells=st.integers(60, 400),
+        ffs=st.integers(8, 40),
+        seed=st.integers(0, 2**16),
+    )
+    def test_generated_circuits_validate(self, cells, ffs, seed):
+        """Any profile in range yields a structurally valid circuit."""
+        profile = small_profile(num_cells=cells, num_flipflops=min(ffs, cells - 20), seed=seed)
+        circuit = generate_circuit(profile)
+        stats = circuit.stats()
+        assert stats.num_cells == profile.num_cells
+        assert stats.num_flipflops == profile.num_flipflops
+        g = nx.DiGraph(circuit.combinational_edges())
+        assert nx.is_directed_acyclic_graph(g)

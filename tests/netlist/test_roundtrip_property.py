@@ -1,0 +1,45 @@
+"""Property test: any generated circuit survives a .bench round trip."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    bench_to_text,
+    generate_circuit,
+    parse_bench_text,
+    small_profile,
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    cells=st.integers(60, 300),
+    ffs=st.integers(8, 32),
+    seed=st.integers(0, 2**20),
+)
+def test_generated_circuit_bench_roundtrip(cells, ffs, seed):
+    profile = small_profile(
+        num_cells=cells, num_flipflops=min(ffs, cells - 30), seed=seed
+    )
+    original = generate_circuit(profile)
+    text = bench_to_text(original)
+    parsed = parse_bench_text(text, original.name)
+
+    a, b = original.stats(), parsed.stats()
+    assert (a.num_cells, a.num_flipflops, a.num_nets, a.num_gates) == (
+        b.num_cells,
+        b.num_flipflops,
+        b.num_nets,
+        b.num_gates,
+    )
+    assert sorted(original.primary_inputs) == sorted(parsed.primary_inputs)
+    assert sorted(original.primary_outputs) == sorted(parsed.primary_outputs)
+    for cell in original:
+        if cell.is_pad:
+            continue
+        twin = parsed.cell(cell.name)
+        assert twin.kind is cell.kind
+        assert twin.fanin == cell.fanin
+    # Structure stays a DAG through serialization.
+    assert nx.is_directed_acyclic_graph(nx.DiGraph(parsed.combinational_edges()))

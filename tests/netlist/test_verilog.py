@@ -1,0 +1,119 @@
+"""Tests for structural Verilog writing and subset parsing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import (
+    CellKind,
+    Circuit,
+    generate_circuit,
+    parse_verilog_text,
+    read_verilog,
+    small_profile,
+    verilog_to_text,
+    write_verilog,
+)
+
+
+class TestWriter:
+    def test_module_structure(self, s27):
+        text = verilog_to_text(s27)
+        assert text.startswith("module s27 (")
+        assert text.rstrip().endswith("endmodule")
+        assert "DFF u_G5 (.Q(G5), .D(G10));" in text
+        assert "assign G17_po = G17;" in text
+
+    def test_primitive_naming(self):
+        c = Circuit("prims")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("c")
+        c.add_gate("n1", CellKind.NAND, ("a", "b", "c"))
+        c.add_gate("inv1", CellKind.NOT, ("n1",))
+        c.add_output("inv1")
+        c.validate()
+        text = verilog_to_text(c)
+        assert "NAND3 u_n1" in text
+        assert "INV u_inv1" in text
+
+    def test_file_io(self, tmp_path, s27):
+        path = tmp_path / "s27.v"
+        write_verilog(s27, path)
+        again = read_verilog(path)
+        assert again.stats().num_cells == s27.stats().num_cells
+
+    def test_name_sanitization(self):
+        c = Circuit("weird")
+        c.add_input("in.1")
+        c.add_gate("out[0]", CellKind.NOT, ("in.1",))
+        c.add_output("out[0]")
+        c.validate()
+        text = verilog_to_text(c)
+        assert "in.1" not in text
+        assert "out[0]" not in text
+        parse_verilog_text(text)  # must stay parseable
+
+
+class TestParser:
+    def test_rejects_garbage(self):
+        with pytest.raises(NetlistError):
+            parse_verilog_text("this is not verilog")
+
+    def test_rejects_unknown_primitive(self, s27):
+        text = verilog_to_text(s27).replace("DFF u_G5", "LATCH u_G5")
+        with pytest.raises(NetlistError):
+            parse_verilog_text(text)
+
+    def test_rejects_missing_output_pin(self):
+        text = (
+            "module m (a, y_po);\n  input a;\n  output y_po;\n  wire y;\n"
+            "  INV u_y (.A(a));\n  assign y_po = y;\nendmodule\n"
+        )
+        with pytest.raises(NetlistError):
+            parse_verilog_text(text)
+
+    def test_rejects_undriven_output(self):
+        text = (
+            "module m (a, y_po);\n  input a;\n  output y_po;\n  wire y;\n"
+            "  INV u_y (.Y(y), .A(a));\nendmodule\n"
+        )
+        with pytest.raises(NetlistError):
+            parse_verilog_text(text)
+
+    def test_comments_stripped(self, s27):
+        text = "// header\n" + verilog_to_text(s27).replace(
+            "endmodule", "// tail\nendmodule"
+        )
+        assert parse_verilog_text(text).stats().num_cells == 13
+
+
+class TestRoundtrip:
+    def test_s27_roundtrip(self, s27):
+        again = parse_verilog_text(verilog_to_text(s27))
+        a, b = s27.stats(), again.stats()
+        assert (a.num_cells, a.num_flipflops, a.num_nets) == (
+            b.num_cells,
+            b.num_flipflops,
+            b.num_nets,
+        )
+        for cell in s27:
+            if not cell.is_pad:
+                twin = again.cell(cell.name)
+                assert twin.kind is cell.kind
+                assert twin.fanin == cell.fanin
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_generated_roundtrip(self, seed):
+        circuit = generate_circuit(
+            small_profile(num_cells=120, num_flipflops=16, seed=seed)
+        )
+        again = parse_verilog_text(verilog_to_text(circuit))
+        assert again.stats().num_cells == circuit.stats().num_cells
+        assert again.stats().num_nets == circuit.stats().num_nets
+        assert nx.is_directed_acyclic_graph(
+            nx.DiGraph(again.combinational_edges())
+        )

@@ -1,0 +1,80 @@
+"""Tests for the generic branch-and-bound ILP solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError
+from repro.opt import LinearProgram, branch_and_bound
+
+
+def knapsack_lp(values, weights, budget) -> LinearProgram:
+    lp = LinearProgram("knap")
+    for i in range(len(values)):
+        lp.add_var(f"x{i}", lb=0, ub=1, integer=True)
+    lp.add_constraint(
+        {f"x{i}": float(w) for i, w in enumerate(weights)}, "<=", float(budget)
+    )
+    lp.set_objective({f"x{i}": -float(v) for i, v in enumerate(values)})
+    return lp
+
+
+class TestBranchBound:
+    def test_knapsack_optimal(self):
+        res = branch_and_bound(knapsack_lp([10, 8, 6], [5, 4, 3], 8))
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-16.0)
+        assert res.gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_lp_integral_root(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0, ub=3, integer=True)
+        lp.add_constraint({"x": 1}, "<=", 2)
+        lp.set_objective({"x": -1})
+        res = branch_and_bound(lp)
+        assert res.status == "optimal"
+        assert res.values["x"] == pytest.approx(2.0)
+
+    def test_infeasible_root(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0, ub=1, integer=True)
+        lp.add_constraint({"x": 1}, ">=", 2)
+        lp.set_objective({"x": 1})
+        with pytest.raises(InfeasibleError):
+            branch_and_bound(lp)
+
+    def test_node_limit_returns_no_solution_or_feasible(self):
+        lp = knapsack_lp([3, 5, 7, 9, 11], [2, 3, 4, 5, 6], 9)
+        res = branch_and_bound(lp, node_limit=1)
+        assert res.status in ("optimal", "feasible", "no_solution")
+        assert res.nodes_explored <= 1
+
+    def test_best_bound_is_valid(self):
+        lp = knapsack_lp([7, 5, 4, 3], [4, 3, 2, 2], 6)
+        res = branch_and_bound(lp)
+        assert res.best_bound <= res.objective + 1e-9
+
+    def test_mixed_continuous_integer(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0, ub=10, integer=True)
+        lp.add_var("y", lb=0, ub=10)  # continuous
+        lp.add_constraint({"x": 1, "y": 1}, "<=", 7.5)
+        lp.set_objective({"x": -2, "y": -1})
+        res = branch_and_bound(lp)
+        assert res.status == "optimal"
+        assert res.values["x"] == pytest.approx(7.0)
+        assert res.values["y"] == pytest.approx(0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_agrees_with_scipy_milp(self, data):
+        n = data.draw(st.integers(2, 5))
+        values = [data.draw(st.integers(1, 12)) for _ in range(n)]
+        weights = [data.draw(st.integers(1, 8)) for _ in range(n)]
+        budget = data.draw(st.integers(1, sum(weights)))
+        lp = knapsack_lp(values, weights, budget)
+        bb = branch_and_bound(lp)
+        ref = knapsack_lp(values, weights, budget).solve()  # HiGHS MILP
+        assert bb.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -1,0 +1,77 @@
+"""Tests for placement region sizing and pad placement."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import PlacementError
+from repro.placement import pad_positions, region_for_circuit
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestRegionSizing:
+    def test_capacity_exceeds_cells(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        assert region.capacity_sites > len(tiny_circuit.standard_cells)
+
+    def test_utilization_bounds(self, tiny_circuit):
+        with pytest.raises(PlacementError):
+            region_for_circuit(tiny_circuit, TECH, utilization=0.0)
+        with pytest.raises(PlacementError):
+            region_for_circuit(tiny_circuit, TECH, utilization=1.5)
+
+    def test_lower_utilization_bigger_die(self, tiny_circuit):
+        dense = region_for_circuit(tiny_circuit, TECH, utilization=0.8)
+        sparse = region_for_circuit(tiny_circuit, TECH, utilization=0.3)
+        assert sparse.bbox.area > dense.bbox.area
+
+    def test_grid_geometry(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        assert region.bbox.width == pytest.approx(
+            region.sites_per_row * region.site_width
+        )
+        assert region.bbox.height == pytest.approx(
+            region.num_rows * region.row_height
+        )
+
+    def test_row_and_site_lookup(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        y = region.row_y(0)
+        assert region.nearest_row(y) == 0
+        x = region.site_x(region.sites_per_row - 1)
+        assert region.nearest_site(x) == region.sites_per_row - 1
+        # Out-of-range coordinates clamp.
+        assert region.nearest_row(-100.0) == 0
+        assert region.nearest_site(1e9) == region.sites_per_row - 1
+
+    def test_row_index_validation(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        with pytest.raises(PlacementError):
+            region.row_y(region.num_rows)
+        with pytest.raises(PlacementError):
+            region.site_x(-1)
+
+
+class TestPads:
+    def test_pads_on_periphery(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        pads = pad_positions(tiny_circuit, region)
+        b = region.bbox
+        assert pads  # circuit has I/O
+        for p in pads.values():
+            on_edge = (
+                p.x in (b.xlo, b.xhi) or p.y in (b.ylo, b.yhi)
+            )
+            assert on_edge, f"pad at ({p.x}, {p.y}) not on the boundary"
+
+    def test_every_pad_placed(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        pads = pad_positions(tiny_circuit, region)
+        expected = {c.name for c in tiny_circuit if c.is_pad}
+        assert set(pads) == expected
+
+    def test_pads_spread_out(self, tiny_circuit):
+        region = region_for_circuit(tiny_circuit, TECH)
+        pads = list(pad_positions(tiny_circuit, region).values())
+        distinct = {(round(p.x, 3), round(p.y, 3)) for p in pads}
+        assert len(distinct) == len(pads)

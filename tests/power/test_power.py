@@ -1,0 +1,92 @@
+"""Tests for the power models (eqs. 8 and 9, buffer estimation)."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY, Technology
+from repro.power import (
+    buffers_for_net,
+    clock_power_mw,
+    dynamic_power_mw,
+    estimate_buffers_by_net,
+    estimate_signal_buffers,
+    leakage_power_mw,
+    signal_power_mw,
+)
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestDynamicPower:
+    def test_eq8_formula(self):
+        # P = 1/2 a V^2 f C: 1/2 * 1 * 1.8^2 * 1GHz * 1000fF = 1.62 mW
+        p = dynamic_power_mw(1000.0, 1.0, TECH, activity=1.0)
+        assert p == pytest.approx(0.5 * 1.8**2 * 1000.0 * 1e-3)
+
+    def test_linear_in_frequency_and_cap(self):
+        base = dynamic_power_mw(100.0, 1.0, TECH, 0.5)
+        assert dynamic_power_mw(200.0, 1.0, TECH, 0.5) == pytest.approx(2 * base)
+        assert dynamic_power_mw(100.0, 2.0, TECH, 0.5) == pytest.approx(2 * base)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_power_mw(-1.0, 1.0, TECH, 1.0)
+
+    def test_clock_power_components(self):
+        p_no_wire = clock_power_mw(0.0, 10, 1.0, TECH)
+        p_wire = clock_power_mw(1000.0, 10, 1.0, TECH)
+        assert p_wire > p_no_wire
+        expected_cap = 10 * TECH.flipflop_input_cap
+        assert p_no_wire == pytest.approx(
+            dynamic_power_mw(expected_cap, 1.0, TECH, TECH.clock_activity)
+        )
+
+    def test_signal_power_uses_low_activity(self, tiny_circuit):
+        p = signal_power_mw(tiny_circuit, 10_000.0, 1.0, TECH)
+        # Equivalent all-activity power must be much larger.
+        hot = Technology(signal_activity=1.0)
+        p_hot = signal_power_mw(tiny_circuit, 10_000.0, 1.0, hot)
+        assert p_hot == pytest.approx(p / TECH.signal_activity, rel=1e-6)
+
+    def test_signal_power_grows_with_wirelength(self, tiny_circuit):
+        assert signal_power_mw(tiny_circuit, 20_000.0, 1.0, TECH) > signal_power_mw(
+            tiny_circuit, 10_000.0, 1.0, TECH
+        )
+
+
+class TestLeakage:
+    def test_eq9_formula(self, tiny_circuit):
+        p = leakage_power_mw(tiny_circuit, TECH)
+        n_ff = len(tiny_circuit.flip_flops)
+        n_gates = len(tiny_circuit.gates)
+        expected = TECH.vdd * TECH.unit_leakage_current * (
+            n_gates * TECH.gate_size + n_ff * TECH.flipflop_size
+        )
+        assert p == pytest.approx(expected)
+
+    def test_independent_of_placement(self, tiny_circuit):
+        assert leakage_power_mw(tiny_circuit, TECH) == leakage_power_mw(
+            tiny_circuit, TECH
+        )
+
+
+class TestBufferEstimate:
+    def test_short_net_no_buffers(self):
+        assert buffers_for_net(TECH.buffer_critical_length * 0.9, TECH) == 0
+
+    def test_one_buffer_per_critical_length(self):
+        assert buffers_for_net(TECH.buffer_critical_length * 2.5, TECH) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            buffers_for_net(-1.0, TECH)
+        with pytest.raises(ValueError):
+            estimate_signal_buffers(-1.0, TECH)
+
+    def test_aggregate(self):
+        total = estimate_signal_buffers(10 * TECH.buffer_critical_length, TECH)
+        assert total == 10
+
+    def test_by_net(self):
+        lengths = {"n1": 0.0, "n2": TECH.buffer_critical_length * 3.2}
+        out = estimate_buffers_by_net(lengths, TECH)
+        assert out == {"n1": 0, "n2": 3}

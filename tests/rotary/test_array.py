@@ -1,0 +1,80 @@
+"""Tests for rotary ring array generation."""
+
+import pytest
+
+from repro.geometry import BBox, Point
+from repro.rotary import RingArray, RingArrayOptions
+
+
+@pytest.fixture()
+def array() -> RingArray:
+    return RingArray(BBox(0, 0, 400, 400), side=4, period=1000.0)
+
+
+class TestConstruction:
+    def test_ring_count(self, array):
+        assert len(array) == 16
+        assert array.num_rings == 16
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            RingArray(BBox(0, 0, 100, 100), side=0, period=1000.0)
+
+    def test_invalid_fill_factor(self):
+        with pytest.raises(ValueError):
+            RingArray(
+                BBox(0, 0, 100, 100),
+                side=2,
+                period=1000.0,
+                options=RingArrayOptions(fill_factor=1.5),
+            )
+
+    def test_rings_inside_region_and_disjoint(self, array):
+        boxes = [r.bbox for r in array]
+        region = array.region
+        for b in boxes:
+            assert region.contains(Point(b.xlo, b.ylo))
+            assert region.contains(Point(b.xhi, b.yhi))
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                # fill_factor < 1 keeps neighbouring loops separated.
+                assert not a.expanded(-1e-9).intersects(b.expanded(-1e-9))
+
+    def test_grid_centers(self, array):
+        assert array[0].center == Point(50.0, 50.0)
+        assert array[15].center == Point(350.0, 350.0)
+
+    def test_phase_locked_references(self, array):
+        assert {r.reference_delay for r in array} == {0.0}
+
+    def test_rectangular_region(self):
+        arr = RingArray(BBox(0, 0, 400, 200), side=2, period=1000.0)
+        # Ring size limited by the smaller pitch.
+        assert arr[0].half_width <= 50.0
+
+
+class TestQueries:
+    def test_nearest_ring(self, array):
+        assert array.nearest_ring(Point(40.0, 60.0)).ring_id == 0
+        assert array.nearest_ring(Point(360.0, 340.0)).ring_id == 15
+
+    def test_rings_by_distance_sorted(self, array):
+        p = Point(10.0, 10.0)
+        ordered = array.rings_by_distance(p)
+        dists = [r.center.manhattan(p) for r in ordered]
+        assert dists == sorted(dists)
+        assert len(ordered) == 16
+
+    def test_rings_by_distance_topk(self, array):
+        assert len(array.rings_by_distance(Point(0, 0), k=5)) == 5
+
+    def test_default_capacities_cover_flipflops(self, array):
+        caps = array.default_capacities(100)
+        assert sum(caps) >= 100
+        assert len(caps) == 16
+
+    def test_default_capacities_validation(self, array):
+        with pytest.raises(ValueError):
+            array.default_capacities(0)
+        with pytest.raises(ValueError):
+            array.default_capacities(10, headroom=0.5)

@@ -1,0 +1,47 @@
+"""Property tests tying segment-local coordinates to planar geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.rotary import RotaryRing
+
+coords = st.floats(-300.0, 500.0, allow_nan=False, allow_infinity=False)
+
+
+class TestProjectionGeometry:
+    @settings(max_examples=80, deadline=None)
+    @given(ffx=coords, ffy=coords, x=st.floats(0.0, 100.0), seg=st.integers(0, 7))
+    def test_stub_formula_is_manhattan_distance(self, ffx, ffy, x, seg):
+        """``|x - x_f| + y_f`` is exactly the Manhattan distance from the
+        tap point to the flip-flop — the identity eq. (1) rests on."""
+        ring = RotaryRing(0, Point(100.0, 100.0), 50.0, 1000.0)
+        segment = ring.segments()[seg]
+        ff = Point(ffx, ffy)
+        xf, yf = segment.project(ff)
+        stub = abs(x - xf) + yf
+        tap = segment.point_at(x)
+        assert stub == pytest.approx(tap.manhattan(ff), abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.floats(0.0, 100.0), seg=st.integers(0, 3))
+    def test_points_on_segment_project_to_themselves(self, x, seg):
+        ring = RotaryRing(0, Point(100.0, 100.0), 50.0, 1000.0)
+        segment = ring.segments()[seg]
+        p = segment.point_at(x)
+        xf, yf = segment.project(p)
+        assert xf == pytest.approx(x, abs=1e-9)
+        assert yf == pytest.approx(0.0, abs=1e-9)
+
+    def test_arclength_delay_consistent_with_segments(self):
+        """delay_at_arclength agrees with the per-segment delays."""
+        ring = RotaryRing(0, Point(0.0, 0.0), 40.0, 1000.0)
+        for seg in ring.segments()[:4]:
+            for x in (0.0, 13.7, seg.length):
+                s = seg.index * ring.side + x
+                assert ring.delay_at_arclength(s) == pytest.approx(
+                    seg.delay_at(x) % ring.period, abs=1e-9
+                ) or ring.delay_at_arclength(s) == pytest.approx(
+                    seg.delay_at(x), abs=1e-9
+                )

@@ -1,0 +1,61 @@
+"""Tests for tapping with custom load capacitance (local-tree roots)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import Point
+from repro.rotary import RotaryRing, best_tapping, stub_delay
+
+TECH = DEFAULT_TECHNOLOGY
+PERIOD = 1000.0
+
+
+def make_ring() -> RotaryRing:
+    return RotaryRing(0, Point(100.0, 100.0), 50.0, period=PERIOD)
+
+
+class TestCustomLoadCap:
+    def test_default_matches_flipflop_cap(self):
+        ring = make_ring()
+        ff = Point(120.0, 170.0)
+        a = best_tapping(ring, ff, 300.0, TECH)
+        b = best_tapping(ring, ff, 300.0, TECH, load_cap=TECH.flipflop_input_cap)
+        assert a.wirelength == pytest.approx(b.wirelength)
+        assert a.segment_index == b.segment_index
+
+    def test_stub_delay_grows_with_load(self):
+        assert stub_delay(100.0, TECH, 200.0) > stub_delay(100.0, TECH, 10.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        load=st.floats(1.0, 500.0),
+        target=st.floats(0.0, 999.0),
+        ffx=st.floats(20.0, 180.0),
+        ffy=st.floats(20.0, 180.0),
+    )
+    def test_equation_holds_for_any_load(self, load, target, ffx, ffy):
+        """Eq. (1) with a custom load must hold exactly too."""
+        ring = make_ring()
+        sol = best_tapping(ring, Point(ffx, ffy), target, TECH, load_cap=load)
+        seg = ring.segments()[sol.segment_index]
+        achieved = (
+            seg.t0
+            - sol.periods_borrowed * PERIOD
+            + seg.rho * sol.x
+            + stub_delay(sol.wirelength, TECH, load)
+        )
+        assert achieved == pytest.approx(target % PERIOD, abs=1e-5)
+
+    def test_heavier_load_never_cheaper_at_fixed_target(self):
+        """For the same target, a heavier load needs at most the same or
+        more wire only when the delay budget is wire-bound; at minimum the
+        solution must remain feasible and exact."""
+        ring = make_ring()
+        ff = Point(160.0, 100.0)
+        light = best_tapping(ring, ff, 500.0, TECH, load_cap=5.0)
+        heavy = best_tapping(ring, ff, 500.0, TECH, load_cap=400.0)
+        # Both exact; heavier load shifts the tapping point to compensate.
+        assert light.wirelength >= 0.0 and heavy.wirelength >= 0.0
+        assert light.point != heavy.point or light.wirelength != heavy.wirelength

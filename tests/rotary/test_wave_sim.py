@@ -1,0 +1,84 @@
+"""Tests for the rotary-ring transmission-line wave simulator."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import RotaryError
+from repro.geometry import Point
+from repro.rotary import RotaryRing, simulate_ring, uniform_load
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def ring() -> RotaryRing:
+    return RotaryRing(0, Point(0, 0), half_width=250.0, period=1000.0)
+
+
+class TestUnloadedRing:
+    def test_period_matches_eq2(self, ring):
+        """Lossless Möbius ring oscillates at T = 2 sqrt(L C)."""
+        res = simulate_ring(ring, TECH)
+        assert res.relative_error < 0.01
+
+    def test_frequency_consistent(self, ring):
+        res = simulate_ring(ring, TECH)
+        assert res.frequency_ghz == pytest.approx(
+            1000.0 / res.measured_period
+        )
+
+    def test_bigger_ring_slower(self):
+        small = RotaryRing(0, Point(0, 0), 100.0, 1000.0)
+        big = RotaryRing(1, Point(0, 0), 400.0, 1000.0)
+        ps = simulate_ring(small, TECH).measured_period
+        pb = simulate_ring(big, TECH).measured_period
+        # Period scales linearly with perimeter (both L and C do).
+        assert pb == pytest.approx(4.0 * ps, rel=0.02)
+
+    def test_trace_exposed(self, ring):
+        res = simulate_ring(ring, TECH)
+        assert res.time.shape == res.probe.shape
+        assert res.time[0] < res.time[-1]
+
+
+class TestLoadedRing:
+    def test_uniform_load_matches_eq2(self, ring):
+        """Evenly spread load slows the wave exactly as eq. (2) predicts."""
+        res = simulate_ring(ring, TECH, load_caps=uniform_load(200.0, ring))
+        assert res.relative_error < 0.01
+        unloaded = simulate_ring(ring, TECH)
+        assert res.measured_period > unloaded.measured_period
+
+    def test_concentrated_load_breaks_rotation(self, ring):
+        """The same capacitance lumped at one point reflects the wave —
+        the physical reason the paper requires dummy capacitors for
+        uniform loading."""
+        res = simulate_ring(
+            ring, TECH, load_caps={0.3 * ring.perimeter: 200.0}
+        )
+        assert res.relative_error > 0.10
+
+    def test_more_uniform_load_slower(self, ring):
+        light = simulate_ring(ring, TECH, load_caps=uniform_load(50.0, ring))
+        heavy = simulate_ring(ring, TECH, load_caps=uniform_load(400.0, ring))
+        assert heavy.measured_period > light.measured_period
+        assert heavy.relative_error < 0.02
+
+    def test_negative_load_rejected(self, ring):
+        with pytest.raises(RotaryError):
+            simulate_ring(ring, TECH, load_caps={0.0: -1.0})
+        with pytest.raises(RotaryError):
+            uniform_load(-5.0, ring)
+
+    def test_uniform_load_helper(self, ring):
+        loads = uniform_load(128.0, ring, taps=32)
+        assert len(loads) == 32
+        assert sum(loads.values()) == pytest.approx(128.0)
+        with pytest.raises(RotaryError):
+            uniform_load(1.0, ring, taps=0)
+
+
+class TestValidation:
+    def test_too_few_sections(self, ring):
+        with pytest.raises(RotaryError):
+            simulate_ring(ring, TECH, sections=4)

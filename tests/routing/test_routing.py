@@ -1,0 +1,208 @@
+"""Tests for the congestion-aware global router."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import BBox, Point
+from repro.routing import (
+    GCell,
+    GlobalRouter,
+    RoutingError,
+    RoutingGrid,
+    route_design,
+)
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+def make_grid(w: float = 300.0, h: float = 300.0, size: float = 10.0, cap: int = 4):
+    return RoutingGrid(BBox(0, 0, w, h), gcell_size=size, capacity=cap)
+
+
+def edges_connect(route, a: GCell, b: GCell) -> bool:
+    """Whether the route's edge set connects cells a and b."""
+    if a == b:
+        return True
+    adj: dict[tuple[int, int], set[tuple[int, int]]] = {}
+    for u, v in route.edges:
+        adj.setdefault((u.x, u.y), set()).add((v.x, v.y))
+        adj.setdefault((v.x, v.y), set()).add((u.x, u.y))
+    stack = [(a.x, a.y)]
+    seen = {(a.x, a.y)}
+    while stack:
+        node = stack.pop()
+        if node == (b.x, b.y):
+            return True
+        for nxt in adj.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+class TestGrid:
+    def test_dimensions(self):
+        grid = make_grid(300, 200, 10)
+        assert grid.width == 30 and grid.height == 20
+
+    def test_cell_of_clamps(self):
+        grid = make_grid()
+        assert grid.cell_of(Point(-50, -50)) == GCell(0, 0)
+        c = grid.cell_of(Point(1e6, 1e6))
+        assert (c.x, c.y) == (grid.width - 1, grid.height - 1)
+
+    def test_usage_tracking(self):
+        grid = make_grid()
+        a, b = GCell(0, 0), GCell(1, 0)
+        assert grid.edge_usage(a, b) == 0
+        grid.add_usage(a, b)
+        assert grid.edge_usage(a, b) == 1
+        assert grid.edge_usage(b, a) == 1  # undirected
+
+    def test_non_adjacent_rejected(self):
+        grid = make_grid()
+        with pytest.raises(RoutingError):
+            grid.edge_usage(GCell(0, 0), GCell(2, 0))
+
+    def test_overflow_and_congestion(self):
+        grid = make_grid(cap=2)
+        a, b = GCell(0, 0), GCell(1, 0)
+        for _ in range(5):
+            grid.add_usage(a, b)
+        assert grid.overflow == 3
+        assert grid.max_congestion == pytest.approx(2.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(RoutingError):
+            RoutingGrid(BBox(0, 0, 10, 10), gcell_size=0.0)
+        with pytest.raises(RoutingError):
+            RoutingGrid(BBox(0, 0, 10, 10), gcell_size=1.0, capacity=0)
+
+
+class TestRouter:
+    def test_two_pin_l_route(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        route = router.route_net("n", [Point(5, 5), Point(105, 85)])
+        a, b = grid.cell_of(Point(5, 5)), grid.cell_of(Point(105, 85))
+        assert edges_connect(route, a, b)
+        # L-shape: exactly the Manhattan cell distance.
+        assert route.length_cells == abs(a.x - b.x) + abs(a.y - b.y)
+
+    def test_same_cell_net_is_empty(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        route = router.route_net("n", [Point(5, 5), Point(6, 6)])
+        assert route.edges == ()
+
+    def test_multi_pin_connected(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        pins = [Point(10, 10), Point(250, 30), Point(40, 260), Point(200, 200)]
+        route = router.route_net("n", pins)
+        cells = [grid.cell_of(p) for p in pins]
+        for c in cells[1:]:
+            assert edges_connect(route, cells[0], c)
+
+    def test_congestion_forces_detour(self):
+        """Saturate the straight corridor; the next net must go around."""
+        grid = make_grid(cap=1)
+        router = GlobalRouter(grid)
+        a, b = Point(5, 155), Point(295, 155)
+        first = router.route_net("n1", [a, b])
+        second = router.route_net("n2", [a, b])
+        assert second.length_cells > first.length_cells
+
+    def test_usage_committed(self):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        route = router.route_net("n", [Point(5, 5), Point(105, 5)])
+        assert grid.total_usage == route.length_cells
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ax=st.floats(0, 299), ay=st.floats(0, 299),
+        bx=st.floats(0, 299), by=st.floats(0, 299),
+    )
+    def test_two_pin_length_property(self, ax, ay, bx, by):
+        grid = make_grid()
+        router = GlobalRouter(grid)
+        route = router.route_net("n", [Point(ax, ay), Point(bx, by)])
+        a, b = grid.cell_of(Point(ax, ay)), grid.cell_of(Point(bx, by))
+        manhattan_cells = abs(a.x - b.x) + abs(a.y - b.y)
+        assert route.length_cells >= manhattan_cells  # never shorter
+        assert edges_connect(route, a, b)
+
+
+class TestRouteDesign:
+    def test_routes_whole_circuit(self, tiny_circuit, tiny_placed):
+        region, positions = tiny_placed
+        grid = RoutingGrid(region.bbox, gcell_size=10.0, capacity=32)
+        result = route_design(tiny_circuit, positions, grid)
+        multi_pin_nets = sum(
+            1
+            for net in tiny_circuit.nets.values()
+            if sum(1 for m in net.members if m in positions) >= 2
+        )
+        assert result.num_nets == multi_pin_nets
+        assert result.total_wirelength > 0.0
+
+    def test_generous_capacity_no_overflow(self, tiny_circuit, tiny_placed):
+        region, positions = tiny_placed
+        grid = RoutingGrid(region.bbox, gcell_size=10.0, capacity=500)
+        result = route_design(tiny_circuit, positions, grid)
+        assert result.overflow == 0
+
+    def test_tight_capacity_more_wire(self, tiny_circuit, tiny_placed):
+        region, positions = tiny_placed
+        loose = route_design(
+            tiny_circuit, positions,
+            RoutingGrid(region.bbox, gcell_size=10.0, capacity=500),
+        )
+        tight = route_design(
+            tiny_circuit, positions,
+            RoutingGrid(region.bbox, gcell_size=10.0, capacity=2),
+        )
+        assert tight.total_wirelength >= loose.total_wirelength
+
+
+class TestClockStubRouting:
+    @pytest.fixture(scope="class")
+    def flow_result(self):
+        from repro import FlowOptions, IntegratedFlow
+        from repro.netlist import generate_circuit, small_profile
+
+        circuit = generate_circuit(
+            small_profile(num_cells=150, num_flipflops=20, seed=81)
+        )
+        result = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+        ).run()
+        return result
+
+    def test_all_stubs_routed(self, flow_result):
+        from repro.routing import route_clock_stubs
+
+        grid = RoutingGrid(flow_result.array.region, gcell_size=8.0, capacity=64)
+        result = route_clock_stubs(
+            flow_result.assignment, flow_result.positions, grid
+        )
+        assert result.num_nets == len(flow_result.assignment.ring_of)
+        assert result.overflow == 0  # stubs are short; plenty of capacity
+
+    def test_stubs_fit_alongside_signals(self, flow_result):
+        """Clock stubs route on a grid already carrying signal demand."""
+        from repro.routing import route_clock_stubs, route_design
+        from repro.netlist import generate_circuit, small_profile
+
+        circuit = generate_circuit(
+            small_profile(num_cells=150, num_flipflops=20, seed=81)
+        )
+        grid = RoutingGrid(flow_result.array.region, gcell_size=8.0, capacity=64)
+        signals = route_design(circuit, flow_result.positions, grid)
+        stubs = route_clock_stubs(
+            flow_result.assignment, flow_result.positions, grid
+        )
+        assert stubs.overflow == signals.overflow == grid.overflow

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "s9234"])
+        assert args.engine == "flow"
+        assert args.iterations == 5
+        assert args.period == 1000.0
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "s000"])
+
+    def test_engine_choice(self):
+        args = build_parser().parse_args(["run", "s5378", "--engine", "ilp"])
+        assert args.engine == "ilp"
+
+
+class TestCommands:
+    def test_bench_info(self, capsys):
+        assert main(["bench-info", "s9234"]) == 0
+        out = capsys.readouterr().out
+        assert "1510 cells" in out
+        assert "16 rings" in out
+
+    def test_run_small(self, capsys):
+        # s5378 is the fastest paper circuit; 1 iteration keeps this quick.
+        assert main(["run", "s5378", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "final" in out
+        assert "tap WL" in out
+
+    def test_sweep_rings_small(self, capsys):
+        assert main(
+            ["sweep-rings", "s5378", "--sides", "2,3", "--iterations", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best" in out

@@ -1,0 +1,59 @@
+"""Tests for unit conventions and technology constants."""
+
+import pytest
+
+from repro.constants import (
+    DEFAULT_TECHNOLOGY,
+    Technology,
+    frequency_ghz,
+    oscillation_period_ps,
+    period_ps,
+)
+
+
+class TestConversions:
+    def test_frequency_period_roundtrip(self):
+        assert frequency_ghz(1000.0) == 1.0
+        assert period_ps(2.0) == 500.0
+        assert frequency_ghz(period_ps(3.3)) == pytest.approx(3.3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_ghz(0.0)
+        with pytest.raises(ValueError):
+            period_ps(-1.0)
+
+    def test_oscillation_period_units(self):
+        # L = 1000 pH = 1 nH, C = 1000 fF = 1 pF -> sqrt(LC) ~ 31.6 ps,
+        # period = 63.2 ps.
+        t = oscillation_period_ps(1000.0, 1000.0)
+        assert t == pytest.approx(63.245, rel=1e-3)
+
+    def test_oscillation_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            oscillation_period_ps(0.0, 10.0)
+
+
+class TestTechnology:
+    def test_wire_delay_quadratic_in_length(self):
+        tech = DEFAULT_TECHNOLOGY
+        d1 = tech.wire_delay(100.0)
+        d2 = tech.wire_delay(200.0)
+        assert d2 == pytest.approx(4.0 * d1)
+
+    def test_wire_delay_with_load(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.wire_delay(100.0, 10.0) > tech.wire_delay(100.0, 0.0)
+
+    def test_wire_cap_linear(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.wire_cap(200.0) == pytest.approx(2 * tech.wire_cap(100.0))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TECHNOLOGY.vdd = 0.9  # type: ignore[misc]
+
+    def test_custom_technology(self):
+        tech = Technology(unit_resistance=0.1, unit_capacitance=0.2)
+        assert tech.wire_res(10.0) == pytest.approx(1.0)
+        assert tech.wire_cap(10.0) == pytest.approx(2.0)

@@ -1,0 +1,104 @@
+"""Tests for JSON design persistence."""
+
+import json
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.errors import ReproError
+from repro.io import FORMAT_VERSION, load_design, save_design
+from repro.netlist import generate_circuit, small_profile
+from repro.rotary import stub_delay
+from repro.constants import DEFAULT_TECHNOLOGY as TECH
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    circuit = generate_circuit(small_profile(num_cells=140, num_flipflops=18, seed=61))
+    return IntegratedFlow(
+        circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+    ).run()
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, flow_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        saved = load_design(path)
+        assert saved.circuit_name == flow_result.circuit_name
+        assert saved.period == flow_result.array.period
+        assert saved.ring_of == flow_result.assignment.ring_of
+        assert saved.schedule == pytest.approx(flow_result.schedule.targets)
+        for name, p in flow_result.positions.items():
+            assert saved.positions[name].manhattan(p) < 1e-9
+        for ff, sol in flow_result.assignment.solutions.items():
+            rec = saved.tappings[ff]
+            assert rec["segment"] == sol.segment_index
+            assert rec["wirelength"] == pytest.approx(sol.wirelength)
+
+    def test_ring_array_rebuild(self, flow_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        saved = load_design(path)
+        array = saved.ring_array()
+        assert array.num_rings == flow_result.array.num_rings
+        for rebuilt, original in zip(array, flow_result.array):
+            assert rebuilt.center.manhattan(original.center) < 1e-9
+            assert rebuilt.half_width == pytest.approx(original.half_width)
+
+    def test_saved_tappings_replay_targets(self, flow_result, tmp_path):
+        """Saved tapping records must regenerate the scheduled delays."""
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        saved = load_design(path)
+        array = saved.ring_array()
+        for ff, rec in saved.tappings.items():
+            ring = array[saved.ring_of[ff]]
+            seg = ring.segments()[rec["segment"]]
+            achieved = (
+                seg.t0
+                - rec["periods_borrowed"] * saved.period
+                + seg.rho * rec["x"]
+                + stub_delay(rec["wirelength"], TECH)
+            )
+            assert achieved == pytest.approx(
+                saved.schedule[ff] % saved.period, abs=1e-5
+            )
+
+    def test_metrics_recorded(self, flow_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        saved = load_design(path)
+        assert saved.metrics["tapping_wirelength_um"] == pytest.approx(
+            flow_result.final.tapping_wirelength
+        )
+
+
+class TestRobustness:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_design(tmp_path / "ghost.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_design(path)
+
+    def test_wrong_version(self, flow_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_design(path)
+
+    def test_missing_keys(self, flow_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(flow_result, path)
+        doc = json.loads(path.read_text())
+        del doc["assignment"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_design(path)

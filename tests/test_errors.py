@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AssignmentError,
+    BenchParseError,
+    ClockTreeError,
+    CombinationalCycleError,
+    InfeasibleError,
+    NetlistError,
+    OptimizationError,
+    PlacementError,
+    ReproError,
+    RotaryError,
+    SkewOptimizationError,
+    TappingError,
+    TimingError,
+    UnboundedError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            NetlistError,
+            PlacementError,
+            TimingError,
+            RotaryError,
+            OptimizationError,
+            AssignmentError,
+            SkewOptimizationError,
+            ClockTreeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_specializations(self):
+        assert issubclass(BenchParseError, NetlistError)
+        assert issubclass(CombinationalCycleError, TimingError)
+        assert issubclass(TappingError, RotaryError)
+        assert issubclass(InfeasibleError, OptimizationError)
+        assert issubclass(UnboundedError, OptimizationError)
+
+    def test_bench_parse_error_line_number(self):
+        err = BenchParseError("bad token", line_number=17)
+        assert err.line_number == 17
+        assert "line 17" in str(err)
+        bare = BenchParseError("no line")
+        assert bare.line_number is None
+
+    def test_cycle_error_preview(self):
+        members = [f"g{i}" for i in range(12)]
+        err = CombinationalCycleError(members)
+        assert err.cycle_members == members
+        assert "..." in str(err)  # long cycles are truncated
+        short = CombinationalCycleError(["a", "b"])
+        assert "a, b" in str(short)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise TappingError("nope")

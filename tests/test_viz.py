@@ -1,0 +1,77 @@
+"""Tests for the SVG rendering of flow results."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.geometry import BBox, Point
+from repro.netlist import generate_circuit, small_profile
+from repro.viz import render_flow_svg, render_positions_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    circuit = generate_circuit(small_profile(num_cells=140, num_flipflops=18, seed=55))
+    result = IntegratedFlow(
+        circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+    ).run()
+    return circuit, result, render_flow_svg(result, circuit)
+
+
+class TestFlowSvg:
+    def test_is_valid_xml(self, rendered):
+        _, _, svg = rendered
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+        assert "viewBox" in root.attrib
+
+    def test_one_marker_per_flipflop(self, rendered):
+        circuit, result, svg = rendered
+        root = ET.fromstring(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        # 1 per flip-flop + 1 equal-phase dot per ring.
+        expected = len(result.assignment.ring_of) + result.array.num_rings
+        assert len(circles) == expected
+
+    def test_one_stub_per_flipflop(self, rendered):
+        circuit, result, svg = rendered
+        root = ET.fromstring(svg)
+        lines = root.findall(f"{SVG_NS}line")
+        stubs = [l for l in lines if l.get("stroke") != "#dddddd"]
+        assert len(stubs) == len(result.assignment.ring_of)
+
+    def test_rings_drawn(self, rendered):
+        _, result, svg = rendered
+        root = ET.fromstring(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        # die + 2 squares per ring (differential pair).
+        assert len(rects) == 1 + 2 * result.array.num_rings
+
+    def test_caption_present(self, rendered):
+        _, result, svg = rendered
+        assert result.circuit_name in svg
+
+    def test_show_cells_adds_markers(self, rendered):
+        circuit, result, _ = rendered
+        with_cells = render_flow_svg(result, circuit, show_cells=True)
+        base = render_flow_svg(result, circuit, show_cells=False)
+        assert with_cells.count("<circle") > base.count("<circle")
+
+
+class TestPositionsSvg:
+    def test_renders_all_points(self):
+        die = BBox(0, 0, 100, 100)
+        positions = {f"c{i}": Point(i * 10.0, 50.0) for i in range(5)}
+        svg = render_positions_svg(positions, die)
+        root = ET.fromstring(svg)
+        assert len(root.findall(f"{SVG_NS}circle")) == 5
+
+    def test_highlight_colors(self):
+        die = BBox(0, 0, 10, 10)
+        svg = render_positions_svg(
+            {"a": Point(1, 1)}, die, highlight={"a": "#ff0000"}
+        )
+        assert "#ff0000" in svg

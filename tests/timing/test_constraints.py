@@ -1,0 +1,74 @@
+"""Tests for permissible ranges and skew constraint construction."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.timing import (
+    PathBounds,
+    permissible_range,
+    permissible_ranges,
+    skew_constraints,
+    validate_schedule,
+)
+
+TECH = DEFAULT_TECHNOLOGY
+T = 1000.0
+
+
+class TestPermissibleRange:
+    def test_bounds_formula(self):
+        b = PathBounds(d_min=100.0, d_max=600.0)
+        r = permissible_range("i", "j", b, T, TECH)
+        assert r.hi == pytest.approx(T - 600.0 - TECH.setup_time)
+        assert r.lo == pytest.approx(TECH.hold_time - 100.0)
+        assert r.feasible
+        assert r.width == pytest.approx(r.hi - r.lo)
+
+    def test_slack_narrows_range(self):
+        b = PathBounds(100.0, 600.0)
+        wide = permissible_range("i", "j", b, T, TECH)
+        narrow = permissible_range("i", "j", b, T, TECH, slack=50.0)
+        assert narrow.width == pytest.approx(wide.width - 100.0)
+
+    def test_infeasible_when_dmax_too_large(self):
+        b = PathBounds(d_min=0.0, d_max=2 * T)
+        r = permissible_range("i", "j", b, T, TECH)
+        assert not r.feasible
+
+    def test_contains(self):
+        r = permissible_range("i", "j", PathBounds(100.0, 600.0), T, TECH)
+        assert r.contains(0.0)
+        assert not r.contains(r.hi + 1.0)
+
+    def test_batch_matches_single(self):
+        pairs = {("a", "b"): PathBounds(50.0, 500.0)}
+        batch = permissible_ranges(pairs, T, TECH)
+        single = permissible_range("a", "b", pairs[("a", "b")], T, TECH)
+        assert batch[("a", "b")] == single
+
+
+class TestSkewConstraints:
+    def test_two_constraints_per_pair(self):
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        cons = skew_constraints(pairs, T, TECH)
+        assert len(cons) == 2
+        long_path = next(c for c in cons if c.left == "a")
+        short_path = next(c for c in cons if c.left == "b")
+        assert long_path.bound == pytest.approx(T - 600.0 - TECH.setup_time)
+        assert short_path.bound == pytest.approx(100.0 - TECH.hold_time)
+
+    def test_validate_schedule_clean(self):
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        assert validate_schedule({"a": 0.0, "b": 0.0}, pairs, T, TECH) == []
+
+    def test_validate_schedule_setup_violation(self):
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        problems = validate_schedule({"a": 500.0, "b": 0.0}, pairs, T, TECH)
+        assert len(problems) == 1
+        assert "setup" in problems[0]
+
+    def test_validate_schedule_hold_violation(self):
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        problems = validate_schedule({"a": -200.0, "b": 0.0}, pairs, T, TECH)
+        assert len(problems) == 1
+        assert "hold" in problems[0]

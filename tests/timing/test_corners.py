@@ -1,0 +1,87 @@
+"""Tests for multi-corner timing analysis and corner-safe scheduling."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import max_slack_schedule
+from repro.timing import (
+    Corner,
+    analyze_corners,
+    default_corners,
+    validate_schedule,
+)
+
+TECH = DEFAULT_TECHNOLOGY
+T = 1000.0
+
+
+@pytest.fixture(scope="module")
+def multi_corner(tiny_circuit, tiny_placed):
+    _, positions = tiny_placed
+    return analyze_corners(tiny_circuit, positions, default_corners(TECH))
+
+
+class TestCorners:
+    def test_default_corners_ordered(self):
+        slow, nominal, fast = default_corners(TECH, spread=0.2)
+        assert slow.tech.gate_intrinsic_delay > nominal.tech.gate_intrinsic_delay
+        assert fast.tech.gate_intrinsic_delay < nominal.tech.gate_intrinsic_delay
+        assert nominal.tech == TECH
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            default_corners(TECH, spread=1.5)
+
+    def test_empty_corner_list(self, tiny_circuit, tiny_placed):
+        _, positions = tiny_placed
+        with pytest.raises(ValueError):
+            analyze_corners(tiny_circuit, positions, [])
+
+    def test_pair_sets_structural(self, multi_corner):
+        """Adjacency is placement/corner independent."""
+        slow = set(multi_corner.corner_pairs("slow"))
+        fast = set(multi_corner.corner_pairs("fast"))
+        assert slow == fast == set(multi_corner.merged)
+
+    def test_slow_corner_slower(self, multi_corner):
+        slow = multi_corner.corner_pairs("slow")
+        fast = multi_corner.corner_pairs("fast")
+        slower = sum(
+            1 for k in slow if slow[k].d_max >= fast[k].d_max - 1e-9
+        )
+        assert slower == len(slow)
+
+    def test_merged_is_pessimistic_envelope(self, multi_corner):
+        for key, merged in multi_corner.merged.items():
+            for name in multi_corner.corners:
+                bounds = multi_corner.corner_pairs(name)[key]
+                assert merged.d_max >= bounds.d_max - 1e-12
+                assert merged.d_min <= bounds.d_min + 1e-12
+
+    def test_unknown_corner_lookup(self, multi_corner):
+        with pytest.raises(KeyError):
+            multi_corner.corner_pairs("typical")
+
+
+class TestCornerSafeScheduling:
+    def test_merged_schedule_valid_at_every_corner(
+        self, multi_corner, tiny_circuit
+    ):
+        """The multi-corner guarantee: a schedule feasible against the
+        merged bounds is feasible at every individual corner."""
+        ffs = [ff.name for ff in tiny_circuit.flip_flops]
+        sched = max_slack_schedule(multi_corner.merged, ffs, T, TECH)
+        for name in multi_corner.corners:
+            violations = validate_schedule(
+                sched.targets, multi_corner.corner_pairs(name), T, TECH
+            )
+            assert violations == []
+
+    def test_multi_corner_slack_not_larger(self, multi_corner, tiny_circuit):
+        """Pessimism costs slack: merged M* <= nominal M*."""
+        ffs = [ff.name for ff in tiny_circuit.flip_flops]
+        nominal = max_slack_schedule(
+            multi_corner.corner_pairs("nominal"), ffs, T, TECH
+        )
+        merged = max_slack_schedule(multi_corner.merged, ffs, T, TECH)
+        assert merged.slack <= nominal.slack + 1e-6

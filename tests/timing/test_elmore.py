@@ -1,0 +1,133 @@
+"""Tests for the RC-tree Elmore evaluator and wire delay helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY, OHM_FF_TO_PS
+from repro.errors import TimingError
+from repro.timing import RCTree, star_net_delay
+from repro.timing.elmore import buffered_branch_load, buffered_wire_delay
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+class TestRCTree:
+    def test_single_resistor(self):
+        tree = RCTree("root")
+        tree.add_node("a", "root", resistance=100.0, cap=50.0)
+        delays = tree.elmore_delays()
+        # 100 ohm * 50 fF = 5 ps
+        assert delays["a"] == pytest.approx(5.0)
+        assert delays["root"] == 0.0
+
+    def test_driver_resistance_sees_total_cap(self):
+        tree = RCTree("root", root_cap=10.0)
+        tree.add_node("a", "root", 100.0, 30.0)
+        delays = tree.elmore_delays(driver_resistance=200.0)
+        # Driver: 200 * (10 + 30) = 8 ps; plus branch 100 * 30 = 3 ps.
+        assert delays["root"] == pytest.approx(8.0)
+        assert delays["a"] == pytest.approx(11.0)
+
+    def test_branching_downstream_caps(self):
+        tree = RCTree("root")
+        tree.add_node("m", "root", 100.0, 10.0)
+        tree.add_node("l", "m", 50.0, 20.0)
+        tree.add_node("r", "m", 50.0, 30.0)
+        delays = tree.elmore_delays()
+        # m sees 60 fF through 100 ohm = 6 ps.
+        assert delays["m"] == pytest.approx(6.0)
+        assert delays["l"] == pytest.approx(6.0 + 50 * 20 * OHM_FF_TO_PS)
+        assert delays["r"] == pytest.approx(6.0 + 50 * 30 * OHM_FF_TO_PS)
+
+    def test_add_wire_segments(self):
+        tree = RCTree("root")
+        tree.add_wire("root", "sink", length=100.0, tech=TECH, segments=4)
+        single = RCTree("root")
+        single.add_wire("root", "sink2", length=100.0, tech=TECH, segments=1)
+        d4 = tree.elmore_delays()["sink"]
+        d1 = single.elmore_delays()["sink2"]
+        # Multi-segment pi-model converges toward 1/2 r c l^2 from above...
+        # 1-segment lumps all cap at the end: r*l * c*l; 4 segments less.
+        assert d4 < d1
+        assert d4 == pytest.approx(
+            TECH.wire_delay(100.0) * (1 + 1 / 4), rel=0.05
+        )
+
+    def test_total_and_subtree_caps(self):
+        tree = RCTree("root", root_cap=1.0)
+        tree.add_node("a", "root", 10.0, 2.0)
+        tree.add_node("b", "a", 10.0, 3.0)
+        assert tree.total_cap == pytest.approx(6.0)
+        caps = tree.subtree_caps()
+        assert caps["a"] == pytest.approx(5.0)
+        assert caps["root"] == pytest.approx(6.0)
+
+    def test_validation(self):
+        tree = RCTree("root")
+        tree.add_node("a", "root", 1.0, 1.0)
+        with pytest.raises(TimingError):
+            tree.add_node("a", "root", 1.0, 1.0)  # duplicate
+        with pytest.raises(TimingError):
+            tree.add_node("b", "ghost", 1.0, 1.0)  # unknown parent
+        with pytest.raises(TimingError):
+            tree.add_node("c", "root", -1.0, 1.0)  # negative R
+        with pytest.raises(TimingError):
+            tree.add_wire("root", "w", 10.0, TECH, segments=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(1, 500), st.floats(0, 100)), min_size=1, max_size=10))
+    def test_delays_monotone_along_path(self, chain):
+        """Elmore delay is non-decreasing from root to leaf on a chain."""
+        tree = RCTree("n0")
+        prev = "n0"
+        for k, (r, c) in enumerate(chain, start=1):
+            tree.add_node(f"n{k}", prev, r, c)
+            prev = f"n{k}"
+        delays = tree.elmore_delays()
+        values = [delays[f"n{k}"] for k in range(len(chain) + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestWireModels:
+    def test_star_net_delay_components(self):
+        d = star_net_delay(100.0, 10.0, 500.0, 20.0, TECH)
+        c_wire = TECH.wire_cap(100.0)
+        expected = (
+            500.0 * (c_wire + 10.0 + 20.0)
+            + TECH.unit_resistance * 100.0 * (0.5 * c_wire + 10.0)
+        ) * OHM_FF_TO_PS
+        assert d == pytest.approx(expected)
+
+    def test_buffered_load_caps_at_critical_length(self):
+        short = buffered_branch_load(100.0, 4.0, TECH)
+        assert short == pytest.approx(TECH.wire_cap(100.0) + 4.0)
+        long = buffered_branch_load(5000.0, 4.0, TECH)
+        assert long == pytest.approx(
+            TECH.wire_cap(TECH.buffer_critical_length) + TECH.buffer_input_cap
+        )
+
+    def test_buffered_never_worse_than_plain_wire(self):
+        for length in (600.0, 2000.0, 8000.0, 30000.0):
+            assert (
+                buffered_wire_delay(length, 4.0, TECH)
+                <= TECH.wire_delay(length, 4.0) + 1e-9
+            )
+
+    def test_repeaters_win_on_very_long_wires(self):
+        """Beyond the repeater crossover length buffering is strictly
+        faster (quadratic wire vs linear repeated wire)."""
+        length = 60000.0
+        assert buffered_wire_delay(length, 4.0, TECH) < TECH.wire_delay(length, 4.0)
+
+    def test_short_wire_unchanged(self):
+        assert buffered_wire_delay(100.0, 4.0, TECH) == pytest.approx(
+            TECH.wire_delay(100.0, 4.0)
+        )
+
+    @given(st.floats(1.0, 10_000.0), st.floats(0.0, 50.0))
+    @settings(max_examples=50)
+    def test_buffered_delay_positive_monotone(self, length, cap):
+        d = buffered_wire_delay(length, cap, TECH)
+        assert d > 0.0
+        assert buffered_wire_delay(length + 100.0, cap, TECH) > d * 0.9

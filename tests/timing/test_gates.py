@@ -1,0 +1,37 @@
+"""Tests for the gate delay model."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.netlist import CellKind
+from repro.timing import GateDelayModel
+
+MODEL = GateDelayModel(DEFAULT_TECHNOLOGY)
+
+
+class TestGateDelayModel:
+    def test_pads_are_ideal(self):
+        assert MODEL.delay(CellKind.INPUT, 100.0) == 0.0
+        assert MODEL.delay(CellKind.OUTPUT, 100.0) == 0.0
+        assert MODEL.input_cap(CellKind.INPUT) == 0.0
+        assert MODEL.drive_resistance(CellKind.INPUT) == 0.0
+
+    def test_delay_linear_in_load(self):
+        d0 = MODEL.delay(CellKind.NAND, 0.0)
+        d10 = MODEL.delay(CellKind.NAND, 10.0)
+        d20 = MODEL.delay(CellKind.NAND, 20.0)
+        assert d20 - d10 == pytest.approx(d10 - d0)
+
+    def test_inverter_faster_than_xor(self):
+        assert MODEL.delay(CellKind.NOT, 10.0) < MODEL.delay(CellKind.XOR, 10.0)
+
+    def test_dff_has_clock_to_q(self):
+        assert MODEL.delay(CellKind.DFF, 10.0) > 0.0
+
+    def test_all_gate_kinds_covered(self):
+        for kind in CellKind:
+            if kind.is_pad:
+                continue
+            assert MODEL.delay(kind, 5.0) > 0.0
+            assert MODEL.input_cap(kind) > 0.0
+            assert MODEL.drive_resistance(kind) > 0.0

@@ -1,0 +1,139 @@
+"""Tests for the levelized static timing analyzer."""
+
+import pytest
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import CombinationalCycleError, TimingError
+from repro.geometry import Point
+from repro.netlist import CellKind, Circuit
+from repro.timing import GateDelayModel, SequentialTiming
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+def pipeline_circuit() -> Circuit:
+    """ff1 -> g1 -> g2 -> ff2, plus a direct short path ff1 -> ff2."""
+    c = Circuit("pipe")
+    c.add_input("clk_unused")
+    c.add_dff("ff1", "g2")
+    c.add_gate("g1", CellKind.NOT, ("ff1",))
+    c.add_gate("g2", CellKind.NOT, ("g1",))
+    c.add_dff("ff2", "g2")
+    c.add_output("ff2")
+    return c.validate()
+
+
+def colocated(circuit: Circuit) -> dict[str, Point]:
+    return {cell.name: Point(0.0, 0.0) for cell in circuit}
+
+
+class TestSequentialPairs:
+    def test_pipeline_pairs(self):
+        c = pipeline_circuit()
+        st = SequentialTiming(c, colocated(c), TECH)
+        assert ("ff1", "ff2") in st.pairs
+        # ff2's fanin g2 also feeds ff1 -> ff1 self pair via g1,g2 loop.
+        assert ("ff1", "ff1") in st.pairs
+
+    def test_delay_is_sum_of_stages(self):
+        c = pipeline_circuit()
+        st = SequentialTiming(c, colocated(c), TECH)
+        model = GateDelayModel(TECH)
+        bounds = st.bounds("ff1", "ff2")
+        # With zero wirelength, path = clk2q(ff1) + d(g1) + d(g2); loads
+        # are pin caps only.
+        g_in = model.input_cap(CellKind.NOT)
+        ff_in = model.input_cap(CellKind.DFF)
+        clk2q = model.delay(CellKind.DFF, g_in)
+        d_g1 = model.delay(CellKind.NOT, g_in)
+        d_g2 = model.delay(CellKind.NOT, 2 * ff_in)  # feeds ff1 and ff2
+        assert bounds.d_max == pytest.approx(clk2q + d_g1 + d_g2, rel=1e-9)
+        assert bounds.d_min == pytest.approx(bounds.d_max)
+
+    def test_min_max_differ_on_reconvergence(self):
+        c = Circuit("reconv")
+        c.add_dff("ff1", "g_and")
+        c.add_gate("g_fast", CellKind.NOT, ("ff1",))
+        c.add_gate("g_slow1", CellKind.XOR, ("ff1", "g_fast"))
+        c.add_gate("g_and", CellKind.AND, ("g_fast", "g_slow1"))
+        c.add_dff("ff2", "g_and")
+        c.add_output("ff2")
+        c.validate()
+        st = SequentialTiming(c, colocated(c), TECH)
+        bounds = st.bounds("ff1", "ff2")
+        assert bounds.d_max > bounds.d_min
+
+    def test_wirelength_increases_delay(self):
+        c = pipeline_circuit()
+        near = SequentialTiming(c, colocated(c), TECH)
+        spread = {cell.name: Point(0.0, 0.0) for cell in c}
+        spread["g1"] = Point(400.0, 0.0)
+        far = SequentialTiming(c, spread, TECH)
+        assert far.bounds("ff1", "ff2").d_max > near.bounds("ff1", "ff2").d_max
+
+    def test_missing_positions_default_to_origin(self):
+        c = pipeline_circuit()
+        st = SequentialTiming(c, {}, TECH)
+        assert st.bounds("ff1", "ff2").d_max > 0.0
+
+    def test_unrelated_pair_raises(self):
+        c = pipeline_circuit()
+        st = SequentialTiming(c, colocated(c), TECH)
+        with pytest.raises(TimingError):
+            st.bounds("ff2", "ff1")  # no path ff2 -> ff1
+
+    def test_max_delay_over_pairs(self):
+        c = pipeline_circuit()
+        st = SequentialTiming(c, colocated(c), TECH)
+        assert st.max_delay == max(b.d_max for b in st.pairs.values())
+
+
+class TestRobustness:
+    def test_combinational_cycle_detected(self):
+        c = Circuit("cyc")
+        c.add_input("a")
+        c.add_gate("g1", CellKind.AND, ("a", "g2"))
+        c.add_gate("g2", CellKind.NOT, ("g1",))
+        c.add_output("g2")
+        c.validate()
+        with pytest.raises(CombinationalCycleError):
+            SequentialTiming(c, colocated(c), TECH)
+
+    def test_po_paths_not_pairs(self):
+        """Paths ending at primary outputs don't create pairs."""
+        c = Circuit("po")
+        c.add_dff("ff1", "g")
+        c.add_gate("g", CellKind.NOT, ("ff1",))
+        c.add_output("g")
+        c.validate()
+        st = SequentialTiming(c, colocated(c), TECH)
+        assert ("ff1", "ff1") in st.pairs  # through g back to own D
+        assert len(st.pairs) == 1
+
+    def test_high_fanout_gets_buffer_tree_delay(self):
+        c = Circuit("fanout")
+        c.add_dff("ff_src", "g0")
+        sinks = []
+        for k in range(60):
+            c.add_gate(f"g{k}", CellKind.NOT, ("ff_src",))
+            sinks.append(f"g{k}")
+        c.add_dff("ff_dst", "g1")
+        c.add_output("ff_dst")
+        c.validate()
+        positions = {cell.name: Point(0.0, 0.0) for cell in c}
+        st = SequentialTiming(c, positions, TECH)
+        small = Circuit("small")
+        small.add_dff("ff_src", "g0")
+        small.add_gate("g0", CellKind.NOT, ("ff_src",))
+        small.add_gate("g1", CellKind.NOT, ("ff_src",))
+        small.add_dff("ff_dst", "g1")
+        small.add_output("ff_dst")
+        small.validate()
+        st_small = SequentialTiming(
+            small, {cell.name: Point(0.0, 0.0) for cell in small}, TECH
+        )
+        # 60-fanout net must be slower than 2-fanout, but bounded (tree).
+        big = st.bounds("ff_src", "ff_dst").d_max
+        lit = st_small.bounds("ff_src", "ff_dst").d_max
+        assert big > lit
+        assert big < lit + 350.0  # log-depth tree, not linear blowup
