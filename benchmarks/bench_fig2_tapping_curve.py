@@ -1,15 +1,28 @@
 """Fig. 2: the two-parabola tapping-delay curve and its four target cases.
 
-The timed kernel is a sweep of the Section III tapping solver over the
-four cases on a real ring (the operation Fig. 2 illustrates).
+The timed kernels are a sweep of the Section III tapping solver over the
+four cases on a real ring (the operation Fig. 2 illustrates), and the
+batched NumPy kernel solving the same problem for a whole population of
+flip-flops at once.  The batched benchmark doubles as a perf guard: it
+fails if the vectorized kernel is slower than the scalar reference on
+the same inputs.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import TappingError
 from repro.experiments import fig2_tapping_curve, format_table
 from repro.geometry import Point
-from repro.rotary import RotaryRing, best_tapping
+from repro.rotary import (
+    RotaryRing,
+    batch_solve,
+    batch_tapping_wirelengths,
+    best_tapping,
+)
 
 from conftest import record_artifact
 
@@ -44,3 +57,68 @@ def test_bench_tapping_solver_cases(benchmark, fig2_artifact):
     sols = benchmark(solve_all)
     assert len(sols) == len(targets)
     assert all(s.wirelength >= 0.0 for s in sols)
+
+
+def test_bench_vectorized_tapping_kernel(benchmark, fig2_artifact):
+    """Batched solve of 512 flip-flops against one ring.
+
+    Guards the tentpole optimization: the vectorized kernel must not be
+    slower than the equivalent scalar sweep, and must agree with it
+    entry-by-entry (infeasible entries included).
+    """
+    assert fig2_artifact.min_delay_ps < fig2_artifact.max_delay_ps
+    ring = RotaryRing(0, Point(200.0, 200.0), 150.0, period=1000.0)
+    rng = np.random.default_rng(20060306)
+    n = 512
+    px = rng.uniform(-100.0, 500.0, n)
+    py = rng.uniform(-100.0, 500.0, n)
+    targets = rng.uniform(0.0, 1000.0, n)
+
+    def solve_batch():
+        return batch_solve(ring, px, py, targets, DEFAULT_TECHNOLOGY)
+
+    solve_batch()  # touch the kernel's working set before timing
+    result = benchmark(solve_batch)
+
+    points = [Point(x, y) for x, y in zip(px, py)]
+
+    def solve_scalar():
+        out = np.full(n, np.inf)
+        for i, (p, t) in enumerate(zip(points, targets)):
+            try:
+                out[i] = best_tapping(ring, p, t, DEFAULT_TECHNOLOGY).wirelength
+            except TappingError:
+                pass
+        return out
+
+    reference = solve_scalar()
+    batched = batch_tapping_wirelengths(ring, points, targets, DEFAULT_TECHNOLOGY)
+    np.testing.assert_allclose(batched, reference, atol=1e-9)
+    assert np.array_equal(result.feasible, np.isfinite(reference))
+
+    t_vec = min(_timed(solve_batch) for _ in range(3))
+    t_scalar = min(_timed(solve_scalar) for _ in range(3))
+    assert t_vec < t_scalar, (
+        f"vectorized kernel slower than scalar: {t_vec * 1e3:.1f} ms vs "
+        f"{t_scalar * 1e3:.1f} ms"
+    )
+    record_artifact(
+        "Tapping kernel",
+        format_table(
+            [
+                {
+                    "flip_flops": float(n),
+                    "scalar_ms": t_scalar * 1e3,
+                    "vectorized_ms": t_vec * 1e3,
+                    "speedup": t_scalar / t_vec,
+                }
+            ],
+            "Vectorized tapping kernel vs scalar reference (one ring)",
+        ),
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -107,7 +107,7 @@ def _merge_split(
         return max(ea, d), 0.0
     # Exact quadratic: ta + K r ea (c ea/2 + ca) = tb + K r (d-ea)(c(d-ea)/2 + cb)
     # -> A ea^2 + B ea + C = 0 with the expansion below.
-    A = 0.0  # quadratic terms cancel: K r c/2 (ea^2 - (d-ea)^2) is linear in ea
+    # The quadratic terms cancel: K r c/2 (ea^2 - (d-ea)^2) is linear in ea.
     B = K * r * (c * d + ca + cb)
     C = ta - tb - K * r * (0.5 * c * d * d + cb * d)
     ea = -C / B if B > 0 else 0.0

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from ..constants import Technology
 from ..errors import ClockTreeError
 from ..geometry import Point
-from .dme import ClockTree, TreeNode, _extension_for_delay, _merge_split, _wire_delay
+from .dme import ClockTree, TreeNode, _merge_split, _wire_delay
 from .topology import TopologyNode, build_topology
 
 _EPS = 1e-9

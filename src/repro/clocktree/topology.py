@@ -8,8 +8,7 @@ consumed by the zero-skew embedding in :mod:`repro.clocktree.dme`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..errors import ClockTreeError
 from ..geometry import BBox, Point

@@ -24,7 +24,7 @@ bptm").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: ohm * fF expressed in ps (1 ohm * 1 fF = 1e-15 s = 1e-3 ps).
 OHM_FF_TO_PS = 1.0e-3

@@ -17,6 +17,7 @@ from .assignment_ilp import (
 )
 from .cost import (
     Assignment,
+    TappingCostCache,
     TappingCostMatrix,
     realize_assignment,
     signal_wirelength,
@@ -47,6 +48,7 @@ from .skew_traditional import (
 
 __all__ = [
     "TappingCostMatrix",
+    "TappingCostCache",
     "tapping_cost_matrix",
     "Assignment",
     "realize_assignment",

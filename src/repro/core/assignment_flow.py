@@ -27,12 +27,16 @@ from ..constants import Technology
 from ..errors import AssignmentError
 from ..geometry import Point
 from ..opt.mincostflow import (
-    FORBIDDEN_COST,
     FlowNetwork,
     solve_transportation,
 )
 from ..rotary import RingArray
-from .cost import Assignment, TappingCostMatrix, realize_assignment
+from .cost import (
+    Assignment,
+    TappingCostCache,
+    TappingCostMatrix,
+    realize_assignment,
+)
 
 
 def assign_min_tapping_cost(
@@ -61,12 +65,10 @@ def _assign_via_ssp(
     arc_of: dict[tuple[int, int], object] = {}
     for i in range(n_ff):
         net.add_arc("source", ("ff", i), capacity=1, cost=0.0)
-        for j in range(matrix.num_rings):
-            cost = matrix.costs[i, j]
-            if cost < FORBIDDEN_COST:
-                arc_of[(i, j)] = net.add_arc(
-                    ("ff", i), ("ring", j), capacity=1, cost=float(cost)
-                )
+        for j in matrix.candidates[i]:
+            arc_of[(i, int(j))] = net.add_arc(
+                ("ff", i), ("ring", int(j)), capacity=1, cost=float(matrix.costs[i, j])
+            )
     for j, cap in enumerate(capacities):
         net.add_arc(("ring", j), "target", capacity=int(cap), cost=0.0)
     result = net.solve({"source": n_ff, "target": -n_ff})
@@ -87,12 +89,19 @@ def network_flow_assignment(
     tech: Technology,
     capacities: Sequence[int] | None = None,
     backend: Literal["transportation", "ssp"] = "transportation",
+    cache: TappingCostCache | None = None,
 ) -> Assignment:
-    """End-to-end Section V assignment returning realized tappings."""
+    """End-to-end Section V assignment returning realized tappings.
+
+    With a ``cache`` (the integrated flow's), the realization reuses the
+    tapping solutions computed during the matrix build.
+    """
     caps = (
         array.default_capacities(matrix.num_flipflops)
         if capacities is None
         else list(capacities)
     )
     assign = assign_min_tapping_cost(matrix, caps, backend=backend)
-    return realize_assignment(assign, matrix, array, positions, targets, tech)
+    return realize_assignment(
+        assign, matrix, array, positions, targets, tech, cache=cache
+    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Literal, Mapping
+from typing import Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -34,7 +34,12 @@ from ..opt.branch_bound import branch_and_bound
 from ..opt.lp import LinearProgram
 from ..opt.mincostflow import FORBIDDEN_COST
 from ..rotary import RingArray
-from .cost import Assignment, TappingCostMatrix, realize_assignment
+from .cost import (
+    Assignment,
+    TappingCostCache,
+    TappingCostMatrix,
+    realize_assignment,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,8 +63,21 @@ class MinMaxCapResult:
         return self.ilp_value / self.lp_bound
 
 
-def _candidate_lists(cap_matrix: np.ndarray) -> list[np.ndarray]:
-    """Per flip-flop, the rings with finite (non-pruned) capacitance."""
+def _candidate_lists(
+    cap_matrix: np.ndarray,
+    candidates: Sequence[np.ndarray] | None = None,
+) -> list[np.ndarray]:
+    """Per flip-flop, the rings with finite (non-pruned) capacitance.
+
+    Pass the candidate columns of a :class:`TappingCostMatrix` to skip
+    re-scanning the dense matrix; rows are validated either way.
+    """
+    if candidates is not None:
+        out = list(candidates)
+        for i, rings in enumerate(out):
+            if rings.size == 0:
+                raise AssignmentError(f"flip-flop row {i} has no candidate ring")
+        return out
     out = []
     for i in range(cap_matrix.shape[0]):
         rings = np.flatnonzero(cap_matrix[i] < FORBIDDEN_COST)
@@ -70,11 +88,13 @@ def _candidate_lists(cap_matrix: np.ndarray) -> list[np.ndarray]:
 
 
 def build_minmax_lp(
-    cap_matrix: np.ndarray, integer: bool = False
+    cap_matrix: np.ndarray,
+    integer: bool = False,
+    candidates: Sequence[np.ndarray] | None = None,
 ) -> tuple[LinearProgram, list[np.ndarray]]:
     """The eq. (3) model over the pruned capacitance matrix."""
     n_ff, n_rings = cap_matrix.shape
-    candidates = _candidate_lists(cap_matrix)
+    candidates = _candidate_lists(cap_matrix, candidates)
     lp = LinearProgram("minmax_load_cap")
     lp.add_var("cmax", lb=0.0)
     for i in range(n_ff):
@@ -132,10 +152,11 @@ def _max_load(cap_matrix: np.ndarray, assign: np.ndarray) -> float:
 def solve_minmax_cap(
     cap_matrix: np.ndarray,
     backend: Literal["highs", "simplex"] = "highs",
+    candidates: Sequence[np.ndarray] | None = None,
 ) -> MinMaxCapResult:
     """LP relaxation + greedy rounding on a capacitance matrix."""
     start = time.monotonic()
-    lp, candidates = build_minmax_lp(cap_matrix, integer=False)
+    lp, candidates = build_minmax_lp(cap_matrix, integer=False, candidates=candidates)
     sol = lp.solve(backend=backend)
     integral = 0
     for i, rings in enumerate(candidates):
@@ -293,11 +314,16 @@ def ilp_assignment(
     positions: Mapping[str, Point],
     targets: Mapping[str, float],
     tech: Technology,
+    cache: TappingCostCache | None = None,
 ) -> tuple[Assignment, MinMaxCapResult]:
-    """End-to-end Section VI assignment (LP relax + greedy rounding)."""
+    """End-to-end Section VI assignment (LP relax + greedy rounding).
+
+    The LP model consumes the matrix's candidate columns directly and the
+    realization reuses cached tapping solutions when a ``cache`` is given.
+    """
     cap_matrix = matrix.capacitance_matrix(tech)
-    result = solve_minmax_cap(cap_matrix)
+    result = solve_minmax_cap(cap_matrix, candidates=matrix.candidates)
     assignment = realize_assignment(
-        result.assign, matrix, array, positions, targets, tech
+        result.assign, matrix, array, positions, targets, tech, cache=cache
     )
     return assignment, result

@@ -10,20 +10,37 @@ headline metrics of Tables III-VII:
 * **tapping WL / signal WL / total WL**;
 * **max load capacitance** per ring (Section VI objective);
 * **WCP** — wirelength-capacitance product (Table VII).
+
+Two builder paths exist: the NumPy-batched kernel of
+:mod:`repro.rotary.tapping_vec` (default, one call per ring) and the
+scalar reference loop over :func:`repro.rotary.best_tapping`
+(``method="scalar"``, cross-checked against the kernel by the property
+tests).  :class:`TappingCostCache` adds cross-iteration row reuse for the
+integrated flow: a flip-flop's matrix row only depends on its position
+and skew target, so rows whose ``(position, target)`` key is unchanged
+are served from the cache instead of being re-solved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Literal, Mapping, Sequence
 
 import numpy as np
 
 from ..constants import Technology
+from ..errors import CostMatrixError, TappingError
 from ..geometry import Point, net_hpwl, net_steiner_wl
 from ..netlist import Circuit
 from ..opt.mincostflow import FORBIDDEN_COST
-from ..rotary import RingArray, TappingSolution, best_tapping, stub_load_capacitance
+from ..rotary import (
+    BatchTappingResult,
+    RingArray,
+    TappingSolution,
+    batch_solve,
+    best_tapping,
+    stub_load_capacitance,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +50,21 @@ class TappingCostMatrix:
     ff_names: tuple[str, ...]
     #: ``costs[i, j]`` = stub wirelength (um), ``FORBIDDEN_COST`` if pruned.
     costs: np.ndarray
+    #: Per-row candidate (non-pruned) ring columns; derived from ``costs``
+    #: when not supplied.  Consumers iterate this instead of re-scanning
+    #: the dense matrix against ``FORBIDDEN_COST``.
+    candidates: tuple[np.ndarray, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.candidates) != len(self.ff_names):
+            object.__setattr__(
+                self,
+                "candidates",
+                tuple(
+                    np.flatnonzero(self.costs[i] < FORBIDDEN_COST)
+                    for i in range(len(self.ff_names))
+                ),
+            )
 
     @property
     def num_flipflops(self) -> int:
@@ -41,6 +73,11 @@ class TappingCostMatrix:
     @property
     def num_rings(self) -> int:
         return int(self.costs.shape[1])
+
+    @property
+    def finite_mask(self) -> np.ndarray:
+        """Boolean mask of non-pruned (candidate) arcs."""
+        return self.costs < FORBIDDEN_COST
 
     def capacitance_matrix(self, tech: Technology) -> np.ndarray:
         """Load-capacitance matrix ``C_p[i, j]`` (fF) for Section VI.
@@ -56,34 +93,264 @@ class TappingCostMatrix:
         return caps
 
 
+def _validated_names(
+    positions: Mapping[str, Point], targets: Mapping[str, float]
+) -> tuple[str, ...]:
+    """Sorted target names, rejecting targets for unknown flip-flops.
+
+    A target keyed by a name absent from ``positions`` used to raise a
+    bare ``KeyError`` mid-build (or, worse, silently misalign rows when
+    callers pre-filtered); fail fast with a library error instead.
+    """
+    unknown = sorted(name for name in targets if name not in positions)
+    if unknown:
+        preview = ", ".join(unknown[:8])
+        if len(unknown) > 8:
+            preview += ", ..."
+        raise CostMatrixError(
+            f"{len(unknown)} skew target(s) reference unknown flip-flops "
+            f"(no position available): {preview}"
+        )
+    return tuple(sorted(targets))
+
+
+def _candidate_mask(
+    array: RingArray,
+    px: np.ndarray,
+    py: np.ndarray,
+    candidate_rings: int | None,
+) -> np.ndarray:
+    """Boolean (ff, ring) mask of the pruned candidate arcs.
+
+    Mirrors :meth:`RingArray.rings_by_distance`: the ``k`` nearest rings
+    by center Manhattan distance, ties broken by ring id (stable sort).
+    """
+    n_rings = array.num_rings
+    if candidate_rings is None or candidate_rings >= n_rings:
+        return np.ones((px.shape[0], n_rings), dtype=bool)
+    cx = np.array([ring.center.x for ring in array])
+    cy = np.array([ring.center.y for ring in array])
+    dist = np.abs(px[:, None] - cx[None, :]) + np.abs(py[:, None] - cy[None, :])
+    order = np.argsort(dist, axis=1, kind="stable")[:, :candidate_rings]
+    mask = np.zeros((px.shape[0], n_rings), dtype=bool)
+    np.put_along_axis(mask, order, True, axis=1)
+    return mask
+
+
+def _raise_infeasible(
+    ring_id: int, result: BatchTappingResult, names: Sequence[str]
+) -> None:
+    i = int(np.flatnonzero(~result.feasible)[0])
+    raise TappingError(
+        f"no tapping point on ring {ring_id} is feasible for flip-flop "
+        f"{names[i]!r}"
+    )
+
+
 def tapping_cost_matrix(
     array: RingArray,
     positions: Mapping[str, Point],
     targets: Mapping[str, float],
     tech: Technology,
     candidate_rings: int | None = 8,
+    method: Literal["vectorized", "scalar"] = "vectorized",
 ) -> TappingCostMatrix:
     """Build the cost matrix for all flip-flops against the ring array.
 
     ``candidate_rings`` prunes each flip-flop to its nearest rings (the
     paper: "if a flip-flop and a ring are too far away from each other,
     it is not necessary to insert an arc between them"); ``None`` builds
-    the full matrix.
+    the full matrix.  ``method="scalar"`` runs the reference per-solution
+    loop instead of the batched kernel; both produce identical matrices.
     """
-    ff_names = tuple(sorted(targets))
+    ff_names = _validated_names(positions, targets)
     n_rings = array.num_rings
     costs = np.full((len(ff_names), n_rings), FORBIDDEN_COST)
-    for i, name in enumerate(ff_names):
-        p = positions[name]
-        rings = (
-            array.rings
-            if candidate_rings is None
-            else array.rings_by_distance(p, candidate_rings)
-        )
-        for ring in rings:
-            sol = best_tapping(ring, p, targets[name], tech)
-            costs[i, ring.ring_id] = sol.wirelength
+
+    if method == "scalar":
+        for i, name in enumerate(ff_names):
+            p = positions[name]
+            rings = (
+                array.rings
+                if candidate_rings is None
+                else array.rings_by_distance(p, candidate_rings)
+            )
+            for ring in rings:
+                sol = best_tapping(ring, p, targets[name], tech)
+                costs[i, ring.ring_id] = sol.wirelength
+        return TappingCostMatrix(ff_names=ff_names, costs=costs)
+    if method != "vectorized":
+        raise CostMatrixError(f"unknown cost-matrix method {method!r}")
+
+    px = np.array([positions[name].x for name in ff_names])
+    py = np.array([positions[name].y for name in ff_names])
+    tg = np.array([targets[name] for name in ff_names])
+    mask = _candidate_mask(array, px, py, candidate_rings)
+    for ring in array:
+        rows = np.flatnonzero(mask[:, ring.ring_id])
+        if rows.size == 0:
+            continue
+        result = batch_solve(ring, px[rows], py[rows], tg[rows], tech)
+        if not result.feasible.all():
+            _raise_infeasible(ring.ring_id, result, [ff_names[i] for i in rows])
+        costs[rows, ring.ring_id] = result.wirelength
     return TappingCostMatrix(ff_names=ff_names, costs=costs)
+
+
+class TappingCostCache:
+    """Cross-iteration cache of cost-matrix rows and tapping solutions.
+
+    A flip-flop's matrix row (and every per-ring tapping solution behind
+    it) is a pure function of its ``(position, skew target)`` pair given
+    a fixed ring array and technology.  The integrated flow re-keys each
+    flip-flop every iteration; rows whose key is unchanged are reused
+    ("hit"), rows whose flip-flop moved or was re-targeted are re-solved
+    with the batched kernel ("miss").  The same store serves
+    :func:`realize_assignment` and the flow's retargeting step, so a
+    matrix build followed by an assignment realization solves each
+    flip-flop exactly once.
+
+    Counters (``hits`` / ``misses``) are cumulative over the cache's
+    lifetime; the flow snapshots them per iteration into
+    :class:`repro.core.flow.IterationRecord`.
+    """
+
+    def __init__(
+        self,
+        array: RingArray,
+        tech: Technology,
+        candidate_rings: int | None = 8,
+    ):
+        self.array = array
+        self.tech = tech
+        self.candidate_rings = candidate_rings
+        #: Row key per flip-flop: (x, y, target).
+        self._key: dict[str, tuple[float, float, float]] = {}
+        #: Cached dense cost row per flip-flop.
+        self._row: dict[str, np.ndarray] = {}
+        #: Cached solutions per flip-flop: ring id -> (batch result, index).
+        #: Materialized into :class:`TappingSolution` lazily — only the
+        #: assigned ring of each flip-flop is ever realized.
+        self._solutions: dict[str, dict[int, tuple[BatchTappingResult, int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- internal -----------------------------------------------------
+    @staticmethod
+    def _row_key(p: Point, target: float) -> tuple[float, float, float]:
+        return (p.x, p.y, target)
+
+    def _solve_rows(
+        self,
+        names: Sequence[str],
+        positions: Mapping[str, Point],
+        targets: Mapping[str, float],
+    ) -> None:
+        """(Re)compute the cached row + solutions of ``names``."""
+        px = np.array([positions[name].x for name in names])
+        py = np.array([positions[name].y for name in names])
+        tg = np.array([targets[name] for name in names])
+        n_rings = self.array.num_rings
+        rows = {name: np.full(n_rings, FORBIDDEN_COST) for name in names}
+        sols: dict[str, dict[int, tuple[BatchTappingResult, int]]] = {
+            name: {} for name in names
+        }
+        mask = _candidate_mask(self.array, px, py, self.candidate_rings)
+        for ring in self.array:
+            idx = np.flatnonzero(mask[:, ring.ring_id])
+            if idx.size == 0:
+                continue
+            result = batch_solve(ring, px[idx], py[idx], tg[idx], self.tech)
+            if not result.feasible.all():
+                _raise_infeasible(ring.ring_id, result, [names[i] for i in idx])
+            for pos, i in enumerate(idx):
+                name = names[i]
+                rows[name][ring.ring_id] = result.wirelength[pos]
+                sols[name][ring.ring_id] = (result, pos)
+        for name in names:
+            self._key[name] = self._row_key(positions[name], targets[name])
+            self._row[name] = rows[name]
+            self._solutions[name] = sols[name]
+
+    def _evict_stale(self, live: Sequence[str]) -> None:
+        stale = set(self._key) - set(live)
+        for name in stale:
+            del self._key[name], self._row[name], self._solutions[name]
+
+    # -- public -------------------------------------------------------
+    def matrix(
+        self,
+        positions: Mapping[str, Point],
+        targets: Mapping[str, float],
+    ) -> TappingCostMatrix:
+        """Build the cost matrix, reusing rows with unchanged keys."""
+        ff_names = _validated_names(positions, targets)
+        changed = [
+            name
+            for name in ff_names
+            if self._key.get(name) != self._row_key(positions[name], targets[name])
+        ]
+        self.hits += len(ff_names) - len(changed)
+        self.misses += len(changed)
+        if changed:
+            self._solve_rows(changed, positions, targets)
+        self._evict_stale(ff_names)
+        costs = np.stack([self._row[name] for name in ff_names])
+        return TappingCostMatrix(ff_names=ff_names, costs=costs)
+
+    def solution(
+        self,
+        name: str,
+        ring_id: int,
+        position: Point,
+        target: float,
+    ) -> TappingSolution:
+        """Tapping solution of one flip-flop on one ring, cached."""
+        if self._key.get(name) == self._row_key(position, target):
+            entry = self._solutions[name].get(ring_id)
+            if entry is not None:
+                self.hits += 1
+                result, i = entry
+                return result.solution(i)
+        self.misses += 1
+        return best_tapping(self.array[ring_id], position, target, self.tech)
+
+    def realize(
+        self,
+        ring_of: Mapping[str, int],
+        positions: Mapping[str, Point],
+        targets: Mapping[str, float],
+    ) -> dict[str, TappingSolution]:
+        """Tapping solutions for an assignment, cached and batched.
+
+        Flip-flops whose ``(position, target)`` key matches the cache are
+        served from it; the rest are re-solved grouped by ring through
+        the batched kernel (and do *not* update the cached rows — only a
+        :meth:`matrix` build defines the row store).
+        """
+        out: dict[str, TappingSolution] = {}
+        missed: dict[int, list[str]] = {}
+        for name, ring_id in ring_of.items():
+            if self._key.get(name) == self._row_key(positions[name], targets[name]):
+                entry = self._solutions[name].get(ring_id)
+                if entry is not None:
+                    self.hits += 1
+                    result, i = entry
+                    out[name] = result.solution(i)
+                    continue
+            self.misses += 1
+            missed.setdefault(int(ring_id), []).append(name)
+        for ring_id, names in missed.items():
+            ring = self.array[ring_id]
+            px = np.array([positions[name].x for name in names])
+            py = np.array([positions[name].y for name in names])
+            tg = np.array([targets[name] for name in names])
+            result = batch_solve(ring, px, py, tg, self.tech)
+            if not result.feasible.all():
+                _raise_infeasible(ring_id, result, names)
+            for i, name in enumerate(names):
+                out[name] = result.solution(i)
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,19 +400,35 @@ def realize_assignment(
     positions: Mapping[str, Point],
     targets: Mapping[str, float],
     tech: Technology,
+    cache: TappingCostCache | None = None,
 ) -> Assignment:
     """Re-solve the tapping of each flip-flop on its assigned ring.
 
-    ``assign[i]`` is the ring index of ``matrix.ff_names[i]``.
+    ``assign[i]`` is the ring index of ``matrix.ff_names[i]``.  With a
+    ``cache``, solutions already computed during the matrix build are
+    reused; otherwise flip-flops are re-solved grouped by ring through
+    the batched kernel.
     """
-    ring_of: dict[str, int] = {}
-    solutions: dict[str, TappingSolution] = {}
-    for i, name in enumerate(matrix.ff_names):
-        ring_id = int(assign[i])
-        ring_of[name] = ring_id
-        solutions[name] = best_tapping(
-            array[ring_id], positions[name], targets[name], tech
-        )
+    ring_of = {
+        name: int(assign[i]) for i, name in enumerate(matrix.ff_names)
+    }
+    if cache is not None:
+        solutions = cache.realize(ring_of, positions, targets)
+    else:
+        solutions = {}
+        by_ring: dict[int, list[str]] = {}
+        for name, ring_id in ring_of.items():
+            by_ring.setdefault(ring_id, []).append(name)
+        for ring_id, names in by_ring.items():
+            ring = array[ring_id]
+            px = np.array([positions[name].x for name in names])
+            py = np.array([positions[name].y for name in names])
+            tg = np.array([targets[name] for name in names])
+            result = batch_solve(ring, px, py, tg, tech)
+            if not result.feasible.all():
+                _raise_infeasible(ring_id, result, names)
+            for i, name in enumerate(names):
+                solutions[name] = result.solution(i)
     return Assignment(
         ff_names=matrix.ff_names, ring_of=ring_of, solutions=solutions
     )

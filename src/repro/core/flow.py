@@ -23,7 +23,7 @@ The record after the first stage-3 pass is the paper's *base case*
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Literal
 
 from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
@@ -45,8 +45,8 @@ from .assignment_flow import network_flow_assignment
 from .assignment_ilp import MinMaxCapResult, ilp_assignment
 from .cost import (
     Assignment,
+    TappingCostCache,
     signal_wirelength,
-    tapping_cost_matrix,
 )
 from .skew_cost_driven import cost_driven_schedule, ring_attractions
 from .skew_traditional import SkewSchedule, max_slack_schedule
@@ -101,10 +101,21 @@ class IterationRecord:
     max_load_capacitance: float
     overall_cost: float
     seconds: float
+    #: Tapping solves served from the cross-iteration cost cache during
+    #: this iteration, and solves actually recomputed.  Rows are reused
+    #: when a flip-flop's (position, skew target) pair is unchanged.
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
 
     @property
     def total_wirelength(self) -> float:
         return self.tapping_wirelength + self.signal_wirelength
+
+    @property
+    def cost_cache_hit_rate(self) -> float:
+        """Fraction of tapping solves served from the cache (0 when idle)."""
+        total = self.cost_cache_hits + self.cost_cache_misses
+        return self.cost_cache_hits / total if total else 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -203,6 +214,10 @@ class IntegratedFlow:
         # Ring array sized to the die.
         side = opts.ring_grid_side or _default_ring_side(len(self._ffs))
         array = RingArray(region.bbox, side, opts.period)
+        # Cost cache shared by every stage-3/4 solve of every iteration:
+        # only flip-flops whose position or skew target changed since the
+        # last build get their matrix row recomputed.
+        cache = TappingCostCache(array, self.tech, opts.candidate_rings)
         t_alg += time.monotonic() - tic
 
         base: IterationRecord | None = None
@@ -215,11 +230,10 @@ class IntegratedFlow:
 
         for iteration in range(1, opts.max_iterations + 1):
             tic = time.monotonic()
+            cache_hits0, cache_misses0 = cache.hits, cache.misses
             # Stage 3: flip-flop assignment.
             targets = schedule.normalized(opts.period).targets
-            matrix = tapping_cost_matrix(
-                array, positions, targets, self.tech, opts.candidate_rings
-            )
+            matrix = cache.matrix(positions, targets)
             if opts.assignment == "flow":
                 capacities = [
                     int(c)
@@ -228,11 +242,17 @@ class IntegratedFlow:
                     )
                 ]
                 assignment = network_flow_assignment(
-                    matrix, array, positions, targets, self.tech, capacities
+                    matrix,
+                    array,
+                    positions,
+                    targets,
+                    self.tech,
+                    capacities,
+                    cache=cache,
                 )
             else:
                 assignment, ilp_stats = ilp_assignment(
-                    matrix, array, positions, targets, self.tech
+                    matrix, array, positions, targets, self.tech, cache=cache
                 )
 
             if base is None:
@@ -253,15 +273,19 @@ class IntegratedFlow:
             )
             # Re-realize tappings under the new targets (same rings).
             targets = schedule.normalized(opts.period).targets
-            assignment = _retarget(
-                assignment, array, positions, targets, self.tech
-            )
+            assignment = _retarget(assignment, positions, targets, cache)
 
             # Stage 5: evaluate.
             seconds = time.monotonic() - tic
             t_alg += seconds
             record = self._record(
-                iteration, assignment, positions, array, seconds
+                iteration,
+                assignment,
+                positions,
+                array,
+                seconds,
+                cache_hits=cache.hits - cache_hits0,
+                cache_misses=cache.misses - cache_misses0,
             )
             history.append(record)
             if best is None or record.overall_cost < best[0].overall_cost:
@@ -349,6 +373,8 @@ class IntegratedFlow:
         positions: dict[str, Point],
         array: RingArray,
         seconds: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
     ) -> IterationRecord:
         tap = assignment.tapping_wirelength
         sig = signal_wirelength(self.circuit, positions)
@@ -362,27 +388,26 @@ class IntegratedFlow:
             ),
             overall_cost=self.options.tapping_weight * tap + sig,
             seconds=seconds,
+            cost_cache_hits=cache_hits,
+            cost_cache_misses=cache_misses,
         )
 
 
 def _retarget(
     assignment: Assignment,
-    array: RingArray,
     positions: dict[str, Point],
     targets: dict[str, float],
-    tech: Technology,
+    cache: TappingCostCache,
 ) -> Assignment:
-    """Recompute tapping solutions for the existing ring assignment."""
-    from ..rotary import best_tapping
+    """Recompute tapping solutions for the existing ring assignment.
 
-    solutions = {
-        ff: best_tapping(array[ring_id], positions[ff], targets[ff], tech)
-        for ff, ring_id in assignment.ring_of.items()
-    }
+    Served through the cost cache: flip-flops whose target survived the
+    cost-driven rescheduling unchanged reuse their stage-3 solution.
+    """
     return Assignment(
         ff_names=assignment.ff_names,
         ring_of=dict(assignment.ring_of),
-        solutions=solutions,
+        solutions=cache.realize(assignment.ring_of, positions, targets),
     )
 
 

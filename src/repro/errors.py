@@ -53,6 +53,10 @@ class TappingError(RotaryError):
     """No feasible tapping point could be constructed for a flip-flop."""
 
 
+class CostMatrixError(ReproError):
+    """Tapping-cost model rejected its inputs (e.g. unknown flip-flop names)."""
+
+
 class OptimizationError(ReproError):
     """An optimization kernel failed (infeasible model, solver breakdown)."""
 

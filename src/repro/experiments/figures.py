@@ -14,13 +14,11 @@ regenerates the underlying data so the figure could be re-drawn:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from ..constants import OHM_FF_TO_PS, Technology
 from ..core import FlowResult, solve_minmax_cap, tapping_cost_matrix
-from ..geometry import BBox, Point
 from ..opt.mincostflow import FORBIDDEN_COST
 from ..rotary import RingArray, RotaryRing
 from .runner import ExperimentSuite
@@ -133,6 +131,8 @@ def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
             "tapping_wl_um": result.base.tapping_wirelength,
             "signal_wl_um": result.base.signal_wirelength,
             "overall_cost": result.base.overall_cost,
+            "cache_hits": float(result.base.cost_cache_hits),
+            "cache_misses": float(result.base.cost_cache_misses),
         }
     ]
     for rec in result.history:
@@ -142,6 +142,8 @@ def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
                 "tapping_wl_um": rec.tapping_wirelength,
                 "signal_wl_um": rec.signal_wirelength,
                 "overall_cost": rec.overall_cost,
+                "cache_hits": float(rec.cost_cache_hits),
+                "cache_misses": float(rec.cost_cache_misses),
             }
         )
     return rows

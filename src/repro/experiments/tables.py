@@ -8,18 +8,16 @@ these and prints paper-vs-measured side by side.
 
 from __future__ import annotations
 
-import time
 from typing import Mapping, Sequence
 
 from ..core import (
     generic_ilp_assignment,
-    signal_wirelength,
     solve_minmax_cap,
     solve_minmax_cap_refined,
     tapping_cost_matrix,
     wirelength_capacitance_product,
 )
-from .runner import CircuitExperiment, ExperimentSuite
+from .runner import ExperimentSuite
 
 #: Paper-reported values, for the side-by-side comparison columns.
 PAPER_TABLE1_IG = {"s9234": 1.32, "s5378": 1.57, "s15850": 1.32, "s38417": 1.23, "s35932": 1.63}

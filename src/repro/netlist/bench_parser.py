@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TextIO
 
 from ..errors import BenchParseError
 from .cells import CellKind

@@ -8,7 +8,7 @@ additionally consumed by the outside world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -14,7 +14,7 @@ available:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Mapping
 
 import numpy as np

@@ -11,7 +11,7 @@ nets use alpha = 0.15 ("usually gives a reasonable approximation" [30]).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 from ..constants import Technology
 from ..netlist import Circuit

@@ -12,7 +12,6 @@ from .oscillator import (
     stub_load_capacitance,
 )
 from .ring import RingSegment, RotaryRing
-from .wave_sim import WaveSimResult, simulate_ring, uniform_load
 from .tapping import (
     TappingSolution,
     best_tapping,
@@ -20,6 +19,13 @@ from .tapping import (
     stub_delay,
     tapping_arc_length,
 )
+from .tapping_vec import (
+    BatchTappingResult,
+    batch_best_tapping,
+    batch_solve,
+    batch_tapping_wirelengths,
+)
+from .wave_sim import WaveSimResult, simulate_ring, uniform_load
 
 __all__ = [
     "RotaryRing",
@@ -31,6 +37,10 @@ __all__ = [
     "solve_segment",
     "stub_delay",
     "tapping_arc_length",
+    "BatchTappingResult",
+    "batch_best_tapping",
+    "batch_solve",
+    "batch_tapping_wirelengths",
     "RingElectrical",
     "ring_electrical",
     "ring_inductance",

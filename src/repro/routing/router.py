@@ -15,10 +15,10 @@ global routing).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from ..geometry import Point, rectilinear_mst
+from ..geometry import Point
 from ..netlist import Circuit
 from .grid import GCell, RoutingGrid, RoutingError
 

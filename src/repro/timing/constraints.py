@@ -13,7 +13,7 @@ a wider range means more tolerance to skew variation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..constants import Technology
 from ..opt.diffconstraints import SkewConstraint

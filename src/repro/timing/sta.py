@@ -181,7 +181,6 @@ class SequentialTiming:
         topo_index: dict[str, int],
     ) -> None:
         """Min/max arrival propagation over the source's fanout cone."""
-        circuit = self.circuit
         start = cell_delay[source.name]  # clock-to-Q
         arrivals: dict[str, tuple[float, float]] = {source.name: (start, start)}
         heap: list[tuple[int, str]] = [(topo_index[source.name], source.name)]

@@ -77,7 +77,6 @@ class TestRotaryVariation:
 class TestTreeVariation:
     def test_deeper_trees_vary_more(self):
         rng = random.Random(7)
-        pairs = []
         shallow_sinks = {
             f"s{i}": Point(rng.uniform(0, 200), rng.uniform(0, 200)) for i in range(4)
         }

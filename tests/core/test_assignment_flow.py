@@ -11,7 +11,6 @@ from repro.constants import DEFAULT_TECHNOLOGY
 from repro.core import assign_min_tapping_cost, network_flow_assignment, tapping_cost_matrix
 from repro.core.cost import TappingCostMatrix
 from repro.errors import AssignmentError, InfeasibleError
-from repro.geometry import BBox, Point
 from repro.opt.mincostflow import FORBIDDEN_COST
 from repro.rotary import RingArray
 

@@ -41,6 +41,16 @@ class TestFlowResult:
         _, res = flow_result
         assert len(res.history) <= FlowOptions().max_iterations
 
+    def test_cost_cache_counters_recorded(self, flow_result):
+        """Every iteration reports cache activity; the assignment
+        realization is always served from the stage-3 matrix build, so
+        each iteration records hits."""
+        _, res = flow_result
+        for rec in res.history:
+            assert rec.cost_cache_misses > 0
+            assert rec.cost_cache_hits > 0
+            assert 0.0 < rec.cost_cache_hit_rate < 1.0
+
     def test_assignment_covers_all_flipflops(self, flow_result):
         circuit, res = flow_result
         ffs = {ff.name for ff in circuit.flip_flops}

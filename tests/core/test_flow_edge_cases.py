@@ -1,6 +1,5 @@
 """Edge-case integration tests for the integrated flow."""
 
-import pytest
 
 from repro import FlowOptions, IntegratedFlow
 from repro.netlist import S27_BENCH, parse_bench_text

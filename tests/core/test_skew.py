@@ -150,12 +150,8 @@ class TestCostDriven:
         far = Point(200.0, 200.0)  # between rings
         positions = {"near": near, "far": far}
         targets = {"near": 100.0, "far": 100.0}
-        # Force both to ring 0 and couple them rigidly: t_near == t_far.
-        pairs = {
-            ("near", "far"): PathBounds(d_min=1000.0, d_max=-1000.0 + T - TECH.setup_time),
-        }
-        # Using equality via two inequalities would be cleaner; just check
-        # the weighted objective runs and produces finite targets.
+        # No timing pairs: just check the weighted objective runs and
+        # produces finite targets.
         atts = ring_attractions(
             {ff: 0 for ff in positions}, positions, targets, array, TECH
         )

@@ -1,6 +1,5 @@
 """Tests for the experiment suite, table generators, and figure data."""
 
-import numpy as np
 import pytest
 
 from repro.constants import DEFAULT_TECHNOLOGY

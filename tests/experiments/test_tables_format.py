@@ -1,6 +1,5 @@
 """Tests for table rendering (text and Markdown)."""
 
-import pytest
 
 from repro.experiments import format_table
 

@@ -1,6 +1,5 @@
 """Tests for rectilinear MST / Steiner wirelength estimation."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

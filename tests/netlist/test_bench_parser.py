@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import BenchParseError
 from repro.netlist import (
-    S27_BENCH,
     CellKind,
     bench_to_text,
     parse_bench_text,

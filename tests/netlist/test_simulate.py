@@ -1,19 +1,9 @@
 """Tests for bit-parallel logic simulation and activity extraction."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import NetlistError
-from repro.netlist import (
-    CellKind,
-    Circuit,
-    S27_BENCH,
-    generate_circuit,
-    parse_bench_text,
-    simulate_activities,
-    small_profile,
-)
+from repro.netlist import CellKind, Circuit, simulate_activities
 
 
 def single_gate_circuit(kind: CellKind, fanin: int) -> Circuit:

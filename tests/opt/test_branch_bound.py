@@ -1,6 +1,5 @@
 """Tests for the generic branch-and-bound ILP solver."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Tests for the LinearProgram facade (HiGHS and simplex backends)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

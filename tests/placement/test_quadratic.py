@@ -6,7 +6,7 @@ from repro.constants import DEFAULT_TECHNOLOGY
 from repro.errors import PlacementError
 from repro.geometry import Point
 from repro.netlist import generate_circuit, small_profile
-from repro.placement import PlacerOptions, PseudoNet, QuadraticPlacer, region_for_circuit
+from repro.placement import PseudoNet, QuadraticPlacer, region_for_circuit
 from repro.core import signal_wirelength
 
 TECH = DEFAULT_TECHNOLOGY

@@ -1,6 +1,5 @@
 """Tests for rotary ring geometry and phase model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

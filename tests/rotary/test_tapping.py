@@ -5,7 +5,6 @@ the returned tapping point satisfies eq. (1) exactly —
 ``t0 - k*T + rho*x + stub_delay(l) == target (mod T)``.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

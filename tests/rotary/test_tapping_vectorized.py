@@ -1,0 +1,204 @@
+"""Property tests: the batched tapping kernel matches the scalar solver.
+
+The vectorized kernel of :mod:`repro.rotary.tapping_vec` is written with
+the same floating-point association as the scalar reference, so every
+per-flip-flop result — stub length, winning segment, borrowed periods,
+snaking flag — must agree within 1e-9 over arbitrary technologies, ring
+geometries, and skew targets, including the Case 4 (snaked) and
+direct-tap edge cases and the infeasible/pruned boundary.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY, Technology
+from repro.errors import TappingError
+from repro.geometry import Point
+from repro.rotary import (
+    RotaryRing,
+    batch_best_tapping,
+    batch_solve,
+    batch_tapping_wirelengths,
+    best_tapping,
+)
+
+TECH = DEFAULT_TECHNOLOGY
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+technologies = st.builds(
+    Technology,
+    unit_resistance=st.floats(0.005, 0.5, **finite),
+    unit_capacitance=st.floats(0.01, 0.5, **finite),
+    flipflop_input_cap=st.floats(0.5, 60.0, **finite),
+)
+
+rings = st.builds(
+    RotaryRing,
+    st.just(0),
+    st.builds(
+        Point,
+        st.floats(-800.0, 800.0, **finite),
+        st.floats(-800.0, 800.0, **finite),
+    ),
+    st.floats(5.0, 500.0, **finite),
+    st.floats(50.0, 4000.0, **finite),
+    st.floats(0.0, 4000.0, **finite),
+)
+
+
+def scalar_reference(ring, points, targets, tech, load_cap=None):
+    """Per-flip-flop scalar solve; None marks infeasible entries."""
+    out = []
+    for p, t in zip(points, targets):
+        try:
+            out.append(best_tapping(ring, p, t, tech, load_cap))
+        except TappingError:
+            out.append(None)
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tech=technologies,
+    ring=rings,
+    coords=st.lists(
+        st.tuples(
+            st.floats(-2000.0, 2000.0, **finite),
+            st.floats(-2000.0, 2000.0, **finite),
+            st.floats(-8000.0, 8000.0, **finite),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_batch_matches_scalar(tech, ring, coords):
+    points = [Point(x, y) for x, y, _ in coords]
+    targets = np.array([t for _, _, t in coords])
+    px = np.array([p.x for p in points])
+    py = np.array([p.y for p in points])
+
+    result = batch_solve(ring, px, py, targets, tech)
+    reference = scalar_reference(ring, points, targets, tech)
+
+    for i, sol in enumerate(reference):
+        if sol is None:
+            assert not result.feasible[i]
+            continue
+        assert result.feasible[i]
+        assert result.wirelength[i] == pytest.approx(sol.wirelength, abs=1e-9)
+        assert int(result.segment_index[i]) == sol.segment_index
+        assert int(result.periods_borrowed[i]) == sol.periods_borrowed
+        assert bool(result.snaked[i]) == sol.snaked
+        assert result.x[i] == pytest.approx(sol.x, abs=1e-9)
+        assert result.point_x[i] == pytest.approx(sol.point.x, abs=1e-9)
+        assert result.point_y[i] == pytest.approx(sol.point.y, abs=1e-9)
+        assert result.target_delay[i] == pytest.approx(sol.target_delay, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tech=technologies,
+    ring=rings,
+    coords=st.lists(
+        st.tuples(
+            st.floats(-1000.0, 1000.0, **finite),
+            st.floats(-1000.0, 1000.0, **finite),
+            st.floats(0.0, 4000.0, **finite),
+            st.floats(0.5, 80.0, **finite),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_batch_matches_scalar_with_load_caps(tech, ring, coords):
+    """Per-flip-flop load capacitances (Section IX subtrees) also agree."""
+    points = [Point(x, y) for x, y, _, _ in coords]
+    targets = np.array([t for _, _, t, _ in coords])
+    caps = np.array([c for _, _, _, c in coords])
+    px = np.array([p.x for p in points])
+    py = np.array([p.y for p in points])
+
+    result = batch_solve(ring, px, py, targets, tech, load_cap=caps)
+    for i, (p, t, c) in enumerate(zip(points, targets, caps)):
+        try:
+            sol = best_tapping(ring, p, float(t), tech, float(c))
+        except TappingError:
+            assert not result.feasible[i]
+            continue
+        assert result.feasible[i]
+        assert result.wirelength[i] == pytest.approx(sol.wirelength, abs=1e-9)
+        assert bool(result.snaked[i]) == sol.snaked
+
+
+class TestEdgeCases:
+    def test_direct_tap_on_ring(self):
+        """A flip-flop sitting on the ring with a reachable target taps
+        directly (no snaking, near-zero stub)."""
+        ring = RotaryRing(0, Point(100.0, 100.0), 50.0, period=1000.0)
+        seg = ring.segments()[0]
+        p = seg.point_at(20.0)
+        target = seg.delay_at(20.0)
+        result = batch_solve(
+            ring, np.array([p.x]), np.array([p.y]), np.array([target]), TECH
+        )
+        assert result.feasible[0]
+        assert result.wirelength[0] == pytest.approx(0.0, abs=1e-7)
+        assert not result.snaked[0]
+        sol = result.solution(0)
+        assert sol.is_direct
+
+    def test_snaked_case_matches_scalar(self):
+        """A target just above the curve maximum forces Case 4 snaking."""
+        ring = RotaryRing(0, Point(200.0, 200.0), 150.0, period=1000.0)
+        p = Point(260.0, 420.0)
+        for target in (985.0, 990.0, 999.0):
+            sol = best_tapping(ring, p, target, TECH)
+            res = batch_solve(
+                ring, np.array([p.x]), np.array([p.y]), np.array([target]), TECH
+            )
+            assert res.wirelength[0] == pytest.approx(sol.wirelength, abs=1e-9)
+            assert bool(res.snaked[0]) == sol.snaked
+
+    def test_batch_best_tapping_solutions_roundtrip(self):
+        ring = RotaryRing(0, Point(200.0, 200.0), 150.0, period=1000.0)
+        points = [Point(260.0, 420.0), Point(10.0, 10.0), Point(210.0, 190.0)]
+        targets = np.array([5.0, 420.0, 700.0])
+        result = batch_best_tapping(ring, points, targets, TECH)
+        for i, sol in enumerate(result.solutions()):
+            ref = best_tapping(ring, points[i], float(targets[i]), TECH)
+            assert sol.ring_id == ref.ring_id
+            assert sol.segment_index == ref.segment_index
+            assert sol.periods_borrowed == ref.periods_borrowed
+            assert sol.snaked == ref.snaked
+            assert sol.wirelength == pytest.approx(ref.wirelength, abs=1e-9)
+            assert sol.x == pytest.approx(ref.x, abs=1e-9)
+
+    def test_infeasible_entry_raises_like_scalar(self):
+        """Degenerate geometry: both paths report infeasibility.
+
+        A huge un-normalized reference delay exhausts the Case 1
+        borrowing limit: every budget stays negative, so no case closes.
+        """
+        ring = RotaryRing(
+            0, Point(0.0, 0.0), 10.0, period=100.0, reference_delay=10000.0
+        )
+        p = Point(0.0, 1.0)
+        target = 50.0
+        with pytest.raises(TappingError):
+            best_tapping(ring, p, target, TECH)
+        with pytest.raises(TappingError):
+            batch_best_tapping(ring, [p], np.array([target]), TECH)
+        wl = batch_tapping_wirelengths(ring, [p], np.array([target]), TECH)
+        assert np.isinf(wl[0])
+
+    def test_wirelengths_helper_matches_accepting_array_points(self):
+        ring = RotaryRing(0, Point(200.0, 200.0), 150.0, period=1000.0)
+        pts = np.array([[260.0, 420.0], [10.0, 10.0]])
+        targets = np.array([150.0, 600.0])
+        wl = batch_tapping_wirelengths(ring, pts, targets, TECH)
+        for i in range(2):
+            sol = best_tapping(ring, Point(*pts[i]), float(targets[i]), TECH)
+            assert wl[i] == pytest.approx(sol.wirelength, abs=1e-9)

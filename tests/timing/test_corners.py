@@ -4,12 +4,7 @@ import pytest
 
 from repro.constants import DEFAULT_TECHNOLOGY
 from repro.core import max_slack_schedule
-from repro.timing import (
-    Corner,
-    analyze_corners,
-    default_corners,
-    validate_schedule,
-)
+from repro.timing import analyze_corners, default_corners, validate_schedule
 
 TECH = DEFAULT_TECHNOLOGY
 T = 1000.0

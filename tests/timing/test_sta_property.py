@@ -1,7 +1,6 @@
 """Property tests cross-checking the STA against networkx reachability."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
