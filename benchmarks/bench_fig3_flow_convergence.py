@@ -71,6 +71,16 @@ def test_bench_incremental_placement(benchmark, fig3_artifact, suite, s9234_expe
     assert len(result.positions) == len(movable)
 
 
+def test_zero_error_findings_on_converged_run(fig3_artifact):
+    """The suite flows run with check_invariants=True, so every iteration
+    row carries the static checker's finding counts; a converged run must
+    report zero error-severity findings on every iteration."""
+    iterated = [row for row in fig3_artifact if row["iteration"] >= 1.0]
+    assert iterated
+    for row in iterated:
+        assert row["error_findings"] == 0.0
+
+
 def test_cost_cache_hits_after_first_iteration(fig3_artifact):
     """The cross-iteration cost cache must actually fire: every recorded
     iteration serves at least the assignment realization from cached

@@ -14,6 +14,7 @@ import os
 
 import pytest
 
+from repro.core import FlowOptions
 from repro.experiments import ExperimentSuite
 from repro.netlist import PROFILE_ORDER
 
@@ -38,7 +39,12 @@ def table1_time_limit() -> float:
 
 @pytest.fixture(scope="session")
 def suite() -> ExperimentSuite:
-    return ExperimentSuite(circuits=bench_circuits())
+    # check_invariants: every flow iteration runs the cheap static rules
+    # so the Fig. 3 artifact can prove converged runs are violation-free.
+    return ExperimentSuite(
+        circuits=bench_circuits(),
+        options=FlowOptions(check_invariants=True),
+    )
 
 
 @pytest.fixture(scope="session")

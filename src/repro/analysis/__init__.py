@@ -1,5 +1,32 @@
-"""Analysis extensions: skew-variation Monte Carlo (the paper's motivation)."""
+"""Analysis extensions: static design-rule checking and skew-variation
+Monte Carlo (the paper's motivation).
 
+The checker statically analyzes a design context — netlist, placement,
+ring assignment, skew schedule — and emits typed :class:`Diagnostic`
+records with stable ``RCKnnn`` codes.  See :mod:`repro.analysis.rules`
+for the rule registry and ``repro check`` for the CLI entry point.
+"""
+
+from .checker import CheckConfig, parse_severity_overrides, run_checks
+from .constraint_graph import NegativeCycle, SkewConstraintGraph
+from .context import (
+    ALL_LAYERS,
+    LAYER_NETLIST,
+    LAYER_PLACEMENT,
+    LAYER_RINGS,
+    LAYER_SCHEDULE,
+    LAYER_TAPPINGS,
+    LAYER_TIMING,
+    DesignContext,
+)
+from .diagnostics import CheckReport, Diagnostic, Location, Severity
+from .reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+)
+from .rules import Rule, get_rule, registered_rules
 from .variation import (
     SkewVariationStats,
     VariationModel,
@@ -8,6 +35,30 @@ from .variation import (
 )
 
 __all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "CheckReport",
+    "DesignContext",
+    "ALL_LAYERS",
+    "LAYER_NETLIST",
+    "LAYER_PLACEMENT",
+    "LAYER_RINGS",
+    "LAYER_TAPPINGS",
+    "LAYER_SCHEDULE",
+    "LAYER_TIMING",
+    "Rule",
+    "registered_rules",
+    "get_rule",
+    "CheckConfig",
+    "run_checks",
+    "parse_severity_overrides",
+    "SkewConstraintGraph",
+    "NegativeCycle",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "sarif_document",
     "VariationModel",
     "SkewVariationStats",
     "rotary_skew_variation",

@@ -1,0 +1,106 @@
+"""The checker driver: select rules, run them, aggregate a report.
+
+:func:`run_checks` is the single entry point used by the CLI
+(``repro check``), by the Fig. 3 flow's ``check_invariants`` hook, and by
+tests.  Configuration lives in :class:`CheckConfig`: explicit enable /
+disable lists and per-rule severity overrides, all validated against the
+registry up front so typos fail fast with :class:`~repro.errors.CheckError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import CheckError
+from .context import DesignContext
+from .diagnostics import CheckReport, Diagnostic, Severity
+from .rules import Rule, get_rule, registered_rules
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which rules run, and at what severity.
+
+    ``enabled`` restricts the run to exactly those codes (empty = all);
+    ``disabled`` removes codes from whatever ``enabled`` selects;
+    ``severity_overrides`` remaps a rule's default severity; ``fail_on``
+    is the threshold :meth:`CheckReport.exit_code` uses.
+    """
+
+    enabled: tuple[str, ...] = ()
+    disabled: tuple[str, ...] = ()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    fail_on: Severity = Severity.ERROR
+
+    def __post_init__(self) -> None:
+        for code in (*self.enabled, *self.disabled, *self.severity_overrides):
+            get_rule(code)  # raises CheckError on unknown codes
+
+    def selected(self, rules: Sequence[Rule]) -> list[Rule]:
+        """Apply enable/disable filtering to ``rules``."""
+        chosen = [
+            r
+            for r in rules
+            if (not self.enabled or r.code in self.enabled)
+            and r.code not in self.disabled
+        ]
+        return chosen
+
+    def severity_of(self, rule: Rule) -> Severity:
+        return self.severity_overrides.get(rule.code, rule.default_severity)
+
+
+def run_checks(
+    ctx: DesignContext,
+    config: CheckConfig | None = None,
+    rules: Iterable[Rule] | None = None,
+    cheap_only: bool = False,
+) -> CheckReport:
+    """Run every applicable rule against ``ctx`` and aggregate a report.
+
+    Rules whose required layers are absent from the context are recorded
+    in ``rules_skipped`` rather than failing.  With ``cheap_only`` set,
+    only rules flagged ``cheap`` run — the subset the flow executes
+    between Fig. 3 stages.
+    """
+    cfg = config if config is not None else CheckConfig()
+    pool = tuple(rules) if rules is not None else registered_rules()
+    findings: list[Diagnostic] = []
+    ran: list[str] = []
+    skipped: list[str] = []
+    for rule in cfg.selected(pool):
+        if cheap_only and not rule.cheap:
+            continue
+        if not rule.applicable(ctx):
+            skipped.append(rule.code)
+            continue
+        severity = cfg.severity_of(rule)
+        for diag in rule.check(ctx):
+            if diag.severity is not severity:
+                diag = dataclasses.replace(diag, severity=severity)
+            findings.append(diag)
+        ran.append(rule.code)
+    findings.sort(key=lambda d: (-int(d.severity), d.code, str(d.location)))
+    return CheckReport(
+        design=ctx.name,
+        findings=tuple(findings),
+        rules_run=tuple(ran),
+        rules_skipped=tuple(skipped),
+    )
+
+
+def parse_severity_overrides(specs: Iterable[str]) -> dict[str, Severity]:
+    """Parse CLI ``CODE=LEVEL`` override strings (raises CheckError)."""
+    overrides: dict[str, Severity] = {}
+    for spec in specs:
+        code, sep, level = spec.partition("=")
+        if not sep or not code or not level:
+            raise CheckError(
+                f"bad severity override {spec!r}; expected CODE=LEVEL "
+                "(e.g. RCK103=error)"
+            )
+        get_rule(code)
+        overrides[code] = Severity.parse(level)
+    return overrides

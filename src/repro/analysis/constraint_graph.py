@@ -1,0 +1,134 @@
+"""Static analysis of the Section VII skew difference-constraint system.
+
+The setup/hold constraints ``t_left - t_right <= bound - M`` form a
+constraint graph (edge ``right -> left`` with weight ``bound - M``); the
+system is feasible at slack ``M`` iff that graph has no negative cycle.
+:mod:`repro.opt.diffconstraints` answers the feasibility question for the
+solver; this module answers the *diagnostic* question — it runs a full
+Bellman-Ford with predecessor tracking so an infeasible system is reported
+as the actual cycle of flip-flops whose constraints contradict each other,
+not as a bare "infeasible" verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..constants import Technology
+from ..opt.diffconstraints import SkewConstraint
+from ..timing import PathBounds, skew_constraints
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeCycle:
+    """A certificate of infeasibility: a cycle of total negative weight.
+
+    ``members`` are the flip-flops on the cycle in traversal order;
+    ``weight`` is the cycle's total constraint headroom (< 0).  Summing
+    the constraints around the cycle yields ``0 <= weight``, which is
+    absurd — hence no schedule can satisfy them simultaneously.
+    """
+
+    members: tuple[str, ...]
+    weight: float
+
+    def describe(self, limit: int = 6) -> str:
+        if len(self.members) > limit:
+            chain = " -> ".join(self.members[:limit]) + " -> ..."
+        else:
+            chain = " -> ".join(self.members + (self.members[0],))
+        return f"{chain} (total headroom {self.weight:.3f} ps)"
+
+
+class SkewConstraintGraph:
+    """The difference-constraint graph of a set of skew constraints."""
+
+    def __init__(self, constraints: Sequence[SkewConstraint]) -> None:
+        self.constraints = tuple(constraints)
+        nodes: dict[str, int] = {}
+        for con in self.constraints:
+            nodes.setdefault(con.right, len(nodes))
+            nodes.setdefault(con.left, len(nodes))
+        self._index = nodes
+        self._names = list(nodes)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Mapping[tuple[str, str], PathBounds],
+        period: float,
+        tech: Technology,
+    ) -> "SkewConstraintGraph":
+        """Build from STA pair bounds via eqs. (6)-(7)."""
+        return cls(skew_constraints(pairs, period, tech))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._names)
+
+    def negative_cycle(
+        self, slack: float = 0.0, tol: float = 1e-9
+    ) -> NegativeCycle | None:
+        """The negative cycle at slack ``M``, or ``None`` when feasible.
+
+        Full Bellman-Ford from a virtual source (distance 0 to every
+        node).  If any edge still relaxes after ``n - 1`` passes, walking
+        the predecessor chain ``n`` steps lands inside a negative cycle,
+        which is then traced and returned.
+        """
+        n = len(self._names)
+        if n == 0:
+            return None
+        edges: list[tuple[int, int, float]] = [
+            (
+                self._index[con.right],
+                self._index[con.left],
+                con.bound - con.slack_coeff * slack,
+            )
+            for con in self.constraints
+        ]
+        dist = [0.0] * n
+        pred = [-1] * n
+        relaxed_node = -1
+        for sweep in range(n):
+            relaxed_node = -1
+            for u, v, w in edges:
+                if dist[u] + w < dist[v] - tol:
+                    dist[v] = dist[u] + w
+                    pred[v] = u
+                    relaxed_node = v
+            if relaxed_node < 0:
+                return None  # converged: no negative cycle
+        # Walk back n steps to guarantee we are *on* the cycle.
+        on_cycle = relaxed_node
+        for _ in range(n):
+            on_cycle = pred[on_cycle]
+        cycle = [on_cycle]
+        node = pred[on_cycle]
+        while node != on_cycle:
+            cycle.append(node)
+            node = pred[node]
+        cycle.reverse()
+        members = tuple(self._names[i] for i in cycle)
+        weight = self._cycle_weight(cycle, slack)
+        return NegativeCycle(members=members, weight=weight)
+
+    def _cycle_weight(self, cycle: list[int], slack: float) -> float:
+        """Total weight around ``cycle`` using the cheapest edge per hop."""
+        weight = 0.0
+        k = len(cycle)
+        for pos in range(k):
+            u, v = cycle[pos], cycle[(pos + 1) % k]
+            best: float | None = None
+            for con in self.constraints:
+                if self._index[con.right] == u and self._index[con.left] == v:
+                    w = con.bound - con.slack_coeff * slack
+                    if best is None or w < best:
+                        best = w
+            weight += best if best is not None else 0.0
+        return weight
+
+    def feasible(self, slack: float = 0.0) -> bool:
+        """Whether the system admits a schedule at slack ``M``."""
+        return self.negative_cycle(slack) is None

@@ -1,0 +1,144 @@
+"""The artifact bundle a design-rule check runs against.
+
+A :class:`DesignContext` collects whatever stages of the Fig. 3 flow have
+produced so far — netlist, placement, ring array, flip-flop assignment,
+tapping solutions, skew schedule, sequential timing — with every layer
+optional.  Rules declare which layers they require; the checker silently
+skips rules whose inputs are absent, so the same registry serves a bare
+parsed netlist and a fully converged flow result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
+from ..geometry import BBox, Point
+from ..netlist import Circuit
+from ..rotary import RingArray, TappingSolution
+from ..timing import PathBounds
+
+if TYPE_CHECKING:  # imported lazily to avoid a repro.core import cycle
+    from ..core.flow import FlowResult
+
+#: Layer names used in rule ``requires`` declarations.
+LAYER_NETLIST = "netlist"
+LAYER_PLACEMENT = "placement"
+LAYER_RINGS = "rings"
+LAYER_TAPPINGS = "tappings"
+LAYER_SCHEDULE = "schedule"
+LAYER_TIMING = "timing"
+
+ALL_LAYERS = frozenset(
+    {
+        LAYER_NETLIST,
+        LAYER_PLACEMENT,
+        LAYER_RINGS,
+        LAYER_TAPPINGS,
+        LAYER_SCHEDULE,
+        LAYER_TIMING,
+    }
+)
+
+
+@dataclass(frozen=True)
+class DesignContext:
+    """Everything the rules may inspect.  All layers are optional."""
+
+    name: str
+    tech: Technology = DEFAULT_TECHNOLOGY
+    period: float = DEFAULT_CLOCK_PERIOD_PS
+    #: The (possibly not yet validated) netlist.
+    circuit: Circuit | None = None
+    #: Placement: cell name -> location (um).
+    positions: Mapping[str, Point] | None = None
+    #: Die outline; defaults to the ring array's region when present.
+    die: BBox | None = None
+    #: The rotary ring array.
+    array: RingArray | None = None
+    #: Flip-flop -> ring assignment.
+    ring_of: Mapping[str, int] | None = None
+    #: Realized Section III tapping solutions per flip-flop.
+    tappings: Mapping[str, TappingSolution] | None = None
+    #: Per-ring flip-flop capacities ``U_j``; defaults from the array.
+    capacities: Sequence[int] | None = None
+    #: Skew schedule: flip-flop -> clock arrival target (ps).
+    schedule: Mapping[str, float] | None = None
+    #: The slack ``M`` the schedule must guarantee (ps).
+    slack: float = 0.0
+    #: Sequentially adjacent pair bounds from STA.
+    pairs: Mapping[tuple[str, str], PathBounds] | None = None
+    #: Site grid for the placement rules (row_height, site_width); cells
+    #: closer than half a site in both axes are considered overlapping.
+    site: tuple[float, float] = field(default=(0.0, 0.0))
+
+    @property
+    def layers(self) -> frozenset[str]:
+        """The layers actually present in this context."""
+        present: set[str] = set()
+        if self.circuit is not None:
+            present.add(LAYER_NETLIST)
+        if self.positions is not None:
+            present.add(LAYER_PLACEMENT)
+        if self.array is not None and self.ring_of is not None:
+            present.add(LAYER_RINGS)
+        if self.tappings is not None:
+            present.add(LAYER_TAPPINGS)
+        if self.schedule is not None:
+            present.add(LAYER_SCHEDULE)
+        if self.pairs is not None:
+            present.add(LAYER_TIMING)
+        return frozenset(present)
+
+    @property
+    def die_bbox(self) -> BBox | None:
+        """The die outline: explicit, or the ring array's region."""
+        if self.die is not None:
+            return self.die
+        if self.array is not None:
+            return self.array.region
+        return None
+
+    def ring_capacities(self) -> Sequence[int] | None:
+        """Explicit capacities, or the array's defaults when rings exist."""
+        if self.capacities is not None:
+            return self.capacities
+        if self.array is not None and self.ring_of:
+            return self.array.default_capacities(len(self.ring_of))
+        return None
+
+    @classmethod
+    def from_flow(
+        cls,
+        circuit: Circuit,
+        result: "FlowResult",
+        tech: Technology = DEFAULT_TECHNOLOGY,
+        capacities: Sequence[int] | None = None,
+        pairs: Mapping[tuple[str, str], PathBounds] | None = None,
+        compute_timing: bool = True,
+    ) -> "DesignContext":
+        """Full context for a converged :class:`~repro.core.flow.FlowResult`.
+
+        ``pairs`` may be passed to reuse an existing STA; otherwise the
+        sequential timing is recomputed from the result's placement when
+        ``compute_timing`` is set (the only non-cheap part of this call).
+        """
+        if pairs is None and compute_timing:
+            from ..timing import SequentialTiming
+
+            pairs = SequentialTiming(circuit, result.positions, tech).pairs
+        return cls(
+            name=result.circuit_name,
+            tech=tech,
+            period=result.array.period,
+            circuit=circuit,
+            positions=result.positions,
+            array=result.array,
+            ring_of=result.assignment.ring_of,
+            tappings=result.assignment.solutions,
+            capacities=capacities,
+            schedule=result.schedule.targets,
+            slack=result.slack_guaranteed,
+            pairs=pairs,
+        )

@@ -1,0 +1,156 @@
+"""Typed diagnostic records emitted by the static design-rule checker.
+
+Every finding is a :class:`Diagnostic`: a stable ``RCKnnn`` code, a
+severity, a message, a :class:`Location` naming the design object at
+fault (flip-flop, ring, cell, sequential pair, ...), and a fix hint.
+Codes are grouped by hundreds:
+
+* ``RCK1xx`` — netlist structure (dangling fanins, floating outputs);
+* ``RCK2xx`` — placement (overlaps, off-die cells, unplaced cells);
+* ``RCK3xx`` — ring array (capacity ``U_j``, the eq. (2) ``f_osc``
+  budget, unassigned flip-flops);
+* ``RCK4xx`` — skew schedule and the Section VII constraint system
+  (infeasible permissible ranges, negative constraint-graph cycles,
+  out-of-range skews);
+* ``RCK5xx`` — tapping realizability (Section III stubs).
+
+A :class:`CheckReport` aggregates findings with per-code counts and the
+exit-code contract used by ``repro check``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import CheckError
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; the integer order supports threshold checks."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a case-insensitive severity name (``note`` == INFO)."""
+        key = text.strip().upper()
+        if key == "NOTE":
+            key = "INFO"
+        try:
+            return cls[key]
+        except KeyError:
+            raise CheckError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` string for this severity."""
+        return {
+            Severity.INFO: "note",
+            Severity.WARNING: "warning",
+            Severity.ERROR: "error",
+        }[self]
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """The design object a diagnostic points at.
+
+    ``kind`` is one of ``flip-flop``, ``cell``, ``net``, ``ring``,
+    ``pair`` (a sequentially adjacent launch->capture pair) or
+    ``design`` (whole-design findings such as a negative constraint
+    cycle).  ``name`` is the object's name in the netlist / ring array.
+    """
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding of one rule against one design object."""
+
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+    location: Location
+    hint: str = ""
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        text = (
+            f"{self.severity.name.lower():7s} {self.code} "
+            f"[{self.location}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the JSON reporter)."""
+        doc: dict[str, Any] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "location": {"kind": self.location.kind, "name": self.location.name},
+        }
+        if self.hint:
+            doc["hint"] = self.hint
+        return doc
+
+
+@dataclass(frozen=True, slots=True)
+class CheckReport:
+    """The outcome of one checker run over one design."""
+
+    design: str
+    findings: tuple[Diagnostic, ...]
+    rules_run: tuple[str, ...]
+    rules_skipped: tuple[str, ...] = ()
+
+    @property
+    def counts_by_code(self) -> dict[str, int]:
+        """``{code: count}`` over the findings (insertion-ordered)."""
+        counts: dict[str, int] = {}
+        for d in self.findings:
+            counts[d.code] = counts.get(d.code, 0) + 1
+        return counts
+
+    @property
+    def counts_by_severity(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for d in self.findings:
+            key = d.severity.name.lower()
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """Findings at or above ``severity``."""
+        return tuple(d for d in self.findings if d.severity >= severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """The ``repro check`` contract: 0 clean, 1 findings >= threshold.
+
+        (Exit code 2 is reserved for usage/configuration errors and is
+        produced by the CLI, never by the report itself.)
+        """
+        return 1 if self.at_least(fail_on) else 0

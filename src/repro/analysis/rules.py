@@ -1,0 +1,517 @@
+"""The design-rule registry: every ``RCK`` code and its check function.
+
+A rule is a pure function ``DesignContext -> findings`` registered with a
+stable code, a default severity, and the context layers it requires.  The
+checker (:mod:`repro.analysis.checker`) selects applicable rules, applies
+per-rule enable/disable and severity overrides, and aggregates findings.
+
+Rules marked ``cheap`` are safe to run between Fig. 3 flow stages (linear
+in flip-flops/rings/pairs, no LP or Bellman-Ford); the flow's
+``check_invariants`` hook runs exactly that subset every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..errors import CheckError, TappingError
+from ..netlist import Cell, CellKind, Circuit
+from ..rotary import best_tapping, ring_electrical, required_total_capacitance
+from ..timing import permissible_range
+from .constraint_graph import SkewConstraintGraph
+from .context import (
+    LAYER_NETLIST,
+    LAYER_PLACEMENT,
+    LAYER_RINGS,
+    LAYER_SCHEDULE,
+    LAYER_TAPPINGS,
+    LAYER_TIMING,
+    DesignContext,
+)
+from .diagnostics import Diagnostic, Location, Severity
+
+CheckFunction = Callable[[DesignContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered design rule."""
+
+    code: str
+    name: str
+    description: str
+    default_severity: Severity
+    requires: frozenset[str]
+    #: Cheap rules may run between flow stages every iteration.
+    cheap: bool
+    check: CheckFunction
+
+    def applicable(self, ctx: DesignContext) -> bool:
+        return self.requires <= ctx.layers
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    code: str,
+    name: str,
+    description: str,
+    requires: Iterable[str] = (),
+    severity: Severity = Severity.ERROR,
+    cheap: bool = False,
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register a check function under ``code`` (decorator)."""
+
+    def register(func: CheckFunction) -> CheckFunction:
+        if code in _REGISTRY:
+            raise CheckError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(
+            code=code,
+            name=name,
+            description=description,
+            default_severity=severity,
+            requires=frozenset(requires),
+            cheap=cheap,
+            check=func,
+        )
+        return func
+
+    return register
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """All rules, ordered by code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise CheckError(f"unknown rule code {code!r}; known: {known}") from None
+
+
+def _diag(
+    r: str, message: str, kind: str, name: str, hint: str = ""
+) -> Diagnostic:
+    meta = _REGISTRY[r]
+    return Diagnostic(
+        code=r,
+        rule=meta.name,
+        severity=meta.default_severity,
+        message=message,
+        location=Location(kind=kind, name=name),
+        hint=hint,
+    )
+
+
+def _fanin_sinks(circuit: Circuit) -> dict[str, list[str]]:
+    """Signal -> reading cells, derived without triggering validation."""
+    sinks: dict[str, list[str]] = {}
+    for cell in circuit.cells.values():
+        for sig in cell.fanin:
+            sinks.setdefault(sig, []).append(cell.name)
+    return sinks
+
+
+# ----------------------------------------------------------------------
+# RCK1xx: netlist structure
+# ----------------------------------------------------------------------
+@rule(
+    "RCK101",
+    "dangling-fanin",
+    "A cell reads a signal no cell drives (or an OUTPUT pad).",
+    requires=(LAYER_NETLIST,),
+)
+def check_dangling_fanin(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.circuit is not None
+    for cell in ctx.circuit.cells.values():
+        if cell.kind is CellKind.OUTPUT:
+            continue  # undriven primary outputs are RCK102's finding
+        for sig in cell.fanin:
+            driver = ctx.circuit.cells.get(sig)
+            if driver is None:
+                yield _diag(
+                    "RCK101",
+                    f"cell {cell.name!r} reads undefined signal {sig!r}",
+                    "cell",
+                    cell.name,
+                    hint="declare INPUT(...) or define the driving gate",
+                )
+            elif driver.kind is CellKind.OUTPUT:
+                yield _diag(
+                    "RCK101",
+                    f"cell {cell.name!r} reads from OUTPUT pad {sig!r}",
+                    "cell",
+                    cell.name,
+                    hint="read the driven signal, not the pad",
+                )
+
+
+@rule(
+    "RCK102",
+    "undriven-primary-output",
+    "A primary output observes a signal no cell drives.",
+    requires=(LAYER_NETLIST,),
+)
+def check_undriven_output(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.circuit is not None
+    for sig in ctx.circuit.primary_outputs:
+        if sig not in ctx.circuit:
+            yield _diag(
+                "RCK102",
+                f"primary output observes undefined signal {sig!r}",
+                "net",
+                sig,
+                hint="define the driving cell or drop the OUTPUT declaration",
+            )
+
+
+@rule(
+    "RCK103",
+    "floating-driver",
+    "A cell's output drives nothing and is not a primary output.",
+    requires=(LAYER_NETLIST,),
+    severity=Severity.WARNING,
+)
+def check_floating_driver(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.circuit is not None
+    sinks = _fanin_sinks(ctx.circuit)
+    observed = set(ctx.circuit.primary_outputs)
+    for cell in ctx.circuit.cells.values():
+        if cell.kind is CellKind.OUTPUT:
+            continue
+        if cell.name not in sinks and cell.name not in observed:
+            kind = "flip-flop" if cell.is_flipflop else "cell"
+            yield _diag(
+                "RCK103",
+                f"output of {cell.name!r} drives nothing",
+                kind,
+                cell.name,
+                hint="remove dead logic or observe the signal as a primary output",
+            )
+
+
+# ----------------------------------------------------------------------
+# RCK2xx: placement
+# ----------------------------------------------------------------------
+def _placeable(circuit: Circuit | None, name: str) -> bool:
+    """Whether ``name`` is a standard cell (pads may legally collide)."""
+    if circuit is None:
+        return True
+    cell: Cell | None = circuit.cells.get(name)
+    return cell is None or not cell.is_pad
+
+
+@rule(
+    "RCK201",
+    "overlapping-cells",
+    "Two standard cells occupy the same placement site.",
+    requires=(LAYER_PLACEMENT,),
+)
+def check_overlapping_cells(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.positions is not None
+    seen: dict[tuple[int, int], str] = {}
+    for name in sorted(ctx.positions):
+        if not _placeable(ctx.circuit, name):
+            continue
+        p = ctx.positions[name]
+        key = (round(p.x * 1000.0), round(p.y * 1000.0))
+        other = seen.get(key)
+        if other is None:
+            seen[key] = name
+        else:
+            yield _diag(
+                "RCK201",
+                f"cells {other!r} and {name!r} overlap at "
+                f"({p.x:.3f}, {p.y:.3f})",
+                "cell",
+                name,
+                hint="re-run legalization; overlapping cells corrupt "
+                "wirelength and timing estimates",
+            )
+
+
+@rule(
+    "RCK202",
+    "cell-outside-region",
+    "A placed cell lies outside the die outline.",
+    requires=(LAYER_PLACEMENT,),
+)
+def check_cell_outside_region(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.positions is not None
+    die = ctx.die_bbox
+    if die is None:
+        return
+    for name in sorted(ctx.positions):
+        if not _placeable(ctx.circuit, name):
+            continue  # pads sit on the periphery by construction
+        p = ctx.positions[name]
+        if not die.contains(p):
+            yield _diag(
+                "RCK202",
+                f"cell {name!r} at ({p.x:.3f}, {p.y:.3f}) is outside the die "
+                f"[{die.xlo:.1f}, {die.ylo:.1f}] x [{die.xhi:.1f}, {die.yhi:.1f}]",
+                "cell",
+                name,
+                hint="clamp the placement to the region or regrow the die",
+            )
+
+
+@rule(
+    "RCK203",
+    "unplaced-cell",
+    "A standard cell has no placement location.",
+    requires=(LAYER_NETLIST, LAYER_PLACEMENT),
+)
+def check_unplaced_cell(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.circuit is not None and ctx.positions is not None
+    for cell in ctx.circuit.standard_cells:
+        if cell.name not in ctx.positions:
+            kind = "flip-flop" if cell.is_flipflop else "cell"
+            yield _diag(
+                "RCK203",
+                f"standard cell {cell.name!r} has no placement",
+                kind,
+                cell.name,
+                hint="every gate and flip-flop must be placed before "
+                "timing or assignment runs",
+            )
+
+
+# ----------------------------------------------------------------------
+# RCK3xx: ring array
+# ----------------------------------------------------------------------
+@rule(
+    "RCK301",
+    "ring-capacity-exceeded",
+    "A ring hosts more flip-flops than its Section V capacity U_j.",
+    requires=(LAYER_RINGS,),
+    cheap=True,
+)
+def check_ring_capacity(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.array is not None and ctx.ring_of is not None
+    capacities = ctx.ring_capacities()
+    if capacities is None:
+        return
+    occupancy = [0] * ctx.array.num_rings
+    for ring_id in ctx.ring_of.values():
+        if 0 <= ring_id < len(occupancy):
+            occupancy[ring_id] += 1
+        else:
+            yield _diag(
+                "RCK301",
+                f"assignment references ring {ring_id} but the array has "
+                f"{ctx.array.num_rings} rings",
+                "ring",
+                str(ring_id),
+                hint="the assignment and ring array are out of sync",
+            )
+    for ring_id, count in enumerate(occupancy):
+        cap = capacities[ring_id] if ring_id < len(capacities) else 0
+        if count > cap:
+            yield _diag(
+                "RCK301",
+                f"ring {ring_id} hosts {count} flip-flops, capacity U_j = {cap}",
+                "ring",
+                str(ring_id),
+                hint="raise capacity_headroom or add rings (larger grid side)",
+            )
+
+
+@rule(
+    "RCK302",
+    "fosc-budget-exceeded",
+    "A ring's load capacitance pushes f_osc = 1/(2 sqrt(LC)) below target.",
+    requires=(LAYER_RINGS, LAYER_TAPPINGS),
+    cheap=True,
+)
+def check_fosc_budget(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.array is not None and ctx.ring_of is not None
+    assert ctx.tappings is not None
+    stubs: dict[int, list[float]] = {}
+    for ff, ring_id in ctx.ring_of.items():
+        sol = ctx.tappings.get(ff)
+        if sol is not None and 0 <= ring_id < ctx.array.num_rings:
+            stubs.setdefault(ring_id, []).append(sol.wirelength)
+    for ring_id, lengths in sorted(stubs.items()):
+        ring = ctx.array[ring_id]
+        elec = ring_electrical(ring, lengths, ctx.tech)
+        budget = required_total_capacitance(ring, ctx.period, ctx.tech)
+        excess = elec.ring_cap_ff + elec.load_cap_ff - budget
+        if excess > 1e-9:
+            yield _diag(
+                "RCK302",
+                f"ring {ring_id} total capacitance "
+                f"{elec.ring_cap_ff + elec.load_cap_ff:.1f} fF exceeds the "
+                f"{budget:.1f} fF eq. (2) budget by {excess:.1f} fF "
+                f"(f_osc {elec.frequency_ghz:.3f} GHz)",
+                "ring",
+                str(ring_id),
+                hint="rebalance flip-flops (Section VI min-max assignment) "
+                "or shorten stubs",
+            )
+
+
+@rule(
+    "RCK303",
+    "unassigned-flipflop",
+    "A flip-flop has no ring assignment.",
+    requires=(LAYER_NETLIST, LAYER_RINGS),
+    cheap=True,
+)
+def check_unassigned_flipflop(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.circuit is not None and ctx.ring_of is not None
+    for ff in ctx.circuit.flip_flops:
+        if ff.name not in ctx.ring_of:
+            yield _diag(
+                "RCK303",
+                f"flip-flop {ff.name!r} is not assigned to any ring",
+                "flip-flop",
+                ff.name,
+                hint="every flip-flop must tap a ring; re-run stage 3",
+            )
+
+
+# ----------------------------------------------------------------------
+# RCK4xx: skew schedule and constraint system
+# ----------------------------------------------------------------------
+@rule(
+    "RCK401",
+    "infeasible-permissible-range",
+    "A sequential pair's permissible skew range is empty at the "
+    "guaranteed slack.",
+    requires=(LAYER_TIMING,),
+    cheap=True,
+)
+def check_permissible_ranges(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.pairs is not None
+    for (i, j), bounds in ctx.pairs.items():
+        r = permissible_range(i, j, bounds, ctx.period, ctx.tech, ctx.slack)
+        if not r.feasible:
+            yield _diag(
+                "RCK401",
+                f"pair {i} -> {j}: permissible range "
+                f"[{r.lo:.3f}, {r.hi:.3f}] is empty "
+                f"(D_max {bounds.d_max:.1f}, D_min {bounds.d_min:.1f} ps "
+                f"at slack {ctx.slack:.1f})",
+                "pair",
+                f"{i}->{j}",
+                hint="the long path exceeds the period budget: speed up the "
+                "path, stretch the period, or lower the guaranteed slack",
+            )
+
+
+@rule(
+    "RCK402",
+    "negative-cycle-in-skew-constraint-graph",
+    "The Section VII setup/hold difference constraints contradict each "
+    "other around a cycle.",
+    requires=(LAYER_TIMING,),
+)
+def check_negative_cycle(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.pairs is not None
+    graph = SkewConstraintGraph.from_pairs(ctx.pairs, ctx.period, ctx.tech)
+    cycle = graph.negative_cycle(slack=ctx.slack)
+    if cycle is not None:
+        yield _diag(
+            "RCK402",
+            f"skew constraint graph has a negative cycle at slack "
+            f"{ctx.slack:.1f} ps: {cycle.describe()}",
+            "design",
+            ctx.name,
+            hint="no schedule satisfies these pairs simultaneously; "
+            "relax the period or retime the cycle's paths",
+        )
+
+
+@rule(
+    "RCK403",
+    "skew-outside-permissible-range",
+    "A scheduled skew violates its pair's permissible range.",
+    requires=(LAYER_TIMING, LAYER_SCHEDULE),
+    cheap=True,
+)
+def check_schedule_in_range(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.pairs is not None and ctx.schedule is not None
+    for (i, j), bounds in ctx.pairs.items():
+        if i not in ctx.schedule or j not in ctx.schedule:
+            continue  # RCK303/RCK501 cover missing entries
+        r = permissible_range(i, j, bounds, ctx.period, ctx.tech, ctx.slack)
+        skew = ctx.schedule[i] - ctx.schedule[j]
+        if not r.contains(skew, tol=1e-6):
+            side = "setup (upper)" if skew > r.hi else "hold (lower)"
+            yield _diag(
+                "RCK403",
+                f"pair {i} -> {j}: skew {skew:.3f} ps violates the {side} "
+                f"bound of [{r.lo:.3f}, {r.hi:.3f}]",
+                "pair",
+                f"{i}->{j}",
+                hint="re-run skew optimization; the schedule and timing "
+                "are out of sync",
+            )
+
+
+# ----------------------------------------------------------------------
+# RCK5xx: tapping realizability
+# ----------------------------------------------------------------------
+@rule(
+    "RCK501",
+    "unreachable-tapping-target",
+    "A flip-flop's skew target cannot be realized as a Section III "
+    "tapping stub on its assigned ring (or the stored solution is stale).",
+    requires=(LAYER_RINGS, LAYER_SCHEDULE, LAYER_PLACEMENT),
+)
+def check_tapping_targets(ctx: DesignContext) -> Iterator[Diagnostic]:
+    assert ctx.array is not None and ctx.ring_of is not None
+    assert ctx.schedule is not None and ctx.positions is not None
+    period = ctx.period
+    for ff in sorted(ctx.ring_of):
+        ring_id = ctx.ring_of[ff]
+        if ff not in ctx.schedule or ff not in ctx.positions:
+            continue  # RCK203/RCK303 cover the missing layers
+        if not 0 <= ring_id < ctx.array.num_rings:
+            continue  # RCK301 reports out-of-range ring ids
+        target = ctx.schedule[ff] % period
+        sol = ctx.tappings.get(ff) if ctx.tappings is not None else None
+        if sol is not None:
+            if sol.ring_id != ring_id:
+                yield _diag(
+                    "RCK501",
+                    f"flip-flop {ff!r} is assigned to ring {ring_id} but its "
+                    f"tapping solution taps ring {sol.ring_id}",
+                    "flip-flop",
+                    ff,
+                    hint="stale artifact: re-realize tappings after "
+                    "reassignment",
+                )
+                continue
+            drift = abs(sol.target_delay - target)
+            drift = min(drift, period - drift)  # phase distance
+            if drift > 1e-6:
+                yield _diag(
+                    "RCK501",
+                    f"flip-flop {ff!r}: tapping solution realizes "
+                    f"{sol.target_delay:.3f} ps but the schedule asks for "
+                    f"{target:.3f} ps",
+                    "flip-flop",
+                    ff,
+                    hint="stale artifact: re-realize tappings after "
+                    "rescheduling",
+                )
+            continue
+        try:
+            best_tapping(ctx.array[ring_id], ctx.positions[ff], target, ctx.tech)
+        except TappingError as exc:
+            yield _diag(
+                "RCK501",
+                f"flip-flop {ff!r}: no feasible tapping on ring {ring_id} "
+                f"for target {target:.3f} ps ({exc})",
+                "flip-flop",
+                ff,
+                hint="assign the flip-flop to a reachable ring or adjust "
+                "its skew target",
+            )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..clocktree.dme import ClockTree, TreeNode
 from ..constants import Technology
@@ -171,7 +172,7 @@ def tree_skew_variation(
 
 
 def _pair_stats(
-    dev: np.ndarray,
+    dev: npt.NDArray[np.float64],
     pairs: Sequence[tuple[str, str]],
     index: Mapping[str, int],
     samples: int,

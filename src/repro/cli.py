@@ -6,6 +6,11 @@ Usage (also via ``python -m repro``)::
     repro tables --circuits s9234,s5378    # regenerate Tables I-VII
     repro bench-info s38417                # circuit profile + generation
     repro sweep-rings s5378 --sides 2,3,4  # ring-count ablation (§IX)
+    repro check s9234 --format sarif       # static design-rule checks
+
+``repro check`` exit codes: 0 = no findings at or above ``--fail-on``
+(default error), 1 = findings at or above the threshold, 2 = usage or
+configuration error (unknown rule code, bad severity, unreadable input).
 """
 
 from __future__ import annotations
@@ -64,6 +69,64 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  {len(result.history)} iterations; CPU stages "
           f"{result.seconds_algorithm:.1f} s, placer {result.seconds_placer:.1f} s")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import (
+        CheckConfig,
+        DesignContext,
+        Severity,
+        parse_severity_overrides,
+        render_json,
+        render_sarif,
+        render_text,
+        run_checks,
+    )
+
+    config = CheckConfig(
+        enabled=tuple(args.enable or ()),
+        disabled=tuple(args.disable or ()),
+        severity_overrides=parse_severity_overrides(args.severity or ()),
+        fail_on=Severity.parse(args.fail_on),
+    )
+    if args.bench:
+        from .netlist import read_bench
+
+        # Parse without validating: the checker reports broken netlists
+        # as RCK1xx diagnostics instead of a parse-time exception.
+        circuit = read_bench(args.bench, validate=False)
+        ctx = DesignContext(name=circuit.name, circuit=circuit, period=args.period)
+    else:
+        profile = PROFILES[args.circuit]
+        circuit = generate_named(args.circuit)
+        if args.netlist_only:
+            ctx = DesignContext(
+                name=circuit.name, circuit=circuit, period=args.period
+            )
+        else:
+            options = FlowOptions(
+                ring_grid_side=profile.ring_grid_side,
+                assignment=args.engine,
+                max_iterations=args.iterations,
+                period=args.period,
+            )
+            result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+            ctx = DesignContext.from_flow(circuit, result)
+
+    report = run_checks(ctx, config)
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    rendered = renderers[args.format](report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    if args.sarif and args.format != "sarif":
+        with open(args.sarif, "w") as fh:
+            fh.write(render_sarif(report) + "\n")
+        print(f"wrote {args.sarif}")
+    return report.exit_code(config.fail_on)
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -167,6 +230,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flow_args(run)
     run.set_defaults(func=cmd_run)
 
+    check = sub.add_parser(
+        "check",
+        help="run the static design-rule checker (RCK diagnostics)",
+        description="Statically check a design: run the flow on a named "
+        "benchmark (or parse a .bench netlist) and report RCK diagnostics. "
+        "Exit 0 = clean, 1 = findings at/above --fail-on, 2 = usage error.",
+    )
+    check.add_argument(
+        "circuit", nargs="?", choices=sorted(PROFILES),
+        help="bundled benchmark profile to flow and check",
+    )
+    check.add_argument(
+        "--bench", default="",
+        help="check a .bench netlist file instead of a bundled profile",
+    )
+    check.add_argument(
+        "--netlist-only", action="store_true",
+        help="skip the flow; run only the netlist-level rules",
+    )
+    check.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format on stdout",
+    )
+    check.add_argument(
+        "-o", "--output", default="", help="write the report to a file"
+    )
+    check.add_argument(
+        "--sarif", default="",
+        help="additionally write a SARIF 2.1.0 report to this path",
+    )
+    check.add_argument(
+        "--enable", action="append", metavar="CODE",
+        help="restrict the run to these rule codes (repeatable)",
+    )
+    check.add_argument(
+        "--disable", action="append", metavar="CODE",
+        help="disable a rule code (repeatable)",
+    )
+    check.add_argument(
+        "--severity", action="append", metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. RCK103=error (repeatable)",
+    )
+    check.add_argument(
+        "--fail-on", default="error", metavar="LEVEL",
+        help="exit 1 when findings reach this severity (default: error)",
+    )
+    _add_common_flow_args(check)
+    check.set_defaults(func=cmd_check)
+
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--circuits", default="", help="comma-separated subset")
     tables.add_argument("--ilp-time-limit", type=float, default=10.0)
@@ -196,9 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import CheckError, NetlistError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.func is cmd_check and not (args.circuit or args.bench):
+        print("repro check: provide a bundled circuit or --bench FILE",
+              file=sys.stderr)
+        return 2
+    try:
+        return args.func(args)
+    except (CheckError, NetlistError, OSError) as exc:
+        if args.func is cmd_check:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

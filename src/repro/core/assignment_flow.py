@@ -22,11 +22,13 @@ from __future__ import annotations
 from typing import Literal, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..constants import Technology
 from ..errors import AssignmentError
 from ..geometry import Point
 from ..opt.mincostflow import (
+    ArcRef,
     FlowNetwork,
     solve_transportation,
 )
@@ -43,7 +45,7 @@ def assign_min_tapping_cost(
     matrix: TappingCostMatrix,
     capacities: Sequence[int],
     backend: Literal["transportation", "ssp"] = "transportation",
-) -> np.ndarray:
+) -> npt.NDArray[np.intp]:
     """Optimal capacitated assignment; returns ``assign[i] = ring index``."""
     if len(capacities) != matrix.num_rings:
         raise AssignmentError(
@@ -58,11 +60,11 @@ def assign_min_tapping_cost(
 
 def _assign_via_ssp(
     matrix: TappingCostMatrix, capacities: Sequence[int]
-) -> np.ndarray:
+) -> npt.NDArray[np.intp]:
     """Build the literal Fig. 4 network and solve it with the SSP kernel."""
     net = FlowNetwork()
     n_ff = matrix.num_flipflops
-    arc_of: dict[tuple[int, int], object] = {}
+    arc_of: dict[tuple[int, int], ArcRef] = {}
     for i in range(n_ff):
         net.add_arc("source", ("ff", i), capacity=1, cost=0.0)
         for j in matrix.candidates[i]:
@@ -72,7 +74,7 @@ def _assign_via_ssp(
     for j, cap in enumerate(capacities):
         net.add_arc(("ring", j), "target", capacity=int(cap), cost=0.0)
     result = net.solve({"source": n_ff, "target": -n_ff})
-    assign = np.full(n_ff, -1, dtype=int)
+    assign = np.full(n_ff, -1, dtype=np.intp)
     for (i, j), ref in arc_of.items():
         if result.flow_on(ref) > 0:
             assign[i] = j

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Literal, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..constants import Technology
 from ..errors import AssignmentError
@@ -46,7 +47,7 @@ from .cost import (
 class MinMaxCapResult:
     """Outcome of the LP-relaxation / rounding pipeline."""
 
-    assign: np.ndarray
+    assign: npt.NDArray[np.intp]
     #: OPT(LP): optimal objective of the relaxation (fF).
     lp_bound: float
     #: SOLN(ILP): max ring load of the rounded solution (fF).
@@ -64,9 +65,9 @@ class MinMaxCapResult:
 
 
 def _candidate_lists(
-    cap_matrix: np.ndarray,
-    candidates: Sequence[np.ndarray] | None = None,
-) -> list[np.ndarray]:
+    cap_matrix: npt.NDArray[np.float64],
+    candidates: Sequence[npt.NDArray[np.intp]] | None = None,
+) -> list[npt.NDArray[np.intp]]:
     """Per flip-flop, the rings with finite (non-pruned) capacitance.
 
     Pass the candidate columns of a :class:`TappingCostMatrix` to skip
@@ -78,7 +79,7 @@ def _candidate_lists(
             if rings.size == 0:
                 raise AssignmentError(f"flip-flop row {i} has no candidate ring")
         return out
-    out = []
+    out: list[npt.NDArray[np.intp]] = []
     for i in range(cap_matrix.shape[0]):
         rings = np.flatnonzero(cap_matrix[i] < FORBIDDEN_COST)
         if rings.size == 0:
@@ -88,10 +89,10 @@ def _candidate_lists(
 
 
 def build_minmax_lp(
-    cap_matrix: np.ndarray,
+    cap_matrix: npt.NDArray[np.float64],
     integer: bool = False,
-    candidates: Sequence[np.ndarray] | None = None,
-) -> tuple[LinearProgram, list[np.ndarray]]:
+    candidates: Sequence[npt.NDArray[np.intp]] | None = None,
+) -> tuple[LinearProgram, list[npt.NDArray[np.intp]]]:
     """The eq. (3) model over the pruned capacitance matrix."""
     n_ff, n_rings = cap_matrix.shape
     candidates = _candidate_lists(cap_matrix, candidates)
@@ -118,15 +119,15 @@ def build_minmax_lp(
 
 def greedy_rounding(
     x_lp: Mapping[str, float],
-    candidates: list[np.ndarray],
-) -> np.ndarray:
+    candidates: list[npt.NDArray[np.intp]],
+) -> npt.NDArray[np.intp]:
     """Fig. 5: keep integral rows; round fractional rows to the max x_ij.
 
     Linear in (#flip-flops x #candidate rings); always feasible because
     every row sums to one in the LP solution.
     """
     n_ff = len(candidates)
-    assign = np.full(n_ff, -1, dtype=int)
+    assign = np.full(n_ff, -1, dtype=np.intp)
     for i, rings in enumerate(candidates):
         best_j = -1
         best_val = -1.0
@@ -141,7 +142,7 @@ def greedy_rounding(
     return assign
 
 
-def _max_load(cap_matrix: np.ndarray, assign: np.ndarray) -> float:
+def _max_load(cap_matrix: npt.NDArray[np.float64], assign: npt.NDArray[np.intp]) -> float:
     n_rings = cap_matrix.shape[1]
     loads = np.zeros(n_rings)
     for i, j in enumerate(assign):
@@ -150,9 +151,9 @@ def _max_load(cap_matrix: np.ndarray, assign: np.ndarray) -> float:
 
 
 def solve_minmax_cap(
-    cap_matrix: np.ndarray,
+    cap_matrix: npt.NDArray[np.float64],
     backend: Literal["highs", "simplex"] = "highs",
-    candidates: Sequence[np.ndarray] | None = None,
+    candidates: Sequence[npt.NDArray[np.intp]] | None = None,
 ) -> MinMaxCapResult:
     """LP relaxation + greedy rounding on a capacitance matrix."""
     start = time.monotonic()
@@ -174,10 +175,10 @@ def solve_minmax_cap(
 
 
 def local_search_minmax(
-    cap_matrix: np.ndarray,
-    assign: np.ndarray,
+    cap_matrix: npt.NDArray[np.float64],
+    assign: npt.NDArray[np.intp],
     max_rounds: int = 200,
-) -> np.ndarray:
+) -> npt.NDArray[np.intp]:
     """Relocate/swap local search on a feasible min-max-cap assignment.
 
     Repeatedly takes the most loaded ring and tries to relocate one of its
@@ -220,7 +221,7 @@ def local_search_minmax(
 
 
 def solve_minmax_cap_refined(
-    cap_matrix: np.ndarray,
+    cap_matrix: npt.NDArray[np.float64],
     backend: Literal["highs", "simplex"] = "highs",
 ) -> MinMaxCapResult:
     """Greedy rounding followed by min-max local search.
@@ -245,7 +246,7 @@ def solve_minmax_cap_refined(
 class GenericIlpResult:
     """Outcome of the generic (Table I comparator) ILP solver."""
 
-    assign: np.ndarray | None
+    assign: npt.NDArray[np.intp] | None
     objective: float
     status: str
     solve_seconds: float
@@ -253,7 +254,7 @@ class GenericIlpResult:
 
 
 def generic_ilp_assignment(
-    cap_matrix: np.ndarray,
+    cap_matrix: npt.NDArray[np.float64],
     time_limit: float | None = 60.0,
     solver: Literal["branch_bound", "milp"] = "branch_bound",
 ) -> GenericIlpResult:
@@ -295,9 +296,9 @@ def generic_ilp_assignment(
 
 
 def _extract_assign(
-    values: Mapping[str, float], candidates: list[np.ndarray]
-) -> np.ndarray:
-    assign = np.full(len(candidates), -1, dtype=int)
+    values: Mapping[str, float], candidates: list[npt.NDArray[np.intp]]
+) -> npt.NDArray[np.intp]:
+    assign = np.full(len(candidates), -1, dtype=np.intp)
     for i, rings in enumerate(candidates):
         best_j, best_val = -1, -1.0
         for j in rings:

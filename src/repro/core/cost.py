@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Literal, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..constants import Technology
 from ..errors import CostMatrixError, TappingError
@@ -49,11 +50,11 @@ class TappingCostMatrix:
 
     ff_names: tuple[str, ...]
     #: ``costs[i, j]`` = stub wirelength (um), ``FORBIDDEN_COST`` if pruned.
-    costs: np.ndarray
+    costs: npt.NDArray[np.float64]
     #: Per-row candidate (non-pruned) ring columns; derived from ``costs``
     #: when not supplied.  Consumers iterate this instead of re-scanning
     #: the dense matrix against ``FORBIDDEN_COST``.
-    candidates: tuple[np.ndarray, ...] = field(default=())
+    candidates: tuple[npt.NDArray[np.intp], ...] = field(default=())
 
     def __post_init__(self) -> None:
         if len(self.candidates) != len(self.ff_names):
@@ -75,11 +76,11 @@ class TappingCostMatrix:
         return int(self.costs.shape[1])
 
     @property
-    def finite_mask(self) -> np.ndarray:
+    def finite_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean mask of non-pruned (candidate) arcs."""
         return self.costs < FORBIDDEN_COST
 
-    def capacitance_matrix(self, tech: Technology) -> np.ndarray:
+    def capacitance_matrix(self, tech: Technology) -> npt.NDArray[np.float64]:
         """Load-capacitance matrix ``C_p[i, j]`` (fF) for Section VI.
 
         Includes the stub wire capacitance and the flip-flop input
@@ -116,10 +117,10 @@ def _validated_names(
 
 def _candidate_mask(
     array: RingArray,
-    px: np.ndarray,
-    py: np.ndarray,
+    px: npt.NDArray[np.float64],
+    py: npt.NDArray[np.float64],
     candidate_rings: int | None,
-) -> np.ndarray:
+) -> npt.NDArray[np.bool_]:
     """Boolean (ff, ring) mask of the pruned candidate arcs.
 
     Mirrors :meth:`RingArray.rings_by_distance`: the ``k`` nearest rings
@@ -220,14 +221,14 @@ class TappingCostCache:
         array: RingArray,
         tech: Technology,
         candidate_rings: int | None = 8,
-    ):
+    ) -> None:
         self.array = array
         self.tech = tech
         self.candidate_rings = candidate_rings
         #: Row key per flip-flop: (x, y, target).
         self._key: dict[str, tuple[float, float, float]] = {}
         #: Cached dense cost row per flip-flop.
-        self._row: dict[str, np.ndarray] = {}
+        self._row: dict[str, npt.NDArray[np.float64]] = {}
         #: Cached solutions per flip-flop: ring id -> (batch result, index).
         #: Materialized into :class:`TappingSolution` lazily — only the
         #: assigned ring of each flip-flop is ever realized.
@@ -371,7 +372,7 @@ class Assignment:
         n = len(self.ff_names)
         return self.tapping_wirelength / n if n else 0.0
 
-    def ring_loads(self, array: RingArray, tech: Technology) -> np.ndarray:
+    def ring_loads(self, array: RingArray, tech: Technology) -> npt.NDArray[np.float64]:
         """Per-ring load capacitance (fF): stub wires + flip-flop pins."""
         loads = np.zeros(array.num_rings)
         for name, sol in self.solutions.items():
@@ -385,7 +386,7 @@ class Assignment:
         loads = self.ring_loads(array, tech)
         return float(loads.max()) if loads.size else 0.0
 
-    def ring_occupancy(self, array: RingArray) -> np.ndarray:
+    def ring_occupancy(self, array: RingArray) -> npt.NDArray[np.int_]:
         """Flip-flop count per ring."""
         occ = np.zeros(array.num_rings, dtype=int)
         for ring_id in self.ring_of.values():
@@ -394,7 +395,7 @@ class Assignment:
 
 
 def realize_assignment(
-    assign: np.ndarray,
+    assign: npt.NDArray[np.intp],
     matrix: TappingCostMatrix,
     array: RingArray,
     positions: Mapping[str, Point],
@@ -415,7 +416,7 @@ def realize_assignment(
     if cache is not None:
         solutions = cache.realize(ring_of, positions, targets)
     else:
-        solutions = {}
+        solutions: dict[str, TappingSolution] = {}
         by_ring: dict[int, list[str]] = {}
         for name, ring_id in ring_of.items():
             by_ring.setdefault(ring_id, []).append(name)

@@ -22,9 +22,10 @@ The record after the first stage-3 pass is the paper's *base case*
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
 from ..errors import ReproError
@@ -50,6 +51,9 @@ from .cost import (
 )
 from .skew_cost_driven import cost_driven_schedule, ring_attractions
 from .skew_traditional import SkewSchedule, max_slack_schedule
+
+if TYPE_CHECKING:  # lazy at runtime: analysis imports core.cost
+    from ..analysis.diagnostics import Diagnostic
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +92,10 @@ class FlowOptions:
     #: tapped near the same ring point share one zero-skew subtree when
     #: that saves wire and the merged targets stay timing-feasible.
     local_trees: bool = False
+    #: Run the cheap static design rules (ring capacity, f_osc budget,
+    #: permissible ranges, schedule consistency) after every stage-4
+    #: pass and attach the findings to the iteration record.
+    check_invariants: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +114,9 @@ class IterationRecord:
     #: when a flip-flop's (position, skew target) pair is unchanged.
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
+    #: Static-check findings from the in-flow invariant pass (empty
+    #: unless :attr:`FlowOptions.check_invariants` is set).
+    findings: tuple["Diagnostic", ...] = ()
 
     @property
     def total_wirelength(self) -> float:
@@ -116,6 +127,19 @@ class IterationRecord:
         """Fraction of tapping solves served from the cache (0 when idle)."""
         total = self.cost_cache_hits + self.cost_cache_misses
         return self.cost_cache_hits / total if total else 0.0
+
+    @property
+    def finding_counts(self) -> dict[str, int]:
+        """Findings per diagnostic code (``{"RCK301": 2, ...}``)."""
+        counts: dict[str, int] = {}
+        for diag in self.findings:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return counts
+
+    @property
+    def num_error_findings(self) -> int:
+        """Error-severity findings attached to this iteration."""
+        return sum(1 for diag in self.findings if diag.severity.name == "ERROR")
 
 
 @dataclass(frozen=True, slots=True)
@@ -170,7 +194,7 @@ class IntegratedFlow:
         circuit: Circuit,
         tech: Technology = DEFAULT_TECHNOLOGY,
         options: FlowOptions | None = None,
-    ):
+    ) -> None:
         self.circuit = circuit
         self.tech = tech
         self.options = options or FlowOptions()
@@ -218,6 +242,14 @@ class IntegratedFlow:
         # only flip-flops whose position or skew target changed since the
         # last build get their matrix row recomputed.
         cache = TappingCostCache(array, self.tech, opts.candidate_rings)
+        # Section V ring capacities U_j (used by the flow engine and by
+        # the RCK301 invariant check).
+        capacities = [
+            int(c)
+            for c in array.default_capacities(
+                len(self._ffs), opts.capacity_headroom
+            )
+        ]
         t_alg += time.monotonic() - tic
 
         base: IterationRecord | None = None
@@ -235,12 +267,6 @@ class IntegratedFlow:
             targets = schedule.normalized(opts.period).targets
             matrix = cache.matrix(positions, targets)
             if opts.assignment == "flow":
-                capacities = [
-                    int(c)
-                    for c in array.default_capacities(
-                        len(self._ffs), opts.capacity_headroom
-                    )
-                ]
                 assignment = network_flow_assignment(
                     matrix,
                     array,
@@ -287,6 +313,19 @@ class IntegratedFlow:
                 cache_hits=cache.hits - cache_hits0,
                 cache_misses=cache.misses - cache_misses0,
             )
+            if opts.check_invariants:
+                record = dataclasses.replace(
+                    record,
+                    findings=self._check_iteration(
+                        positions,
+                        array,
+                        assignment,
+                        capacities,
+                        schedule,
+                        slack_guaranteed,
+                        timing,
+                    ),
+                )
             history.append(record)
             if best is None or record.overall_cost < best[0].overall_cost:
                 best = (record, assignment, schedule, dict(positions))
@@ -364,6 +403,43 @@ class IntegratedFlow:
             ilp_stats=ilp_stats,
             local_trees=local_tree_result,
         )
+
+    # ------------------------------------------------------------------
+    def _check_iteration(
+        self,
+        positions: dict[str, Point],
+        array: RingArray,
+        assignment: Assignment,
+        capacities: list[int],
+        schedule: SkewSchedule,
+        slack_guaranteed: float,
+        timing: SequentialTiming,
+    ) -> "tuple[Diagnostic, ...]":
+        """Run the cheap invariant rules against this iteration's state."""
+        # Lazy import: repro.analysis depends on core.cost.
+        from ..analysis import CheckConfig, DesignContext, run_checks
+
+        opts = self.options
+        # Capacity U_j is a Section V (network flow) contract; the ILP
+        # engine balances load capacitance instead, so RCK301 is skipped.
+        config = CheckConfig(
+            disabled=() if opts.assignment == "flow" else ("RCK301",)
+        )
+        ctx = DesignContext(
+            name=self.circuit.name,
+            tech=self.tech,
+            period=opts.period,
+            circuit=self.circuit,
+            positions=positions,
+            array=array,
+            ring_of=assignment.ring_of,
+            tappings=assignment.solutions,
+            capacities=capacities if opts.assignment == "flow" else None,
+            schedule=schedule.targets,
+            slack=slack_guaranteed,
+            pairs=timing.pairs,
+        )
+        return run_checks(ctx, config, cheap_only=True).findings
 
     # ------------------------------------------------------------------
     def _record(

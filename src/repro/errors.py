@@ -79,3 +79,7 @@ class SkewOptimizationError(ReproError):
 
 class ClockTreeError(ReproError):
     """Clock-tree synthesis failure."""
+
+
+class CheckError(ReproError):
+    """Static checker misconfiguration: unknown rule code or severity."""

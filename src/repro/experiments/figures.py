@@ -124,7 +124,12 @@ def fig2_tapping_curve(
 # Fig. 3 — flow convergence
 # ---------------------------------------------------------------------------
 def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
-    """Overall cost / tapping WL / signal WL per iteration of the flow."""
+    """Overall cost / tapping WL / signal WL per iteration of the flow.
+
+    The findings columns summarize the static invariant checks run
+    between stages (all zero unless the flow ran with
+    ``check_invariants=True``).
+    """
     rows = [
         {
             "iteration": 0.0,
@@ -133,6 +138,8 @@ def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
             "overall_cost": result.base.overall_cost,
             "cache_hits": float(result.base.cost_cache_hits),
             "cache_misses": float(result.base.cost_cache_misses),
+            "findings": float(len(result.base.findings)),
+            "error_findings": float(result.base.num_error_findings),
         }
     ]
     for rec in result.history:
@@ -144,6 +151,8 @@ def fig3_flow_convergence(result: FlowResult) -> list[dict[str, float]]:
                 "overall_cost": rec.overall_cost,
                 "cache_hits": float(rec.cost_cache_hits),
                 "cache_misses": float(rec.cost_cache_misses),
+                "findings": float(len(rec.findings)),
+                "error_findings": float(rec.num_error_findings),
             }
         )
     return rows

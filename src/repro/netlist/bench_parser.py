@@ -41,8 +41,15 @@ _KIND_ALIASES = {
 }
 
 
-def parse_bench_text(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source into a validated :class:`Circuit`."""
+def parse_bench_text(
+    text: str, name: str = "bench", validate: bool = True
+) -> Circuit:
+    """Parse ``.bench`` source into a validated :class:`Circuit`.
+
+    With ``validate=False`` the referential-integrity pass is skipped,
+    returning a possibly broken circuit — the form the static checker
+    (``repro check``) consumes so it can report dangling fanins itself.
+    """
     circuit = Circuit(name)
     pending_outputs: list[str] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -73,17 +80,18 @@ def parse_bench_text(text: str, name: str = "bench") -> Circuit:
         raise BenchParseError(f"unparseable line: {line!r}", lineno)
     for signal in pending_outputs:
         circuit.add_output(signal)
-    try:
-        circuit.validate()
-    except Exception as exc:
-        raise BenchParseError(f"invalid netlist: {exc}") from exc
+    if validate:
+        try:
+            circuit.validate()
+        except Exception as exc:
+            raise BenchParseError(f"invalid netlist: {exc}") from exc
     return circuit
 
 
-def read_bench(path: str | Path) -> Circuit:
+def read_bench(path: str | Path, validate: bool = True) -> Circuit:
     """Read a ``.bench`` file from disk."""
     path = Path(path)
-    return parse_bench_text(path.read_text(), name=path.stem)
+    return parse_bench_text(path.read_text(), name=path.stem, validate=validate)
 
 
 def write_bench(circuit: Circuit, stream_or_path: TextIO | str | Path) -> None:

@@ -85,8 +85,12 @@ class Circuit:
         return self.add_gate(name, CellKind.DFF, (data_input,))
 
     def _insert(self, cell: Cell) -> None:
-        if cell.name in self._cells:
-            raise NetlistError(f"duplicate cell/signal name {cell.name!r} in {self.name}")
+        existing = self._cells.get(cell.name)
+        if existing is not None:
+            raise NetlistError(
+                f"duplicate cell/signal name {cell.name!r} in {self.name}: "
+                f"already defined as {existing.kind.value}"
+            )
         self._cells[cell.name] = cell
         self._nets = None  # invalidate derived structure
 

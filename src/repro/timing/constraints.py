@@ -38,6 +38,12 @@ class PermissibleRange:
         return self.hi >= self.lo
 
     def contains(self, skew: float, tol: float = 1e-9) -> bool:
+        """Whether ``skew`` lies in ``[lo - tol, hi + tol]``.
+
+        The tolerance is applied symmetrically at both boundaries so a
+        skew exactly ``tol`` past either bound is still accepted, and a
+        skew ``tol`` inside either bound never rejected.
+        """
         return self.lo - tol <= skew <= self.hi + tol
 
 
@@ -95,18 +101,31 @@ def validate_schedule(
     slack: float = 0.0,
     tol: float = 1e-6,
 ) -> list[str]:
-    """Human-readable violations of a skew schedule (empty = clean)."""
+    """Human-readable violations of a skew schedule (empty = clean).
+
+    Bounds and tolerance come from :func:`permissible_range` and
+    :meth:`PermissibleRange.contains`, so this check and the RCK403
+    static rule agree on every boundary case.
+    """
     problems: list[str] = []
     for (i, j), b in pairs.items():
-        skew = schedule[i] - schedule[j]
-        hi = period - b.d_max - tech.setup_time - slack
-        lo = tech.hold_time - b.d_min + slack
-        if skew > hi + tol:
+        missing = [ff for ff in (i, j) if ff not in schedule]
+        if missing:
             problems.append(
-                f"setup violation {i}->{j}: skew {skew:.3f} > {hi:.3f}"
+                f"pair {i}->{j}: no schedule entry for "
+                + ", ".join(repr(ff) for ff in missing)
             )
-        if skew < lo - tol:
+            continue
+        r = permissible_range(i, j, b, period, tech, slack)
+        skew = schedule[i] - schedule[j]
+        if r.contains(skew, tol):
+            continue
+        if skew > r.hi:
             problems.append(
-                f"hold violation {i}->{j}: skew {skew:.3f} < {lo:.3f}"
+                f"setup violation {i}->{j}: skew {skew:.3f} > {r.hi:.3f}"
+            )
+        else:
+            problems.append(
+                f"hold violation {i}->{j}: skew {skew:.3f} < {r.lo:.3f}"
             )
     return problems

@@ -91,7 +91,9 @@ def analyze_corners(
 
     merged: dict[tuple[str, str], PathBounds] = {}
     names = [c.name for c in corners]
-    keys = set().union(*(per_corner[n].keys() for n in names))
+    keys: set[tuple[str, str]] = set()
+    for n in names:
+        keys.update(per_corner[n].keys())
     for key in keys:
         d_max = max(
             per_corner[n][key].d_max for n in names if key in per_corner[n]

@@ -30,7 +30,7 @@ class RCTree:
     accumulation) O(n) evaluation.
     """
 
-    def __init__(self, root: str, root_cap: float = 0.0):
+    def __init__(self, root: str, root_cap: float = 0.0) -> None:
         self._nodes: dict[str, _RCNode] = {
             root: _RCNode(root, root_cap, None, 0.0)
         }

@@ -50,7 +50,7 @@ class SequentialTiming:
         circuit: Circuit,
         positions: Mapping[str, Point],
         tech: Technology,
-    ):
+    ) -> None:
         self.circuit = circuit
         self.tech = tech
         self.model = GateDelayModel(tech)
@@ -135,7 +135,7 @@ class SequentialTiming:
         # Combinational adjacency: signal -> [(consumer node, wire delay)].
         consumers: dict[str, list[tuple[str, float]]] = {}
         for net in circuit.nets.values():
-            lst = []
+            lst: list[tuple[str, float]] = []
             for sink in net.sinks:
                 sink_cell = circuit.cell(sink)
                 if sink_cell.kind is CellKind.OUTPUT:
@@ -181,9 +181,14 @@ class SequentialTiming:
         topo_index: dict[str, int],
     ) -> None:
         """Min/max arrival propagation over the source's fanout cone."""
+        index = topo_index.get(source.name)
+        if index is None:
+            # A flip-flop whose Q drives nothing never enters the
+            # combinational DAG; it launches no register-to-register path.
+            return None
         start = cell_delay[source.name]  # clock-to-Q
         arrivals: dict[str, tuple[float, float]] = {source.name: (start, start)}
-        heap: list[tuple[int, str]] = [(topo_index[source.name], source.name)]
+        heap: list[tuple[int, str]] = [(index, source.name)]
         seen: set[str] = set()
         while heap:
             _, node = heapq.heappop(heap)
@@ -206,7 +211,7 @@ class SequentialTiming:
                 continue
             # Leaving a gate node adds its delay (already included for the
             # source's clock-to-Q in `start`).
-            for succ, wire in consumers.get(node, ()):  # signal fanout
+            for succ, wire in consumers.get(node, []):  # signal fanout
                 base_mn = mn + wire
                 base_mx = mx + wire
                 if not succ.endswith("$D"):

@@ -1,0 +1,128 @@
+"""End-to-end checker integration with the Fig. 3 flow.
+
+Covers the two wiring points: ``DesignContext.from_flow`` (the ``repro
+check`` CLI path) and ``FlowOptions.check_invariants`` (in-flow cheap
+checks attached to each :class:`IterationRecord`).
+"""
+
+import pytest
+
+from repro.analysis import ALL_LAYERS, DesignContext, Severity, run_checks
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import FlowOptions, IntegratedFlow
+from repro.experiments.figures import fig3_flow_convergence
+from repro.netlist import generate_circuit, small_profile
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def checked_flow():
+    circuit = generate_circuit(
+        small_profile(num_cells=160, num_flipflops=24, seed=11)
+    )
+    result = IntegratedFlow(
+        circuit,
+        options=FlowOptions(ring_grid_side=2, check_invariants=True),
+    ).run()
+    return circuit, result
+
+
+class TestFromFlow:
+    def test_all_layers_present(self, checked_flow):
+        circuit, result = checked_flow
+        ctx = DesignContext.from_flow(circuit, result, TECH)
+        assert ctx.layers == ALL_LAYERS
+
+    def test_converged_flow_has_no_error_findings(self, checked_flow):
+        circuit, result = checked_flow
+        ctx = DesignContext.from_flow(circuit, result, TECH)
+        report = run_checks(ctx)
+        assert report.errors == (), [d.format() for d in report.errors]
+        assert report.rules_skipped == ()
+
+    def test_reusing_pairs_skips_sta(self, checked_flow):
+        circuit, result = checked_flow
+        pairs = {("x", "y"): None}  # sentinel: must be taken verbatim
+        ctx = DesignContext.from_flow(
+            circuit, result, TECH, pairs=pairs, compute_timing=False
+        )
+        assert ctx.pairs is pairs
+
+    def test_skipping_timing_drops_the_layer(self, checked_flow):
+        circuit, result = checked_flow
+        ctx = DesignContext.from_flow(circuit, result, TECH, compute_timing=False)
+        assert "timing" not in ctx.layers
+        report = run_checks(ctx)
+        assert {"RCK401", "RCK402", "RCK403"} <= set(report.rules_skipped)
+
+
+class TestCheckInvariantsHook:
+    def test_findings_attached_to_every_iteration(self, checked_flow):
+        _, result = checked_flow
+        for rec in result.history:
+            # Converged healthy runs stay clean; the tuple must exist
+            # either way, and error findings must never appear.
+            assert isinstance(rec.findings, tuple)
+            assert rec.num_error_findings == 0
+
+    def test_finding_counts_property(self, checked_flow):
+        _, result = checked_flow
+        rec = result.history[-1]
+        counts = rec.finding_counts
+        assert isinstance(counts, dict)
+        assert sum(counts.values()) == len(rec.findings)
+
+    def test_disabled_by_default(self):
+        circuit = generate_circuit(
+            small_profile(num_cells=120, num_flipflops=16, seed=6)
+        )
+        result = IntegratedFlow(
+            circuit, options=FlowOptions(ring_grid_side=2, max_iterations=1)
+        ).run()
+        assert all(rec.findings == () for rec in result.history)
+
+    def test_ilp_engine_also_clean(self):
+        circuit = generate_circuit(
+            small_profile(num_cells=140, num_flipflops=20, seed=3)
+        )
+        result = IntegratedFlow(
+            circuit,
+            options=FlowOptions(
+                ring_grid_side=2, assignment="ilp", check_invariants=True
+            ),
+        ).run()
+        for rec in result.history:
+            assert rec.num_error_findings == 0
+
+
+class TestFig3Artifact:
+    def test_findings_columns_present(self, checked_flow):
+        _, result = checked_flow
+        rows = fig3_flow_convergence(result)
+        for row in rows:
+            assert "findings" in row
+            assert "error_findings" in row
+            assert row["error_findings"] == 0.0
+
+    def test_findings_column_counts_warnings(self, checked_flow):
+        _, result = checked_flow
+        rows = fig3_flow_convergence(result)
+        by_iter = {row["iteration"]: row for row in rows}
+        for rec in result.history:
+            assert by_iter[float(rec.iteration)]["findings"] == float(
+                len(rec.findings)
+            )
+
+
+class TestSeededViolationSurfaces:
+    def test_severity_gate_catches_demoted_errors(self, checked_flow):
+        """Severity overrides still count toward the exit threshold."""
+        circuit, result = checked_flow
+        ctx = DesignContext.from_flow(circuit, result, TECH)
+        report = run_checks(ctx)
+        # The converged run is clean at ERROR; any warnings present must
+        # trip the gate when fail_on is lowered.
+        if report.findings:
+            assert report.exit_code(Severity.WARNING) == 1
+        assert report.exit_code(Severity.ERROR) == 0

@@ -1,0 +1,110 @@
+"""Tests for the diagnostic record types and the report aggregate."""
+
+import pytest
+
+from repro.analysis import CheckReport, Diagnostic, Location, Severity
+from repro.errors import CheckError
+
+
+def _diag(code="RCK101", severity=Severity.ERROR, kind="cell", name="g1"):
+    return Diagnostic(
+        code=code,
+        rule="some-rule",
+        severity=severity,
+        message="something is wrong",
+        location=Location(kind=kind, name=name),
+    )
+
+
+class TestSeverity:
+    def test_order_supports_thresholds(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("error", Severity.ERROR),
+            ("WARNING", Severity.WARNING),
+            ("Info", Severity.INFO),
+            ("note", Severity.INFO),  # SARIF spelling
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Severity.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(CheckError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.INFO.sarif_level == "note"
+
+
+class TestDiagnostic:
+    def test_format_contains_code_location_message(self):
+        text = _diag().format()
+        assert "RCK101" in text
+        assert "cell g1" in text
+        assert "something is wrong" in text
+
+    def test_format_includes_hint_when_present(self):
+        d = Diagnostic(
+            code="RCK101",
+            rule="r",
+            severity=Severity.ERROR,
+            message="m",
+            location=Location("cell", "g1"),
+            hint="fix it",
+        )
+        assert "(hint: fix it)" in d.format()
+        assert "hint" not in _diag().format()
+
+    def test_as_dict_roundtrips_fields(self):
+        doc = _diag().as_dict()
+        assert doc["code"] == "RCK101"
+        assert doc["severity"] == "error"
+        assert doc["location"] == {"kind": "cell", "name": "g1"}
+        assert "hint" not in doc
+
+
+class TestCheckReport:
+    def _report(self):
+        findings = (
+            _diag("RCK101", Severity.ERROR),
+            _diag("RCK101", Severity.ERROR, name="g2"),
+            _diag("RCK103", Severity.WARNING),
+            _diag("RCK999x", Severity.INFO),
+        )
+        return CheckReport(
+            design="d", findings=findings, rules_run=("RCK101", "RCK103")
+        )
+
+    def test_counts(self):
+        r = self._report()
+        assert r.counts_by_code == {"RCK101": 2, "RCK103": 1, "RCK999x": 1}
+        assert r.counts_by_severity == {"error": 2, "warning": 1, "info": 1}
+
+    def test_threshold_filters(self):
+        r = self._report()
+        assert len(r.at_least(Severity.WARNING)) == 3
+        assert len(r.errors) == 2
+        assert r.has_errors
+
+    def test_exit_code_contract(self):
+        r = self._report()
+        assert r.exit_code() == 1
+        assert r.exit_code(Severity.INFO) == 1
+        clean = CheckReport(design="d", findings=(), rules_run=("RCK101",))
+        assert clean.exit_code() == 0
+        assert not clean.has_errors
+
+    def test_exit_code_respects_fail_on(self):
+        warn_only = CheckReport(
+            design="d",
+            findings=(_diag("RCK103", Severity.WARNING),),
+            rules_run=("RCK103",),
+        )
+        assert warn_only.exit_code(Severity.ERROR) == 0
+        assert warn_only.exit_code(Severity.WARNING) == 1

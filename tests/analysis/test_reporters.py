@@ -1,0 +1,242 @@
+"""Reporter tests: text/json round-trips and SARIF 2.1.0 conformance.
+
+The SARIF check validates against an embedded subset of the official
+2.1.0 schema — the properties GitHub code scanning actually requires —
+so the test runs offline.
+"""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.analysis import (
+    CheckReport,
+    Diagnostic,
+    Location,
+    Severity,
+    registered_rules,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+)
+from repro.analysis.reporters import SARIF_VERSION, TOOL_NAME
+
+# The load-bearing subset of the SARIF 2.1.0 schema: everything ``repro
+# check --sarif`` emits, with the spec's required properties enforced.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "invocations": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["executionSuccessful"],
+                            "properties": {
+                                "executionSuccessful": {"type": "boolean"}
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "name": {"type": "string"},
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {"type": "string"},
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _report(with_findings=True):
+    findings = ()
+    if with_findings:
+        findings = (
+            Diagnostic(
+                code="RCK101",
+                rule="dangling-fanin",
+                severity=Severity.ERROR,
+                message="cell 'g1' reads undefined signal 'x'",
+                location=Location("cell", "g1"),
+                hint="declare INPUT(x)",
+            ),
+            Diagnostic(
+                code="RCK103",
+                rule="floating-driver",
+                severity=Severity.WARNING,
+                message="output of 'g2' drives nothing",
+                location=Location("cell", "g2"),
+            ),
+        )
+    return CheckReport(
+        design="unit",
+        findings=findings,
+        rules_run=("RCK101", "RCK102", "RCK103"),
+        rules_skipped=("RCK201",),
+    )
+
+
+class TestText:
+    def test_lists_findings_and_summary(self):
+        text = render_text(_report())
+        assert "RCK101" in text
+        assert "(hint: declare INPUT(x))" in text
+        assert "2 finding(s)" in text
+        assert "3 rule(s) run, 1 skipped" in text
+
+    def test_clean_report(self):
+        text = render_text(_report(with_findings=False))
+        assert "0 finding(s) (clean)" in text
+
+
+class TestJson:
+    def test_document_structure(self):
+        doc = json.loads(render_json(_report()))
+        assert doc["design"] == "unit"
+        assert doc["counts_by_code"] == {"RCK101": 1, "RCK103": 1}
+        assert doc["counts_by_severity"] == {"error": 1, "warning": 1}
+        assert doc["rules_skipped"] == ["RCK201"]
+        assert doc["findings"][0]["code"] == "RCK101"
+
+
+class TestSarif:
+    def test_validates_against_schema_subset(self):
+        doc = sarif_document(_report())
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+    def test_clean_report_validates_too(self):
+        doc = sarif_document(_report(with_findings=False))
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["invocations"][0]["executionSuccessful"] is True
+
+    def test_version_and_tool(self):
+        doc = sarif_document(_report())
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert len(driver["rules"]) == len(registered_rules())
+
+    def test_results_reference_rule_descriptors(self):
+        doc = sarif_document(_report())
+        driver = doc["runs"][0]["tool"]["driver"]
+        for result in doc["runs"][0]["results"]:
+            idx = result["ruleIndex"]
+            assert driver["rules"][idx]["id"] == result["ruleId"]
+
+    def test_levels_and_messages(self):
+        doc = sarif_document(_report())
+        first, second = doc["runs"][0]["results"]
+        assert first["level"] == "error"
+        assert "Hint: declare INPUT(x)" in first["message"]["text"]
+        assert second["level"] == "warning"
+        assert doc["runs"][0]["invocations"][0]["executionSuccessful"] is False
+
+    def test_logical_locations(self):
+        doc = sarif_document(_report())
+        loc = doc["runs"][0]["results"][0]["locations"][0]["logicalLocations"][0]
+        assert loc["name"] == "g1"
+        assert loc["fullyQualifiedName"] == "unit/cell/g1"
+        assert loc["kind"] == "cell"
+
+    def test_render_sarif_is_valid_json(self):
+        doc = json.loads(render_sarif(_report()))
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+
+@pytest.mark.parametrize("severity,level", [
+    (Severity.ERROR, "error"),
+    (Severity.WARNING, "warning"),
+    (Severity.INFO, "note"),
+])
+def test_severity_level_mapping(severity, level):
+    assert severity.sarif_level == level

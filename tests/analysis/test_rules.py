@@ -1,0 +1,323 @@
+"""Adversarial fixtures: each seeds exactly one violation and asserts the
+checker reports exactly the seeded RCK code.
+
+The one documented exception is RCK401/RCK402: an empty permissible range
+*is* a negative two-cycle in the constraint graph, so those two codes are
+physically inseparable on a full-registry run.
+"""
+
+import pytest
+
+from repro.analysis import (
+    CheckConfig,
+    DesignContext,
+    Severity,
+    get_rule,
+    registered_rules,
+    run_checks,
+)
+from repro.analysis.rules import rule as register_rule
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.errors import CheckError
+from repro.geometry import BBox, Point
+from repro.netlist import parse_bench_text
+from repro.rotary import RingArray, TappingSolution, required_total_capacitance
+from repro.timing import PathBounds
+
+TECH = DEFAULT_TECHNOLOGY
+
+ALL_CODES = (
+    "RCK101",
+    "RCK102",
+    "RCK103",
+    "RCK201",
+    "RCK202",
+    "RCK203",
+    "RCK301",
+    "RCK302",
+    "RCK303",
+    "RCK401",
+    "RCK402",
+    "RCK403",
+    "RCK501",
+)
+
+
+def _ctx(**kwargs):
+    kwargs.setdefault("name", "fixture")
+    return DesignContext(**kwargs)
+
+
+def _array(side=2, extent=100.0, period=1000.0):
+    return RingArray(BBox(0.0, 0.0, extent, extent), side=side, period=period)
+
+
+def _solution(ring_id=0, wirelength=1.0, target=0.0):
+    return TappingSolution(
+        ring_id=ring_id,
+        segment_index=0,
+        x=0.0,
+        point=Point(0.0, 0.0),
+        wirelength=wirelength,
+        periods_borrowed=0,
+        snaked=False,
+        target_delay=target,
+    )
+
+
+class TestRegistry:
+    def test_all_codes_registered_in_order(self):
+        assert tuple(r.code for r in registered_rules()) == ALL_CODES
+
+    def test_cheap_subset(self):
+        cheap = {r.code for r in registered_rules() if r.cheap}
+        assert cheap == {"RCK301", "RCK302", "RCK303", "RCK401", "RCK403"}
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(CheckError, match="unknown rule code"):
+            get_rule("RCK999")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(CheckError, match="duplicate rule code"):
+            register_rule("RCK101", "dup", "duplicate registration")(
+                lambda ctx: ()
+            )
+
+    def test_rules_have_descriptions_and_severities(self):
+        for r in registered_rules():
+            assert r.description
+            assert isinstance(r.default_severity, Severity)
+
+
+class TestNetlistRules:
+    def test_rck101_dangling_fanin(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n", validate=False
+        )
+        report = run_checks(_ctx(circuit=circuit))
+        assert report.counts_by_code == {"RCK101": 1}
+        (d,) = report.findings
+        assert d.severity is Severity.ERROR
+        assert "ghost" in d.message
+
+    def test_rck101_reading_an_output_pad(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nOUTPUT(z)\nz = NOT(y__po)\n",
+            validate=False,
+        )
+        report = run_checks(_ctx(circuit=circuit))
+        assert report.counts_by_code == {"RCK101": 1}
+
+    def test_rck102_undriven_primary_output(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(ghost)\nOUTPUT(y)\ny = NOT(a)\n", validate=False
+        )
+        report = run_checks(_ctx(circuit=circuit))
+        assert report.counts_by_code == {"RCK102": 1}
+        (d,) = report.findings
+        assert d.location.name == "ghost"
+
+    def test_rck103_floating_driver(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = NOT(a)\n", validate=False
+        )
+        report = run_checks(_ctx(circuit=circuit))
+        assert report.counts_by_code == {"RCK103": 1}
+        (d,) = report.findings
+        assert d.severity is Severity.WARNING
+        assert d.location.name == "dead"
+
+    def test_clean_netlist_yields_nothing(self):
+        circuit = parse_bench_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        report = run_checks(_ctx(circuit=circuit))
+        assert report.findings == ()
+        assert set(report.rules_run) == {"RCK101", "RCK102", "RCK103"}
+
+
+class TestPlacementRules:
+    def test_rck201_overlapping_cells(self):
+        positions = {"g1": Point(10.0, 10.0), "g2": Point(10.0, 10.0)}
+        report = run_checks(_ctx(positions=positions))
+        assert report.counts_by_code == {"RCK201": 1}
+
+    def test_rck201_pads_may_collide(self):
+        circuit = parse_bench_text("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+        positions = {"a": Point(0.0, 0.0), "b": Point(0.0, 0.0), "y": Point(1.0, 1.0)}
+        report = run_checks(_ctx(circuit=circuit, positions=positions))
+        assert "RCK201" not in report.counts_by_code
+
+    def test_rck202_cell_outside_region(self):
+        positions = {"g1": Point(500.0, 500.0), "g2": Point(10.0, 10.0)}
+        report = run_checks(
+            _ctx(positions=positions, die=BBox(0.0, 0.0, 100.0, 100.0))
+        )
+        assert report.counts_by_code == {"RCK202": 1}
+        (d,) = report.findings
+        assert d.location.name == "g1"
+
+    def test_rck203_unplaced_cell(self):
+        circuit = parse_bench_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nz = NOT(y)\nOUTPUT(z)\n")
+        positions = {"y": Point(1.0, 1.0)}  # z missing
+        report = run_checks(_ctx(circuit=circuit, positions=positions))
+        assert report.counts_by_code == {"RCK203": 1}
+        (d,) = report.findings
+        assert d.location.name == "z"
+
+
+class TestRingRules:
+    def test_rck301_capacity_exceeded(self):
+        ring_of = {f"ff{i}": 0 for i in range(3)}
+        report = run_checks(
+            _ctx(array=_array(), ring_of=ring_of, capacities=(1, 4, 4, 4))
+        )
+        assert report.counts_by_code == {"RCK301": 1}
+
+    def test_rck301_out_of_range_ring_id(self):
+        report = run_checks(
+            _ctx(array=_array(), ring_of={"ff0": 7}, capacities=(4, 4, 4, 4))
+        )
+        assert report.counts_by_code == {"RCK301": 1}
+        (d,) = report.findings
+        assert "ring 7" in d.message
+
+    def test_rck302_fosc_budget_exceeded(self):
+        array = _array()
+        # A stub long enough that its wire capacitance alone overshoots
+        # the eq. (2) budget C = T^2 / (4 L).
+        budget = required_total_capacitance(array[0], 1000.0, TECH)
+        length = 2.0 * budget / TECH.unit_capacitance
+        report = run_checks(
+            _ctx(
+                array=array,
+                ring_of={"ff0": 0},
+                capacities=(4, 4, 4, 4),
+                tappings={"ff0": _solution(wirelength=length)},
+            )
+        )
+        assert report.counts_by_code == {"RCK302": 1}
+
+    def test_rck303_unassigned_flipflop(self):
+        circuit = parse_bench_text("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        report = run_checks(
+            _ctx(circuit=circuit, array=_array(), ring_of={}, capacities=(4, 4, 4, 4))
+        )
+        assert report.counts_by_code == {"RCK303": 1}
+        (d,) = report.findings
+        assert d.location == d.location.__class__("flip-flop", "q")
+
+
+class TestScheduleRules:
+    def test_rck401_infeasible_range_isolated(self):
+        pairs = {("a", "b"): PathBounds(d_min=0.0, d_max=2000.0)}
+        report = run_checks(
+            _ctx(pairs=pairs), CheckConfig(enabled=("RCK401",))
+        )
+        assert report.counts_by_code == {"RCK401": 1}
+
+    def test_rck401_implies_rck402_on_full_run(self):
+        # An empty permissible range is itself a negative two-cycle, so
+        # the constraint-graph rule necessarily corroborates RCK401.
+        pairs = {("a", "b"): PathBounds(d_min=0.0, d_max=2000.0)}
+        report = run_checks(_ctx(pairs=pairs))
+        assert set(report.counts_by_code) == {"RCK401", "RCK402"}
+
+    def test_rck402_negative_cycle_with_feasible_pairs(self):
+        # Each pair's range is nonempty, but the two hold constraints
+        # demand s_ab >= hold and s_ba >= hold simultaneously.
+        pairs = {
+            ("a", "b"): PathBounds(d_min=0.0, d_max=100.0),
+            ("b", "a"): PathBounds(d_min=0.0, d_max=100.0),
+        }
+        report = run_checks(_ctx(pairs=pairs))
+        assert report.counts_by_code == {"RCK402": 1}
+        (d,) = report.findings
+        assert "negative cycle" in d.message
+
+    def test_rck403_skew_outside_range(self):
+        pairs = {("a", "b"): PathBounds(d_min=100.0, d_max=600.0)}
+        schedule = {"a": 500.0, "b": 0.0}
+        report = run_checks(_ctx(pairs=pairs, schedule=schedule))
+        assert report.counts_by_code == {"RCK403": 1}
+        (d,) = report.findings
+        assert "setup" in d.message
+
+    def test_rck403_clean_schedule(self):
+        pairs = {("a", "b"): PathBounds(d_min=100.0, d_max=600.0)}
+        report = run_checks(_ctx(pairs=pairs, schedule={"a": 0.0, "b": 0.0}))
+        assert report.findings == ()
+
+
+class TestTappingRules:
+    def test_rck501_stale_ring_assignment(self):
+        report = run_checks(
+            _ctx(
+                array=_array(),
+                ring_of={"ff0": 0},
+                capacities=(4, 4, 4, 4),
+                positions={"ff0": Point(25.0, 25.0)},
+                schedule={"ff0": 0.0},
+                tappings={"ff0": _solution(ring_id=1)},
+            )
+        )
+        assert report.counts_by_code == {"RCK501": 1}
+        (d,) = report.findings
+        assert "ring 1" in d.message
+
+    def test_rck501_drifted_target(self):
+        report = run_checks(
+            _ctx(
+                array=_array(),
+                ring_of={"ff0": 0},
+                capacities=(4, 4, 4, 4),
+                positions={"ff0": Point(25.0, 25.0)},
+                schedule={"ff0": 0.0},
+                tappings={"ff0": _solution(ring_id=0, target=123.456)},
+            )
+        )
+        assert report.counts_by_code == {"RCK501": 1}
+        (d,) = report.findings
+        assert "123.456" in d.message
+
+    def test_rck501_consistent_solution_is_clean(self):
+        report = run_checks(
+            _ctx(
+                array=_array(),
+                ring_of={"ff0": 0},
+                capacities=(4, 4, 4, 4),
+                positions={"ff0": Point(25.0, 25.0)},
+                schedule={"ff0": 0.0},
+                tappings={"ff0": _solution(ring_id=0, target=0.0)},
+            )
+        )
+        assert report.findings == ()
+
+
+class TestConfig:
+    def test_disable_suppresses_rule(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = NOT(a)\n", validate=False
+        )
+        report = run_checks(
+            _ctx(circuit=circuit), CheckConfig(disabled=("RCK103",))
+        )
+        assert report.findings == ()
+        assert "RCK103" not in report.rules_run
+
+    def test_severity_override_applied(self):
+        circuit = parse_bench_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = NOT(a)\n", validate=False
+        )
+        report = run_checks(
+            _ctx(circuit=circuit),
+            CheckConfig(severity_overrides={"RCK103": Severity.ERROR}),
+        )
+        assert report.has_errors
+
+    def test_unknown_code_in_config_raises(self):
+        with pytest.raises(CheckError, match="unknown rule code"):
+            CheckConfig(enabled=("RCK999",))
+
+    def test_layers_absent_rules_skipped(self):
+        report = run_checks(_ctx())  # empty context: nothing to check
+        assert report.rules_run == ()
+        assert len(report.rules_skipped) == len(ALL_CODES)

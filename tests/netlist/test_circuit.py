@@ -60,6 +60,19 @@ class TestConstruction:
         with pytest.raises(NetlistError):
             c.add_gate("x", CellKind.INPUT, ())
 
+    def test_duplicate_error_names_offender_and_prior_kind(self):
+        c = Circuit("dup")
+        c.add_input("a")
+        with pytest.raises(NetlistError, match=r"'a'.*INPUT"):
+            c.add_gate("a", CellKind.NOT, ("a",))
+
+    def test_dangling_fanin_error_names_both_cells(self):
+        c = Circuit("dangling")
+        c.add_input("a")
+        c.add_gate("g", CellKind.NOT, ("missing",))
+        with pytest.raises(NetlistError, match=r"'g'.*'missing'"):
+            c.validate()
+
 
 class TestNets:
     def test_net_membership(self):

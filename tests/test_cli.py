@@ -45,3 +45,96 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "best" in out
+
+
+CLEAN_BENCH = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+BROKEN_BENCH = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n"
+
+
+class TestCheckCommand:
+    """The ``repro check`` exit-code contract: 0 clean, 1 findings at or
+    above --fail-on, 2 usage/configuration errors."""
+
+    def _bench(self, tmp_path, text, name="c.bench"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_clean_bench_exits_zero(self, tmp_path, capsys):
+        rc = main(["check", "--bench", self._bench(tmp_path, CLEAN_BENCH)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_seeded_violation_exits_one(self, tmp_path, capsys):
+        rc = main(["check", "--bench", self._bench(tmp_path, BROKEN_BENCH)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RCK101" in out
+
+    def test_fail_on_warning_catches_warnings(self, tmp_path):
+        dead = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = NOT(a)\n"
+        path = self._bench(tmp_path, dead)
+        assert main(["check", "--bench", path]) == 0  # warning only
+        assert main(["check", "--bench", path, "--fail-on", "warning"]) == 1
+
+    def test_severity_demotion_turns_error_into_warning(self, tmp_path):
+        path = self._bench(tmp_path, BROKEN_BENCH)
+        rc = main(["check", "--bench", path, "--severity", "RCK101=warning"])
+        assert rc == 0
+
+    def test_disable_suppresses_the_finding(self, tmp_path):
+        path = self._bench(tmp_path, BROKEN_BENCH)
+        assert main(["check", "--bench", path, "--disable", "RCK101"]) == 0
+
+    def test_missing_input_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "provide a bundled circuit" in capsys.readouterr().err
+
+    def test_unknown_rule_code_is_usage_error(self, tmp_path, capsys):
+        path = self._bench(tmp_path, CLEAN_BENCH)
+        rc = main(["check", "--bench", path, "--disable", "RCK999"])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_bad_severity_spec_is_usage_error(self, tmp_path, capsys):
+        path = self._bench(tmp_path, CLEAN_BENCH)
+        assert main(["check", "--bench", path, "--severity", "RCK101"]) == 2
+        assert main(["check", "--bench", path, "--severity", "RCK101=fatal"]) == 2
+
+    def test_unreadable_bench_is_usage_error(self, capsys):
+        assert main(["check", "--bench", "/nonexistent/x.bench"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        path = self._bench(tmp_path, BROKEN_BENCH)
+        assert main(["check", "--bench", path, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts_by_code"] == {"RCK101": 1}
+
+    def test_sarif_sidecar_written(self, tmp_path, capsys):
+        import json
+
+        path = self._bench(tmp_path, BROKEN_BENCH)
+        sarif = tmp_path / "out.sarif"
+        rc = main(["check", "--bench", path, "--sarif", str(sarif)])
+        assert rc == 1
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RCK101"
+
+    def test_output_file(self, tmp_path, capsys):
+        path = self._bench(tmp_path, CLEAN_BENCH)
+        out = tmp_path / "report.txt"
+        assert main(["check", "--bench", path, "-o", str(out)]) == 0
+        assert "0 finding(s)" in out.read_text()
+
+    def test_netlist_only_profile(self, capsys):
+        # Skips the flow: only the RCK1xx rules run, so this is fast.
+        rc = main(["check", "s9234", "--netlist-only", "--format", "json"])
+        assert rc == 0  # dead-logic warnings stay below the error gate
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["rules_run"]) == {"RCK101", "RCK102", "RCK103"}

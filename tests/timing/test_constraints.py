@@ -5,6 +5,7 @@ import pytest
 from repro.constants import DEFAULT_TECHNOLOGY
 from repro.timing import (
     PathBounds,
+    PermissibleRange,
     permissible_range,
     permissible_ranges,
     skew_constraints,
@@ -40,6 +41,32 @@ class TestPermissibleRange:
         assert r.contains(0.0)
         assert not r.contains(r.hi + 1.0)
 
+    def test_contains_tolerance_is_symmetric_at_both_bounds(self):
+        """Regression: the tolerance must widen the interval by exactly
+        ``tol`` on *both* sides — a skew ``tol`` past either bound is
+        accepted, one ``2*tol`` past either bound is not."""
+        r = permissible_range("i", "j", PathBounds(100.0, 600.0), T, TECH)
+        tol = 1e-6
+        assert r.contains(r.hi, tol)
+        assert r.contains(r.lo, tol)
+        assert r.contains(r.hi + tol, tol)
+        assert r.contains(r.lo - tol, tol)
+        assert not r.contains(r.hi + 2 * tol, tol)
+        assert not r.contains(r.lo - 2 * tol, tol)
+
+    def test_contains_exact_boundaries_without_tolerance(self):
+        r = permissible_range("i", "j", PathBounds(100.0, 600.0), T, TECH)
+        assert r.contains(r.hi, tol=0.0)
+        assert r.contains(r.lo, tol=0.0)
+
+    def test_degenerate_single_point_range(self):
+        # hi == lo: only the single point (within tol) is permissible.
+        r = PermissibleRange("i", "j", lo=5.0, hi=5.0)
+        assert r.feasible
+        assert r.width == 0.0
+        assert r.contains(5.0)
+        assert not r.contains(5.1)
+
     def test_batch_matches_single(self):
         pairs = {("a", "b"): PathBounds(50.0, 500.0)}
         batch = permissible_ranges(pairs, T, TECH)
@@ -72,3 +99,33 @@ class TestSkewConstraints:
         problems = validate_schedule({"a": -200.0, "b": 0.0}, pairs, T, TECH)
         assert len(problems) == 1
         assert "hold" in problems[0]
+
+    def test_validate_schedule_reports_missing_entries(self):
+        """Regression: a pair whose flip-flop lacks a schedule entry must
+        be reported, not crash with KeyError."""
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        problems = validate_schedule({"a": 0.0}, pairs, T, TECH)
+        assert len(problems) == 1
+        assert "no schedule entry" in problems[0]
+        assert "'b'" in problems[0]
+
+    def test_validate_schedule_boundary_agrees_with_contains(self):
+        """validate_schedule routes through PermissibleRange.contains, so
+        a skew exactly ``tol`` past the setup bound is still accepted."""
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        r = permissible_range("a", "b", pairs[("a", "b")], T, TECH)
+        tol = 1e-6
+        at_bound = {"a": r.hi, "b": 0.0}
+        just_past = {"a": r.hi + tol, "b": 0.0}
+        too_far = {"a": r.hi + 2 * tol, "b": 0.0}
+        assert validate_schedule(at_bound, pairs, T, TECH, tol=tol) == []
+        assert validate_schedule(just_past, pairs, T, TECH, tol=tol) == []
+        assert len(validate_schedule(too_far, pairs, T, TECH, tol=tol)) == 1
+
+    def test_validate_schedule_respects_slack(self):
+        pairs = {("a", "b"): PathBounds(100.0, 600.0)}
+        r = permissible_range("a", "b", pairs[("a", "b")], T, TECH)
+        schedule = {"a": r.hi - 10.0, "b": 0.0}
+        assert validate_schedule(schedule, pairs, T, TECH, slack=0.0) == []
+        problems = validate_schedule(schedule, pairs, T, TECH, slack=50.0)
+        assert len(problems) == 1 and "setup" in problems[0]

@@ -137,3 +137,31 @@ class TestRobustness:
         lit = st_small.bounds("ff_src", "ff_dst").d_max
         assert big > lit
         assert big < lit + 350.0  # log-depth tree, not linear blowup
+
+
+class TestDanglingQ:
+    def test_dff_with_unconnected_q_launches_no_pairs(self):
+        """A flip-flop whose Q drives nothing never enters the
+        combinational DAG; the analyzer must skip it instead of raising
+        a KeyError on the missing topological index."""
+        c = Circuit("dangling_q")
+        c.add_input("a")
+        c.add_dff("ff_used", "g1")
+        c.add_gate("g1", CellKind.NOT, ("a",))
+        c.add_dff("ff_dead", "g1")  # Q of ff_dead goes nowhere
+        c.add_dff("ff_dst", "ff_used")
+        c.add_output("ff_dst")
+        c.validate()
+        st = SequentialTiming(c, {cell.name: Point(0.0, 0.0) for cell in c}, TECH)
+        assert ("ff_used", "ff_dst") in st.pairs
+        assert all(launch != "ff_dead" for launch, _ in st.pairs)
+
+    def test_all_dangling_flipflops_yield_empty_pairs(self):
+        c = Circuit("all_dangling")
+        c.add_input("a")
+        c.add_dff("ff1", "a")
+        c.add_dff("ff2", "a")
+        c.validate()
+        st = SequentialTiming(c, {cell.name: Point(0.0, 0.0) for cell in c}, TECH)
+        assert st.pairs == {}
+        assert st.max_delay == 0.0
