@@ -14,11 +14,13 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import run_flow
 from repro.constants import DEFAULT_TECHNOLOGY
-from repro.core import tapping_cost_matrix
+from repro.core import FlowOptions, tapping_cost_matrix
 from repro.experiments import fig3_flow_convergence, format_table
 from repro.geometry import BBox, Point
-from repro.netlist import PROFILES
+from repro.netlist import PROFILES, generate_named
+from repro.obs import NULL_COLLECTOR
 from repro.placement import (
     IncrementalOptions,
     PseudoNet,
@@ -152,6 +154,65 @@ def test_bench_cost_matrix_phase_speedup(benchmark):
     assert speedup >= 3.0, (
         f"cost-matrix phase speedup {speedup:.2f}x below the 3x floor "
         f"({t_scalar * 1e3:.0f} ms scalar vs {t_vec * 1e3:.0f} ms vectorized)"
+    )
+
+
+def test_tracing_disabled_overhead_under_two_percent():
+    """Observability guard: the instrumentation threaded through the flow
+    must be free when tracing is off.
+
+    The disabled path routes every span/counter/gauge call through the
+    shared no-op ``NULL_COLLECTOR``, so its total cost is (events emitted
+    by a traced run) x (per-call cost of the no-op collector).  Both
+    factors are measured here — the projected overhead must stay under
+    2% of the untraced flow's wall-clock.  This test runs s5378
+    regardless of ``REPRO_BENCH_CIRCUITS`` so the guard is stable.
+    """
+    circuit = generate_named("s5378")
+    options = FlowOptions(
+        ring_grid_side=PROFILES["s5378"].ring_grid_side, max_iterations=2
+    )
+
+    run_flow(circuit, options=options)  # warm caches before timing
+    t_flow = min(
+        _timed(lambda: run_flow(circuit, options=options)) for _ in range(2)
+    )
+    traced = run_flow(circuit, options=options.replace(trace=True))
+    num_events = traced.trace.num_events
+    assert num_events > 0
+
+    # Per-call cost of the disabled path: each loop pass issues one span
+    # enter/exit pair plus one counter bump = 3 instrumentation events.
+    loops = 200_000
+
+    def hammer():
+        for _ in range(loops):
+            with NULL_COLLECTOR.span("stage", iteration=1):
+                NULL_COLLECTOR.count("events")
+
+    per_event = min(_timed(hammer) for _ in range(3)) / (3 * loops)
+
+    projected = num_events * per_event
+    overhead = projected / t_flow
+    record_artifact(
+        "No-op tracing overhead",
+        format_table(
+            [
+                {
+                    "flow_ms": t_flow * 1e3,
+                    "events": float(num_events),
+                    "ns_per_event": per_event * 1e9,
+                    "projected_us": projected * 1e6,
+                    "overhead_pct": overhead * 100.0,
+                }
+            ],
+            "Tracing-disabled overhead projection (s5378, 2 iterations)",
+        ),
+    )
+    assert overhead < 0.02, (
+        f"no-op instrumentation projected at {overhead:.2%} of the "
+        f"untraced flow ({num_events} events x {per_event * 1e9:.0f} ns "
+        f"vs {t_flow * 1e3:.0f} ms flow)"
     )
 
 

@@ -10,7 +10,7 @@ Run:  python examples/iscas_flow.py [circuit]        (default: s9234)
 
 import sys
 
-from repro import FlowOptions, IntegratedFlow
+from repro import run_flow
 from repro.constants import DEFAULT_TECHNOLOGY, frequency_ghz
 from repro.netlist import PROFILES, generate_named
 from repro.power import clock_power_mw, signal_power_mw
@@ -23,10 +23,10 @@ def main() -> None:
     profile = PROFILES[name]
     circuit = generate_named(name)
 
-    options = FlowOptions(ring_grid_side=profile.ring_grid_side)
-    result = IntegratedFlow(circuit, options=options).run()
+    # The facade picks the profile's paper ring grid for named benchmarks.
+    result = run_flow(circuit, ring_grid_side=profile.ring_grid_side)
 
-    freq = frequency_ghz(options.period)
+    freq = frequency_ghz(result.array.period)
     n_ff = len(circuit.flip_flops)
     tech = DEFAULT_TECHNOLOGY
 

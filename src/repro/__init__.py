@@ -7,16 +7,19 @@ integrated flow — plus every substrate it stands on (netlist model and
 generator, quadratic placer, static timing, LP/flow/ILP kernels,
 zero-skew clock-tree baseline, power models).
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the supported entry point::
 
-    from repro import IntegratedFlow, FlowOptions
-    from repro.netlist import generate_named
+    from repro import run_flow
 
-    circuit = generate_named("s9234")
-    result = IntegratedFlow(circuit, options=FlowOptions(ring_grid_side=4)).run()
+    result = run_flow("s9234")
     print(result.final.tapping_wirelength, result.tapping_improvement)
+
+The class-based surface (``IntegratedFlow``, ``FlowOptions``) stays
+available for callers that need custom circuits, collectors, or options
+objects.
 """
 
+from .api import check_design, run_flow
 from .constants import (
     DEFAULT_CLOCK_PERIOD_PS,
     DEFAULT_TECHNOLOGY,
@@ -44,6 +47,8 @@ __all__ = [
     "frequency_ghz",
     "period_ps",
     "oscillation_period_ps",
+    "run_flow",
+    "check_design",
     "IntegratedFlow",
     "FlowOptions",
     "FlowResult",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..errors import CheckError
 from .context import DesignContext
@@ -19,7 +19,7 @@ from .diagnostics import CheckReport, Diagnostic, Severity
 from .rules import Rule, get_rule, registered_rules
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class CheckConfig:
     """Which rules run, and at what severity.
 
@@ -27,6 +27,10 @@ class CheckConfig:
     ``disabled`` removes codes from whatever ``enabled`` selects;
     ``severity_overrides`` remaps a rule's default severity; ``fail_on``
     is the threshold :meth:`CheckReport.exit_code` uses.
+
+    Keyword-only; :meth:`to_dict` / :meth:`from_dict` round-trip the
+    configuration through plain JSON-serializable values, which is how
+    the CLI and the API facade build it.
     """
 
     enabled: tuple[str, ...] = ()
@@ -37,6 +41,47 @@ class CheckConfig:
     def __post_init__(self) -> None:
         for code in (*self.enabled, *self.disabled, *self.severity_overrides):
             get_rule(code)  # raises CheckError on unknown codes
+
+    def replace(self, **changes: Any) -> "CheckConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """All fields as a JSON-serializable dict."""
+        return {
+            "enabled": list(self.enabled),
+            "disabled": list(self.disabled),
+            "severity_overrides": {
+                code: severity.name.lower()
+                for code, severity in sorted(self.severity_overrides.items())
+            },
+            "fail_on": self.fail_on.name.lower(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckConfig":
+        """Build a config from a dict, rejecting unknown field names."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise CheckError(
+                f"unknown CheckConfig field(s): {', '.join(unknown)}"
+            )
+        overrides = {
+            str(code): Severity.parse(str(level))
+            for code, level in dict(data.get("severity_overrides", {})).items()
+        }
+        fail_on = data.get("fail_on", Severity.ERROR)
+        return cls(
+            enabled=tuple(data.get("enabled", ())),
+            disabled=tuple(data.get("disabled", ())),
+            severity_overrides=overrides,
+            fail_on=(
+                fail_on
+                if isinstance(fail_on, Severity)
+                else Severity.parse(str(fail_on))
+            ),
+        )
 
     def selected(self, rules: Sequence[Rule]) -> list[Rule]:
         """Apply enable/disable filtering to ``rules``."""

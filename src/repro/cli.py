@@ -3,6 +3,8 @@
 Usage (also via ``python -m repro``)::
 
     repro run s9234 --engine flow          # integrated flow, Table IV style
+    repro run s9234 --json                 # machine-readable FlowResult
+    repro profile s5378                    # trace + summary JSON exports
     repro tables --circuits s9234,s5378    # regenerate Tables I-VII
     repro bench-info s38417                # circuit profile + generation
     repro sweep-rings s5378 --sides 2,3,4  # ring-count ablation (§IX)
@@ -11,15 +13,18 @@ Usage (also via ``python -m repro``)::
 ``repro check`` exit codes: 0 = no findings at or above ``--fail-on``
 (default error), 1 = findings at or above the threshold, 2 = usage or
 configuration error (unknown rule code, bad severity, unreadable input).
+``repro profile`` exits 2 when an output path cannot be written.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .api import flow_options, run_flow
 from .constants import DEFAULT_TECHNOLOGY, frequency_ghz
-from .core import FlowOptions, IntegratedFlow, sweep_ring_count
+from .core import FlowOptions, sweep_ring_count
 from .netlist import PROFILE_ORDER, PROFILES, generate_named
 
 
@@ -38,21 +43,27 @@ def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    profile = PROFILES[args.circuit]
-    circuit = generate_named(args.circuit)
-    options = FlowOptions(
-        ring_grid_side=profile.ring_grid_side,
+def _options_from_args(args: argparse.Namespace) -> FlowOptions:
+    """FlowOptions for a named benchmark from the common CLI flags."""
+    return flow_options(
+        args.circuit,
         assignment=args.engine,
         max_iterations=args.iterations,
         period=args.period,
     )
-    result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    circuit = generate_named(args.circuit)
+    result = run_flow(circuit, options=_options_from_args(args))
     if args.save:
         from .io import save_design
 
         save_design(result, args.save)
         print(f"design saved to {args.save}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        return 0
     print(f"{args.circuit}: {len(circuit.flip_flops)} flip-flops, "
           f"{result.array.num_rings} rings at "
           f"{frequency_ghz(args.period):.2f} GHz ({args.engine} engine)")
@@ -97,20 +108,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         circuit = read_bench(args.bench, validate=False)
         ctx = DesignContext(name=circuit.name, circuit=circuit, period=args.period)
     else:
-        profile = PROFILES[args.circuit]
         circuit = generate_named(args.circuit)
         if args.netlist_only:
             ctx = DesignContext(
                 name=circuit.name, circuit=circuit, period=args.period
             )
         else:
-            options = FlowOptions(
-                ring_grid_side=profile.ring_grid_side,
-                assignment=args.engine,
-                max_iterations=args.iterations,
-                period=args.period,
-            )
-            result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+            result = run_flow(circuit, options=_options_from_args(args))
             ctx = DesignContext.from_flow(circuit, result)
 
     report = run_checks(ctx, config)
@@ -198,18 +202,41 @@ def cmd_sweep_rings(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import TraceCollector, write_chrome_trace, write_summary
+
+    trace_path = args.trace or f"{args.circuit}.trace.json"
+    summary_path = args.summary or f"{args.circuit}.summary.json"
+    collector = TraceCollector()
+    result = run_flow(
+        args.circuit, options=_options_from_args(args), collector=collector
+    )
+    trace = result.trace
+    assert trace is not None  # TraceCollector always records one
+    write_chrome_trace(trace, trace_path)
+    write_summary(trace, summary_path)
+    stats = trace.aggregate()
+    total_ms = sum(s.total_ms for s in stats.values())
+    print(f"{args.circuit}: {len(result.history)} iterations, "
+          f"{trace.num_events} events ({len(trace.spans)} spans, "
+          f"{total_ms:.1f} ms inside spans)")
+    width = max(len(name) for name in stats) if stats else 0
+    for name in sorted(stats, key=lambda n: -stats[n].total_ms):
+        s = stats[name]
+        print(f"  {name:<{width}}  x{s.count:<3d} total {s.total_ms:9.2f} ms  "
+              f"mean {s.mean_ms:8.2f} ms  max {s.max_ms:8.2f} ms")
+    for counter in sorted(trace.counters):
+        print(f"  {counter:<{width}}  = {trace.counters[counter]}")
+    print(f"wrote {trace_path} (Chrome trace-event format; load in "
+          f"ui.perfetto.dev) and {summary_path}")
+    return 0
+
+
 def cmd_render(args: argparse.Namespace) -> int:
     from .viz import render_flow_svg
 
-    profile = PROFILES[args.circuit]
     circuit = generate_named(args.circuit)
-    options = FlowOptions(
-        ring_grid_side=profile.ring_grid_side,
-        assignment=args.engine,
-        max_iterations=args.iterations,
-        period=args.period,
-    )
-    result = IntegratedFlow(circuit, DEFAULT_TECHNOLOGY, options).run()
+    result = run_flow(circuit, options=_options_from_args(args))
     svg = render_flow_svg(result, circuit, show_cells=args.cells)
     with open(args.output, "w") as fh:
         fh.write(svg)
@@ -227,8 +254,30 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run the integrated flow on a benchmark")
     run.add_argument("circuit", choices=sorted(PROFILES))
     run.add_argument("--save", default="", help="write the design to a JSON file")
+    run.add_argument("--json", action="store_true",
+                     help="print the full FlowResult as JSON instead of text")
     _add_common_flow_args(run)
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the flow with tracing and export trace + summary JSON",
+        description="Run the integrated flow with the observability layer "
+        "enabled, print a per-stage timing table, and write a Chrome "
+        "trace-event file (loadable in ui.perfetto.dev) plus an aggregated "
+        "JSON summary. Exit 0 = success, 2 = unwritable output path.",
+    )
+    profile.add_argument("circuit", choices=sorted(PROFILES))
+    profile.add_argument(
+        "--trace", default="", metavar="PATH",
+        help="Chrome trace-event output (default: <circuit>.trace.json)",
+    )
+    profile.add_argument(
+        "--summary", default="", metavar="PATH",
+        help="aggregated summary output (default: <circuit>.summary.json)",
+    )
+    _add_common_flow_args(profile)
+    profile.set_defaults(func=cmd_profile)
 
     check = sub.add_parser(
         "check",
@@ -321,6 +370,9 @@ def main(argv: list[str] | None = None) -> int:
     except (CheckError, NetlistError, OSError) as exc:
         if args.func is cmd_check:
             print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        if args.func is cmd_profile and isinstance(exc, OSError):
+            print(f"repro profile: {exc}", file=sys.stderr)
             return 2
         raise
 

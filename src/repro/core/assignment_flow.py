@@ -27,6 +27,7 @@ import numpy.typing as npt
 from ..constants import Technology
 from ..errors import AssignmentError
 from ..geometry import Point
+from ..obs import NULL_COLLECTOR, Collector
 from ..opt.mincostflow import (
     ArcRef,
     FlowNetwork,
@@ -92,6 +93,7 @@ def network_flow_assignment(
     capacities: Sequence[int] | None = None,
     backend: Literal["transportation", "ssp"] = "transportation",
     cache: TappingCostCache | None = None,
+    collector: Collector = NULL_COLLECTOR,
 ) -> Assignment:
     """End-to-end Section V assignment returning realized tappings.
 
@@ -103,7 +105,13 @@ def network_flow_assignment(
         if capacities is None
         else list(capacities)
     )
-    assign = assign_min_tapping_cost(matrix, caps, backend=backend)
-    return realize_assignment(
-        assign, matrix, array, positions, targets, tech, cache=cache
-    )
+    with collector.span("assignment.network-flow", backend=backend):
+        collector.count("assignment.flipflops", matrix.num_flipflops)
+        collector.count(
+            "assignment.candidate-arcs",
+            sum(int(c.size) for c in matrix.candidates),
+        )
+        assign = assign_min_tapping_cost(matrix, caps, backend=backend)
+        return realize_assignment(
+            assign, matrix, array, positions, targets, tech, cache=cache
+        )

@@ -31,6 +31,7 @@ import numpy.typing as npt
 from ..constants import Technology
 from ..errors import AssignmentError
 from ..geometry import Point
+from ..obs import NULL_COLLECTOR, Collector
 from ..opt.branch_bound import branch_and_bound
 from ..opt.lp import LinearProgram
 from ..opt.mincostflow import FORBIDDEN_COST
@@ -316,15 +317,23 @@ def ilp_assignment(
     targets: Mapping[str, float],
     tech: Technology,
     cache: TappingCostCache | None = None,
+    collector: Collector = NULL_COLLECTOR,
 ) -> tuple[Assignment, MinMaxCapResult]:
     """End-to-end Section VI assignment (LP relax + greedy rounding).
 
     The LP model consumes the matrix's candidate columns directly and the
     realization reuses cached tapping solutions when a ``cache`` is given.
     """
-    cap_matrix = matrix.capacitance_matrix(tech)
-    result = solve_minmax_cap(cap_matrix, candidates=matrix.candidates)
-    assignment = realize_assignment(
-        result.assign, matrix, array, positions, targets, tech, cache=cache
-    )
-    return assignment, result
+    with collector.span("assignment.ilp"):
+        collector.count("assignment.flipflops", matrix.num_flipflops)
+        cap_matrix = matrix.capacitance_matrix(tech)
+        result = solve_minmax_cap(cap_matrix, candidates=matrix.candidates)
+        collector.gauge("assignment.ilp.lp-bound-ff", result.lp_bound)
+        collector.gauge("assignment.ilp.value-ff", result.ilp_value)
+        collector.gauge(
+            "assignment.ilp.integral-fraction", result.integral_fraction
+        )
+        assignment = realize_assignment(
+            result.assign, matrix, array, positions, targets, tech, cache=cache
+        )
+        return assignment, result

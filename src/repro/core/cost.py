@@ -33,6 +33,7 @@ from ..constants import Technology
 from ..errors import CostMatrixError, TappingError
 from ..geometry import Point, net_hpwl, net_steiner_wl
 from ..netlist import Circuit
+from ..obs import NULL_COLLECTOR, Collector
 from ..opt.mincostflow import FORBIDDEN_COST
 from ..rotary import (
     BatchTappingResult,
@@ -213,7 +214,9 @@ class TappingCostCache:
 
     Counters (``hits`` / ``misses``) are cumulative over the cache's
     lifetime; the flow snapshots them per iteration into
-    :class:`repro.core.flow.IterationRecord`.
+    :class:`repro.core.flow.IterationRecord`, and every hit/miss is also
+    emitted to the ``collector`` as the ``tapping.cache.hits`` /
+    ``tapping.cache.misses`` counters.
     """
 
     def __init__(
@@ -221,10 +224,12 @@ class TappingCostCache:
         array: RingArray,
         tech: Technology,
         candidate_rings: int | None = 8,
+        collector: Collector = NULL_COLLECTOR,
     ) -> None:
         self.array = array
         self.tech = tech
         self.candidate_rings = candidate_rings
+        self.collector = collector
         #: Row key per flip-flop: (x, y, target).
         self._key: dict[str, tuple[float, float, float]] = {}
         #: Cached dense cost row per flip-flop.
@@ -261,7 +266,10 @@ class TappingCostCache:
             idx = np.flatnonzero(mask[:, ring.ring_id])
             if idx.size == 0:
                 continue
-            result = batch_solve(ring, px[idx], py[idx], tg[idx], self.tech)
+            result = batch_solve(
+                ring, px[idx], py[idx], tg[idx], self.tech,
+                collector=self.collector,
+            )
             if not result.feasible.all():
                 _raise_infeasible(ring.ring_id, result, [names[i] for i in idx])
             for pos, i in enumerate(idx):
@@ -285,19 +293,29 @@ class TappingCostCache:
         targets: Mapping[str, float],
     ) -> TappingCostMatrix:
         """Build the cost matrix, reusing rows with unchanged keys."""
-        ff_names = _validated_names(positions, targets)
-        changed = [
-            name
-            for name in ff_names
-            if self._key.get(name) != self._row_key(positions[name], targets[name])
-        ]
-        self.hits += len(ff_names) - len(changed)
-        self.misses += len(changed)
-        if changed:
-            self._solve_rows(changed, positions, targets)
-        self._evict_stale(ff_names)
-        costs = np.stack([self._row[name] for name in ff_names])
-        return TappingCostMatrix(ff_names=ff_names, costs=costs)
+        with self.collector.span("tapping.cost-matrix"):
+            ff_names = _validated_names(positions, targets)
+            changed = [
+                name
+                for name in ff_names
+                if self._key.get(name)
+                != self._row_key(positions[name], targets[name])
+            ]
+            self._tally(len(ff_names) - len(changed), len(changed))
+            if changed:
+                self._solve_rows(changed, positions, targets)
+            self._evict_stale(ff_names)
+            costs = np.stack([self._row[name] for name in ff_names])
+            return TappingCostMatrix(ff_names=ff_names, costs=costs)
+
+    def _tally(self, hits: int, misses: int) -> None:
+        """Bump the lifetime counters and mirror them to the collector."""
+        self.hits += hits
+        self.misses += misses
+        if hits:
+            self.collector.count("tapping.cache.hits", hits)
+        if misses:
+            self.collector.count("tapping.cache.misses", misses)
 
     def solution(
         self,
@@ -310,10 +328,10 @@ class TappingCostCache:
         if self._key.get(name) == self._row_key(position, target):
             entry = self._solutions[name].get(ring_id)
             if entry is not None:
-                self.hits += 1
+                self._tally(1, 0)
                 result, i = entry
                 return result.solution(i)
-        self.misses += 1
+        self._tally(0, 1)
         return best_tapping(self.array[ring_id], position, target, self.tech)
 
     def realize(
@@ -329,29 +347,35 @@ class TappingCostCache:
         the batched kernel (and do *not* update the cached rows — only a
         :meth:`matrix` build defines the row store).
         """
-        out: dict[str, TappingSolution] = {}
-        missed: dict[int, list[str]] = {}
-        for name, ring_id in ring_of.items():
-            if self._key.get(name) == self._row_key(positions[name], targets[name]):
-                entry = self._solutions[name].get(ring_id)
-                if entry is not None:
-                    self.hits += 1
-                    result, i = entry
+        with self.collector.span("tapping.realize"):
+            out: dict[str, TappingSolution] = {}
+            missed: dict[int, list[str]] = {}
+            hits = 0
+            for name, ring_id in ring_of.items():
+                if self._key.get(name) == self._row_key(
+                    positions[name], targets[name]
+                ):
+                    entry = self._solutions[name].get(ring_id)
+                    if entry is not None:
+                        hits += 1
+                        result, i = entry
+                        out[name] = result.solution(i)
+                        continue
+                missed.setdefault(int(ring_id), []).append(name)
+            self._tally(hits, len(ring_of) - hits)
+            for ring_id, names in missed.items():
+                ring = self.array[ring_id]
+                px = np.array([positions[name].x for name in names])
+                py = np.array([positions[name].y for name in names])
+                tg = np.array([targets[name] for name in names])
+                result = batch_solve(
+                    ring, px, py, tg, self.tech, collector=self.collector
+                )
+                if not result.feasible.all():
+                    _raise_infeasible(ring_id, result, names)
+                for i, name in enumerate(names):
                     out[name] = result.solution(i)
-                    continue
-            self.misses += 1
-            missed.setdefault(int(ring_id), []).append(name)
-        for ring_id, names in missed.items():
-            ring = self.array[ring_id]
-            px = np.array([positions[name].x for name in names])
-            py = np.array([positions[name].y for name in names])
-            tg = np.array([targets[name] for name in names])
-            result = batch_solve(ring, px, py, tg, self.tech)
-            if not result.feasible.all():
-                _raise_infeasible(ring_id, result, names)
-            for i, name in enumerate(names):
-                out[name] = result.solution(i)
-        return out
+            return out
 
 
 @dataclass(frozen=True, slots=True)

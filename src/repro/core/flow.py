@@ -25,12 +25,13 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Literal
+from typing import TYPE_CHECKING, Any, Literal, Mapping
 
 from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
 from ..errors import ReproError
 from ..geometry import Point
 from ..netlist import Circuit
+from ..obs import NULL_COLLECTOR, Collector, Trace, TraceCollector
 from ..placement import (
     IncrementalOptions,
     PseudoNet,
@@ -56,9 +57,14 @@ if TYPE_CHECKING:  # lazy at runtime: analysis imports core.cost
     from ..analysis.diagnostics import Diagnostic
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, kw_only=True)
 class FlowOptions:
-    """Configuration of the integrated flow."""
+    """Configuration of the integrated flow.
+
+    Keyword-only and value-typed: every field round-trips through
+    :meth:`to_dict` / :meth:`from_dict`, which is how the CLI, the
+    benchmark harness, and ``repro profile`` all build their options.
+    """
 
     period: float = DEFAULT_CLOCK_PERIOD_PS
     #: Maximum stage 3-6 iterations (the paper converges within five).
@@ -96,6 +102,30 @@ class FlowOptions:
     #: permissible ranges, schedule consistency) after every stage-4
     #: pass and attach the findings to the iteration record.
     check_invariants: bool = False
+    #: Record an execution trace: one span per Fig. 3 stage per
+    #: iteration plus engine sub-spans, counters, and gauges, published
+    #: on :attr:`FlowResult.trace`.  Off by default; the disabled path
+    #: runs through a shared no-op collector.
+    trace: bool = False
+
+    def replace(self, **changes: Any) -> "FlowOptions":
+        """A copy with ``changes`` applied (keyword-only, validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """All fields as a JSON-serializable dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowOptions":
+        """Build options from a dict, rejecting unknown field names."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown FlowOptions field(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +171,22 @@ class IterationRecord:
         """Error-severity findings attached to this iteration."""
         return sum(1 for diag in self.findings if diag.severity.name == "ERROR")
 
+    def to_dict(self) -> dict[str, Any]:
+        """The record's metrics as a JSON-serializable dict."""
+        return {
+            "iteration": self.iteration,
+            "tapping_wirelength_um": self.tapping_wirelength,
+            "signal_wirelength_um": self.signal_wirelength,
+            "total_wirelength_um": self.total_wirelength,
+            "average_flipflop_distance_um": self.average_flipflop_distance,
+            "max_load_capacitance_ff": self.max_load_capacitance,
+            "overall_cost": self.overall_cost,
+            "seconds": self.seconds,
+            "cost_cache_hits": self.cost_cache_hits,
+            "cost_cache_misses": self.cost_cache_misses,
+            "finding_counts": self.finding_counts,
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class FlowResult:
@@ -163,6 +209,9 @@ class FlowResult:
     ilp_stats: MinMaxCapResult | None = None
     #: Populated when the Section IX local-tree post-pass ran.
     local_trees: "object | None" = None
+    #: Populated when the run was traced (``FlowOptions(trace=True)`` or
+    #: an explicit recording collector).
+    trace: Trace | None = None
 
     @property
     def tapping_improvement(self) -> float:
@@ -185,6 +234,40 @@ class FlowResult:
             return 0.0
         return 1.0 - self.final.total_wirelength / self.base.total_wirelength
 
+    def to_dict(self) -> dict[str, Any]:
+        """The result as a JSON-serializable dict (``repro run --json``).
+
+        Covers the design decisions (positions, assignment, schedule),
+        the per-iteration records including ``finding_counts``, the
+        headline improvements, and — when the run was traced — the
+        aggregated trace summary.
+        """
+        return {
+            "circuit": self.circuit_name,
+            "period_ps": self.array.period,
+            "num_rings": self.array.num_rings,
+            "positions": {
+                name: [p.x, p.y] for name, p in sorted(self.positions.items())
+            },
+            "ring_of": dict(sorted(self.assignment.ring_of.items())),
+            "schedule": dict(sorted(self.schedule.targets.items())),
+            "slack_available_ps": self.slack_available,
+            "slack_guaranteed_ps": self.slack_guaranteed,
+            "base": self.base.to_dict(),
+            "final": self.final.to_dict(),
+            "history": [record.to_dict() for record in self.history],
+            "improvements": {
+                "tapping": self.tapping_improvement,
+                "signal_penalty": self.signal_penalty,
+                "total": self.total_improvement,
+            },
+            "seconds": {
+                "algorithm": self.seconds_algorithm,
+                "placer": self.seconds_placer,
+            },
+            "trace": self.trace.summary() if self.trace is not None else None,
+        }
+
 
 class IntegratedFlow:
     """Runs the Fig. 3 methodology on one circuit."""
@@ -194,38 +277,52 @@ class IntegratedFlow:
         circuit: Circuit,
         tech: Technology = DEFAULT_TECHNOLOGY,
         options: FlowOptions | None = None,
+        collector: Collector | None = None,
     ) -> None:
         self.circuit = circuit
         self.tech = tech
         self.options = options or FlowOptions()
+        #: Explicit collector, or None to derive one from ``options.trace``.
+        self.collector = collector
         self._ffs = [ff.name for ff in circuit.flip_flops]
         if not self._ffs:
             raise ReproError(f"circuit {circuit.name} has no flip-flops")
 
     # ------------------------------------------------------------------
+    def _resolve_collector(self) -> Collector:
+        if self.collector is not None:
+            return self.collector
+        return TraceCollector() if self.options.trace else NULL_COLLECTOR
+
+    # ------------------------------------------------------------------
     def run(self) -> FlowResult:
         opts = self.options
+        obs = self._resolve_collector()
         t_alg = 0.0
         t_placer = 0.0
 
         # Stage 1: initial placement.
         tic = time.monotonic()
-        region = region_for_circuit(self.circuit, self.tech, opts.utilization)
-        placer = QuadraticPlacer(self.circuit, region)
-        legal = legalize(placer.place(), region)
-        positions: dict[str, Point] = dict(placer.fixed_positions)
-        positions.update(legal.positions)
-        if opts.detailed_refinement:
-            refined = refine_placement(self.circuit, region, positions)
-            positions = refined.positions
+        with obs.span("stage1.initial-placement"):
+            region = region_for_circuit(
+                self.circuit, self.tech, opts.utilization
+            )
+            placer = QuadraticPlacer(self.circuit, region)
+            legal = legalize(placer.place(), region)
+            positions: dict[str, Point] = dict(placer.fixed_positions)
+            positions.update(legal.positions)
+            if opts.detailed_refinement:
+                refined = refine_placement(self.circuit, region, positions)
+                positions = refined.positions
         t_placer += time.monotonic() - tic
 
         # Stage 2: traditional max-slack skew optimization.
         tic = time.monotonic()
-        timing = SequentialTiming(self.circuit, positions, self.tech)
-        schedule = max_slack_schedule(
-            timing.pairs, self._ffs, opts.period, self.tech
-        )
+        with obs.span("stage2.max-slack-skew"):
+            timing = SequentialTiming(self.circuit, positions, self.tech)
+            schedule = max_slack_schedule(
+                timing.pairs, self._ffs, opts.period, self.tech
+            )
         slack_available = schedule.slack
         # Guarantee a fraction of the achievable slack; if the design
         # cannot even reach zero slack, guarantee what is achievable so
@@ -234,6 +331,8 @@ class IntegratedFlow:
             slack_guaranteed = slack_available * opts.slack_fraction
         else:
             slack_guaranteed = slack_available
+        obs.gauge("flow.slack-available-ps", slack_available)
+        obs.gauge("flow.slack-guaranteed-ps", slack_guaranteed)
 
         # Ring array sized to the die.
         side = opts.ring_grid_side or _default_ring_side(len(self._ffs))
@@ -241,7 +340,9 @@ class IntegratedFlow:
         # Cost cache shared by every stage-3/4 solve of every iteration:
         # only flip-flops whose position or skew target changed since the
         # last build get their matrix row recomputed.
-        cache = TappingCostCache(array, self.tech, opts.candidate_rings)
+        cache = TappingCostCache(
+            array, self.tech, opts.candidate_rings, collector=obs
+        )
         # Section V ring capacities U_j (used by the flow engine and by
         # the RCK301 invariant check).
         capacities = [
@@ -262,70 +363,87 @@ class IntegratedFlow:
 
         for iteration in range(1, opts.max_iterations + 1):
             tic = time.monotonic()
+            obs.count("flow.iterations")
             cache_hits0, cache_misses0 = cache.hits, cache.misses
             # Stage 3: flip-flop assignment.
-            targets = schedule.normalized(opts.period).targets
-            matrix = cache.matrix(positions, targets)
-            if opts.assignment == "flow":
-                assignment = network_flow_assignment(
-                    matrix,
-                    array,
-                    positions,
-                    targets,
-                    self.tech,
-                    capacities,
-                    cache=cache,
-                )
-            else:
-                assignment, ilp_stats = ilp_assignment(
-                    matrix, array, positions, targets, self.tech, cache=cache
-                )
+            with obs.span("stage3.assignment", iteration=iteration):
+                targets = schedule.normalized(opts.period).targets
+                matrix = cache.matrix(positions, targets)
+                if opts.assignment == "flow":
+                    assignment = network_flow_assignment(
+                        matrix,
+                        array,
+                        positions,
+                        targets,
+                        self.tech,
+                        capacities,
+                        cache=cache,
+                        collector=obs,
+                    )
+                else:
+                    assignment, ilp_stats = ilp_assignment(
+                        matrix,
+                        array,
+                        positions,
+                        targets,
+                        self.tech,
+                        cache=cache,
+                        collector=obs,
+                    )
 
             if base is None:
                 base = self._record(0, assignment, positions, array, 0.0)
 
             # Stage 4: cost-driven skew optimization.
-            attractions = ring_attractions(
-                assignment.ring_of, positions, schedule.targets, array, self.tech
-            )
-            schedule = cost_driven_schedule(
-                attractions,
-                timing.pairs,
-                self._ffs,
-                opts.period,
-                self.tech,
-                slack=slack_guaranteed,
-                mode=opts.skew_mode,
-            )
-            # Re-realize tappings under the new targets (same rings).
-            targets = schedule.normalized(opts.period).targets
-            assignment = _retarget(assignment, positions, targets, cache)
+            with obs.span("stage4.cost-driven-skew", iteration=iteration):
+                attractions = ring_attractions(
+                    assignment.ring_of,
+                    positions,
+                    schedule.targets,
+                    array,
+                    self.tech,
+                )
+                schedule = cost_driven_schedule(
+                    attractions,
+                    timing.pairs,
+                    self._ffs,
+                    opts.period,
+                    self.tech,
+                    slack=slack_guaranteed,
+                    mode=opts.skew_mode,
+                    collector=obs,
+                )
+                # Re-realize tappings under the new targets (same rings).
+                targets = schedule.normalized(opts.period).targets
+                assignment = _retarget(assignment, positions, targets, cache)
 
             # Stage 5: evaluate.
             seconds = time.monotonic() - tic
             t_alg += seconds
-            record = self._record(
-                iteration,
-                assignment,
-                positions,
-                array,
-                seconds,
-                cache_hits=cache.hits - cache_hits0,
-                cache_misses=cache.misses - cache_misses0,
-            )
-            if opts.check_invariants:
-                record = dataclasses.replace(
-                    record,
-                    findings=self._check_iteration(
-                        positions,
-                        array,
-                        assignment,
-                        capacities,
-                        schedule,
-                        slack_guaranteed,
-                        timing,
-                    ),
+            with obs.span("stage5.evaluate", iteration=iteration):
+                record = self._record(
+                    iteration,
+                    assignment,
+                    positions,
+                    array,
+                    seconds,
+                    cache_hits=cache.hits - cache_hits0,
+                    cache_misses=cache.misses - cache_misses0,
                 )
+                if opts.check_invariants:
+                    record = dataclasses.replace(
+                        record,
+                        findings=self._check_iteration(
+                            positions,
+                            array,
+                            assignment,
+                            capacities,
+                            schedule,
+                            slack_guaranteed,
+                            timing,
+                        ),
+                    )
+            obs.gauge("flow.overall-cost", record.overall_cost)
             history.append(record)
             if best is None or record.overall_cost < best[0].overall_cost:
                 best = (record, assignment, schedule, dict(positions))
@@ -339,26 +457,31 @@ class IntegratedFlow:
 
             # Stage 6: pseudo nets + stable incremental placement.
             tic = time.monotonic()
-            pseudo = [
-                PseudoNet(ff, sol.point, opts.pseudo_net_weight)
-                for ff, sol in assignment.solutions.items()
-            ]
-            inc = incremental_place(
-                self.circuit,
-                region,
-                positions,
-                pseudo,
-                IncrementalOptions(
-                    stability_weight=opts.stability_weight,
-                    pseudo_net_weight=opts.pseudo_net_weight,
-                ),
-            )
-            positions = dict(placer.fixed_positions)
-            positions.update(inc.positions)
+            with obs.span(
+                "stage6.incremental-placement", iteration=iteration
+            ):
+                pseudo = [
+                    PseudoNet(ff, sol.point, opts.pseudo_net_weight)
+                    for ff, sol in assignment.solutions.items()
+                ]
+                inc = incremental_place(
+                    self.circuit,
+                    region,
+                    positions,
+                    pseudo,
+                    IncrementalOptions(
+                        stability_weight=opts.stability_weight,
+                        pseudo_net_weight=opts.pseudo_net_weight,
+                    ),
+                    collector=obs,
+                )
+                positions = dict(placer.fixed_positions)
+                positions.update(inc.positions)
             t_placer += time.monotonic() - tic
 
             tic = time.monotonic()
-            timing = SequentialTiming(self.circuit, positions, self.tech)
+            with obs.span("timing.rebuild", iteration=iteration):
+                timing = SequentialTiming(self.circuit, positions, self.tech)
             t_alg += time.monotonic() - tic
 
         assert base is not None and best is not None and history
@@ -372,19 +495,20 @@ class IntegratedFlow:
             # Lazy import: clocktree.local_trees depends on core.cost.
             from ..clocktree.local_trees import build_local_trees
 
-            best_timing = SequentialTiming(
-                self.circuit, best_positions, self.tech
-            )
-            local_tree_result = build_local_trees(
-                best_assignment,
-                array,
-                best_positions,
-                best_schedule.targets,
-                best_timing.pairs,
-                self.tech,
-                period=opts.period,
-                slack=slack_guaranteed,
-            )
+            with obs.span("post.local-trees"):
+                best_timing = SequentialTiming(
+                    self.circuit, best_positions, self.tech
+                )
+                local_tree_result = build_local_trees(
+                    best_assignment,
+                    array,
+                    best_positions,
+                    best_schedule.targets,
+                    best_timing.pairs,
+                    self.tech,
+                    period=opts.period,
+                    slack=slack_guaranteed,
+                )
             t_alg += time.monotonic() - tic
 
         return FlowResult(
@@ -402,6 +526,7 @@ class IntegratedFlow:
             seconds_placer=t_placer,
             ilp_stats=ilp_stats,
             local_trees=local_tree_result,
+            trace=obs.trace(),
         )
 
     # ------------------------------------------------------------------

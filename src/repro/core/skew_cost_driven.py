@@ -30,6 +30,7 @@ from typing import Literal, Mapping
 from ..constants import Technology
 from ..errors import SkewOptimizationError
 from ..geometry import Point
+from ..obs import NULL_COLLECTOR, Collector
 from ..opt.lp import LinearProgram
 from ..rotary import RingArray, stub_delay
 from ..timing import PathBounds
@@ -123,6 +124,7 @@ def cost_driven_schedule(
     tech: Technology,
     slack: float = 0.0,
     mode: Literal["minmax", "weighted"] = "weighted",
+    collector: Collector = NULL_COLLECTOR,
 ) -> SkewSchedule:
     """Solve the cost-driven skew LP; returns the new schedule.
 
@@ -135,6 +137,23 @@ def cost_driven_schedule(
     if mode not in ("minmax", "weighted"):
         raise SkewOptimizationError(f"unknown cost-driven mode {mode!r}")
 
+    with collector.span("skew.cost-driven", mode=mode):
+        collector.count("skew.lp.solves")
+        collector.count("skew.lp.timing-pairs", len(pairs))
+        return _solve_cost_driven(
+            attractions, pairs, flip_flops, period, tech, slack, mode
+        )
+
+
+def _solve_cost_driven(
+    attractions: Mapping[str, RingAttraction],
+    pairs: Mapping[tuple[str, str], PathBounds],
+    flip_flops: list[str],
+    period: float,
+    tech: Technology,
+    slack: float,
+    mode: Literal["minmax", "weighted"],
+) -> SkewSchedule:
     lp = LinearProgram(f"cost_driven_skew_{mode}")
     for ff in flip_flops:
         lp.add_var(f"t_{ff}", lb=float("-inf"))

@@ -1,0 +1,49 @@
+"""repro.obs — zero-dependency flow instrumentation.
+
+Nestable span timers, monotonic counters, and gauges, collected into a
+per-run :class:`Trace` and exported as an aggregated JSON summary or a
+Perfetto-loadable Chrome trace.  The default :data:`NULL_COLLECTOR` is a
+shared no-op whose per-event cost is a single dynamic dispatch, so
+instrumentation stays always-on in library code::
+
+    from repro.obs import NULL_COLLECTOR, Collector, TraceCollector
+
+    def solve(..., collector: Collector = NULL_COLLECTOR):
+        with collector.span("solve", size=n):
+            collector.count("solve.calls")
+            ...
+
+    collector = TraceCollector()
+    solve(..., collector=collector)
+    trace = collector.trace()
+
+The integrated flow wires this up end to end: ``FlowOptions(trace=True)``
+records one span per Fig. 3 stage per iteration onto
+``FlowResult.trace``, and ``repro profile`` writes both export formats.
+"""
+
+from .collector import NULL_COLLECTOR, Collector, Span, TraceCollector
+from .export import (
+    chrome_trace_events,
+    render_chrome_trace,
+    render_summary,
+    write_chrome_trace,
+    write_summary,
+)
+from .trace import AttrValue, SpanRecord, SpanStats, Trace
+
+__all__ = [
+    "AttrValue",
+    "Collector",
+    "NULL_COLLECTOR",
+    "Span",
+    "SpanRecord",
+    "SpanStats",
+    "Trace",
+    "TraceCollector",
+    "chrome_trace_events",
+    "render_chrome_trace",
+    "render_summary",
+    "write_chrome_trace",
+    "write_summary",
+]

@@ -1,0 +1,65 @@
+"""Trace exporters: aggregated JSON summary and Chrome trace events.
+
+Two on-disk formats, both written by ``repro profile``:
+
+* **Summary JSON** — :meth:`Trace.summary`: per-span-name count / total /
+  mean / max milliseconds plus final counter and gauge values.  Stable,
+  diff-friendly, the format CI archives next to ``BENCH_ci.json``.
+* **Chrome trace-event JSON** — a flat array of ``B``/``E`` duration
+  events (the `Trace Event Format`_), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Timestamps are
+  microseconds from the trace origin; nesting is reconstructed by the
+  viewer from the event order, which we replay exactly as recorded.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .trace import Trace
+
+#: Process/thread ids stamped on every event: the flow is single-threaded.
+_PID = 1
+_TID = 1
+
+
+def chrome_trace_events(trace: Trace) -> list[dict[str, Any]]:
+    """The trace as a list of Chrome ``B``/``E`` duration-event dicts."""
+    out: list[dict[str, Any]] = []
+    for phase, name, ts_ns, attrs in trace.events:
+        event: dict[str, Any] = {
+            "ph": phase,
+            "name": name,
+            "ts": ts_ns / 1e3,  # microseconds
+            "pid": _PID,
+            "tid": _TID,
+        }
+        if attrs:
+            event["args"] = dict(attrs)
+        out.append(event)
+    return out
+
+
+def render_chrome_trace(trace: Trace) -> str:
+    """Chrome trace-event JSON (the format's plain-array flavour)."""
+    return json.dumps(chrome_trace_events(trace))
+
+
+def write_chrome_trace(trace: Trace, path: str | Path) -> None:
+    """Write the Chrome trace-event JSON to ``path``."""
+    Path(path).write_text(render_chrome_trace(trace) + "\n")
+
+
+def render_summary(trace: Trace) -> str:
+    """The aggregated summary as indented, key-sorted JSON."""
+    return json.dumps(trace.summary(), indent=1, sort_keys=True)
+
+
+def write_summary(trace: Trace, path: str | Path) -> None:
+    """Write the aggregated summary JSON to ``path``."""
+    Path(path).write_text(render_summary(trace) + "\n")

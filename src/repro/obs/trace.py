@@ -1,0 +1,123 @@
+"""The trace data model: spans, counters, gauges, and aggregation.
+
+A :class:`Trace` is the immutable snapshot a
+:class:`~repro.obs.collector.TraceCollector` produces after a run: every
+completed span (name, wall-clock interval, nesting depth, attributes),
+the final counter and gauge values, and the raw begin/end event stream
+in the exact order it was recorded (the Chrome exporter replays it
+verbatim).  Timestamps are nanoseconds from a per-collector monotonic
+origin, so they are comparable within one trace but not across traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+#: Span attribute values: small, JSON-serializable scalars only.
+AttrValue = Union[str, int, float, bool]
+
+#: One raw instrumentation event: ``(phase, name, ts_ns, attrs)`` where
+#: phase is ``"B"`` (span begin) or ``"E"`` (span end) and ``attrs`` is
+#: ``None`` except on begin events that carry attributes.
+Event = tuple[str, str, int, "Mapping[str, AttrValue] | None"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    #: Start offset from the trace origin (ns, monotonic clock).
+    start_ns: int
+    duration_ns: int
+    #: Nesting depth at entry (0 = root).
+    depth: int
+    attrs: Mapping[str, AttrValue]
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+@dataclass(frozen=True, slots=True)
+class SpanStats:
+    """Aggregated wall-clock of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_ms: float
+    max_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """Everything one collector recorded during a run."""
+
+    #: Completed spans, ordered by start time.
+    spans: tuple[SpanRecord, ...]
+    #: Raw begin/end events in recording order (drives the Chrome export).
+    events: tuple[Event, ...]
+    #: Final counter values (monotonic within the run).
+    counters: Mapping[str, int]
+    #: Final gauge values (last write wins).
+    gauges: Mapping[str, float]
+    #: Total instrumentation calls recorded (span begins + ends +
+    #: counter increments + gauge sets) — the basis of the no-op
+    #: overhead projection in ``bench_fig3``.
+    num_events: int
+
+    def by_name(self, name: str) -> tuple[SpanRecord, ...]:
+        """All spans called ``name``, in start order."""
+        return tuple(s for s in self.spans if s.name == name)
+
+    def counter(self, name: str) -> int:
+        """A counter's final value (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def aggregate(self) -> dict[str, SpanStats]:
+        """Per-span-name count / total / mean / max wall-clock."""
+        count: dict[str, int] = {}
+        total: dict[str, int] = {}
+        peak: dict[str, int] = {}
+        for span in self.spans:
+            count[span.name] = count.get(span.name, 0) + 1
+            total[span.name] = total.get(span.name, 0) + span.duration_ns
+            if span.duration_ns > peak.get(span.name, -1):
+                peak[span.name] = span.duration_ns
+        return {
+            name: SpanStats(
+                name=name,
+                count=count[name],
+                total_ms=total[name] / 1e6,
+                max_ms=peak[name] / 1e6,
+            )
+            for name in count
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """The aggregated-JSON document written by ``repro profile``."""
+        stats = self.aggregate()
+        return {
+            "spans": {
+                name: {
+                    "count": s.count,
+                    "total_ms": s.total_ms,
+                    "mean_ms": s.mean_ms,
+                    "max_ms": s.max_ms,
+                }
+                for name, s in sorted(stats.items())
+            },
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "num_spans": len(self.spans),
+            "num_events": self.num_events,
+        }

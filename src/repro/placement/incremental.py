@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 
 from ..geometry import Point
 from ..netlist import Circuit
+from ..obs import NULL_COLLECTOR, Collector
 from .legalize import LegalizationResult, legalize
 from .pseudonet import PseudoNet
 from .quadratic import PlacerOptions, QuadraticPlacer
@@ -38,16 +39,23 @@ def incremental_place(
     pseudo_nets: Iterable[PseudoNet],
     options: IncrementalOptions | None = None,
     placer_options: PlacerOptions | None = None,
+    collector: Collector = NULL_COLLECTOR,
 ) -> LegalizationResult:
     """One incremental placement pass; returns legalized positions."""
     opts = options or IncrementalOptions()
-    placer = QuadraticPlacer(circuit, region, placer_options)
-    global_pos = placer.place(
-        pseudo_nets=list(pseudo_nets),
-        stability_anchors=previous,
-        stability_weight=opts.stability_weight,
-    )
-    return legalize(global_pos, region)
+    pseudo = list(pseudo_nets)
+    with collector.span("placement.incremental"):
+        collector.count("placement.incremental.passes")
+        collector.count("placement.pseudo-nets", len(pseudo))
+        placer = QuadraticPlacer(circuit, region, placer_options)
+        with collector.span("placement.quadratic"):
+            global_pos = placer.place(
+                pseudo_nets=pseudo,
+                stability_anchors=previous,
+                stability_weight=opts.stability_weight,
+            )
+        with collector.span("placement.legalize"):
+            return legalize(global_pos, region)
 
 
 def placement_perturbation(

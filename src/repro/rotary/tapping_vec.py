@@ -31,6 +31,7 @@ import numpy as np
 from ..constants import OHM_FF_TO_PS, Technology
 from ..errors import TappingError
 from ..geometry import Point
+from ..obs import NULL_COLLECTOR, Collector
 from .ring import RotaryRing
 from .tapping import _MAX_PERIOD_REDUCTIONS, _TOL, TappingSolution
 
@@ -118,6 +119,7 @@ def batch_solve(
     targets: np.ndarray,
     tech: Technology,
     load_cap: float | np.ndarray | None = None,
+    collector: Collector = NULL_COLLECTOR,
 ) -> BatchTappingResult:
     """Best tapping of every ``(px[i], py[i], targets[i])`` on ``ring``.
 
@@ -130,6 +132,8 @@ def batch_solve(
     py = np.asarray(py, dtype=float)
     targets = np.asarray(targets, dtype=float)
     n = px.shape[0]
+    collector.count("tapping.batch.calls")
+    collector.count("tapping.batch.flipflops", n)
     period = ring.period
 
     r, c = tech.unit_resistance, tech.unit_capacitance

@@ -1,0 +1,123 @@
+"""Tests for the observability collectors (repro.obs)."""
+
+import pytest
+
+from repro.obs import NULL_COLLECTOR, Collector, TraceCollector
+
+
+class TestNullCollector:
+    def test_disabled(self):
+        assert NULL_COLLECTOR.enabled is False
+        assert Collector().enabled is False
+
+    def test_span_is_shared_noop(self):
+        a = NULL_COLLECTOR.span("x")
+        b = NULL_COLLECTOR.span("y", iteration=3)
+        assert a is b  # allocation-free: one shared no-op span
+        with a:
+            pass
+
+    def test_count_gauge_trace_noop(self):
+        NULL_COLLECTOR.count("c")
+        NULL_COLLECTOR.count("c", 5)
+        NULL_COLLECTOR.gauge("g", 1.5)
+        assert NULL_COLLECTOR.trace() is None
+
+
+class TestTraceCollector:
+    def test_enabled(self):
+        assert TraceCollector().enabled is True
+
+    def test_span_records_duration_and_depth(self):
+        obs = TraceCollector()
+        with obs.span("outer"):
+            with obs.span("inner", iteration=1):
+                pass
+        trace = obs.trace()
+        assert [s.name for s in trace.spans] == ["outer", "inner"]
+        outer, inner = trace.spans
+        assert outer.depth == 0 and inner.depth == 1
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+        assert inner.attrs == {"iteration": 1}
+        assert outer.duration_ms >= inner.duration_ms >= 0.0
+
+    def test_counters_accumulate(self):
+        obs = TraceCollector()
+        obs.count("hits")
+        obs.count("hits", 4)
+        obs.count("misses", 2)
+        trace = obs.trace()
+        assert trace.counters == {"hits": 5, "misses": 2}
+        assert trace.counter("hits") == 5
+        assert trace.counter("absent") == 0
+
+    def test_gauges_last_write_wins(self):
+        obs = TraceCollector()
+        obs.gauge("cost", 10.0)
+        obs.gauge("cost", 7.5)
+        assert obs.trace().gauges == {"cost": 7.5}
+
+    def test_num_events_counts_everything(self):
+        obs = TraceCollector()
+        with obs.span("s"):  # B + E = 2 events
+            obs.count("c")  # 1 event
+            obs.gauge("g", 1)  # 1 event
+        assert obs.trace().num_events == 4
+
+    def test_snapshot_drops_open_spans(self):
+        obs = TraceCollector()
+        with obs.span("closed"):
+            pass
+        span = obs.span("open")
+        span.__enter__()
+        trace = obs.trace()
+        # The open span has no E event yet: excluded from the snapshot.
+        assert [s.name for s in trace.spans] == ["closed"]
+        names = [name for _, name, _, _ in trace.events]
+        assert "open" not in names
+        span.__exit__(None, None, None)
+        assert [s.name for s in obs.trace().spans] == ["closed", "open"]
+
+    def test_span_exits_on_exception(self):
+        obs = TraceCollector()
+        try:
+            with obs.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        trace = obs.trace()
+        assert [s.name for s in trace.spans] == ["boom"]
+
+    def test_aggregate_and_summary(self):
+        obs = TraceCollector()
+        for _ in range(3):
+            with obs.span("stage"):
+                pass
+        obs.count("n", 2)
+        obs.gauge("g", 0.5)
+        trace = obs.trace()
+        stats = trace.aggregate()
+        assert stats["stage"].count == 3
+        assert stats["stage"].total_ms >= stats["stage"].max_ms >= 0.0
+        assert stats["stage"].mean_ms * 3 == pytest.approx(
+            stats["stage"].total_ms
+        )
+        summary = trace.summary()
+        assert summary["num_spans"] == 3
+        assert summary["counters"] == {"n": 2}
+        assert summary["gauges"] == {"g": 0.5}
+        assert summary["spans"]["stage"]["count"] == 3
+
+    def test_by_name(self):
+        obs = TraceCollector()
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        with obs.span("a"):
+            pass
+        trace = obs.trace()
+        assert len(trace.by_name("a")) == 2
+        assert len(trace.by_name("b")) == 1
+        assert trace.by_name("zzz") == ()

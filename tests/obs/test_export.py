@@ -1,0 +1,91 @@
+"""Tests for the trace exporters: Chrome trace-event format + summary."""
+
+import json
+
+from repro.obs import (
+    TraceCollector,
+    chrome_trace_events,
+    render_chrome_trace,
+    render_summary,
+    write_chrome_trace,
+    write_summary,
+)
+
+
+def _sample_trace():
+    obs = TraceCollector()
+    with obs.span("stage1.initial-placement"):
+        pass
+    for iteration in (1, 2):
+        with obs.span("stage3.assignment", iteration=iteration):
+            with obs.span("tapping.cost-matrix"):
+                pass
+    obs.count("flow.iterations", 2)
+    obs.gauge("flow.overall-cost", 42.0)
+    return obs.trace()
+
+
+class TestChromeTraceSchema:
+    """The export must be a Perfetto-loadable JSON array of duration
+    events: ph B/E, microsecond ts, pid/tid, monotonic timestamps."""
+
+    def test_valid_json_array(self, tmp_path):
+        trace = _sample_trace()
+        rendered = render_chrome_trace(trace)
+        events = json.loads(rendered)
+        assert isinstance(events, list)
+        assert events == chrome_trace_events(trace)
+
+    def test_required_fields(self):
+        for event in chrome_trace_events(_sample_trace()):
+            assert event["ph"] in ("B", "E")
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["ts"], float)  # microseconds
+            assert event["pid"] == 1 and event["tid"] == 1
+
+    def test_timestamps_monotonic(self):
+        ts = [e["ts"] for e in chrome_trace_events(_sample_trace())]
+        assert ts == sorted(ts)
+        assert all(t >= 0.0 for t in ts)
+
+    def test_begin_end_balanced(self):
+        stack = []
+        for event in chrome_trace_events(_sample_trace()):
+            if event["ph"] == "B":
+                stack.append(event["name"])
+            else:
+                assert stack and stack.pop() == event["name"]
+        assert stack == []
+
+    def test_attrs_become_args(self):
+        events = chrome_trace_events(_sample_trace())
+        begins = [e for e in events if e["name"] == "stage3.assignment"]
+        assert [e["args"] for e in begins if e["ph"] == "B"] == [
+            {"iteration": 1},
+            {"iteration": 2},
+        ]
+        # Attribute-free events carry no args key at all.
+        plain = next(e for e in events if e["name"] == "tapping.cost-matrix")
+        assert "args" not in plain
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(_sample_trace(), path)
+        events = json.loads(path.read_text())
+        assert len(events) == 10  # 5 spans x (B + E)
+
+
+class TestSummaryExport:
+    def test_render_summary_round_trips(self):
+        trace = _sample_trace()
+        doc = json.loads(render_summary(trace))
+        assert doc == trace.summary()
+        assert doc["counters"] == {"flow.iterations": 2}
+        assert doc["gauges"] == {"flow.overall-cost": 42.0}
+        assert doc["spans"]["stage3.assignment"]["count"] == 2
+
+    def test_write_summary(self, tmp_path):
+        path = tmp_path / "out.summary.json"
+        write_summary(_sample_trace(), path)
+        doc = json.loads(path.read_text())
+        assert doc["num_spans"] == 5

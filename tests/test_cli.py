@@ -138,3 +138,57 @@ class TestCheckCommand:
 
         doc = json.loads(capsys.readouterr().out)
         assert set(doc["rules_run"]) == {"RCK101", "RCK102", "RCK103"}
+
+
+class TestRunJson:
+    def test_run_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["run", "s5378", "--iterations", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["circuit"] == "s5378"
+        assert doc["trace"] is None  # run does not trace
+        assert len(doc["history"]) == 1
+        assert set(doc["improvements"]) == {"tapping", "signal_penalty", "total"}
+        assert "finding_counts" in doc["base"]
+
+
+class TestProfileCommand:
+    """``repro profile`` exit codes: 0 success, 2 unwritable output."""
+
+    def test_profile_writes_trace_and_summary(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.trace.json"
+        summary = tmp_path / "t.summary.json"
+        rc = main(
+            ["profile", "s5378", "--iterations", "1",
+             "--trace", str(trace), "--summary", str(summary)]
+        )
+        assert rc == 0
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        assert {e["ph"] for e in events} == {"B", "E"}
+        doc = json.loads(summary.read_text())
+        assert "stage1.initial-placement" in doc["spans"]
+        out = capsys.readouterr().out
+        assert "stage2.max-slack-skew" in out
+        assert "Perfetto" in out or "perfetto" in out
+
+    def test_default_output_paths(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "s5378", "--iterations", "1"]) == 0
+        assert (tmp_path / "s5378.trace.json").exists()
+        assert (tmp_path / "s5378.summary.json").exists()
+
+    def test_unwritable_path_is_usage_error(self, tmp_path, capsys):
+        rc = main(
+            ["profile", "s5378", "--iterations", "1",
+             "--trace", str(tmp_path / "no-such-dir" / "t.json")]
+        )
+        assert rc == 2
+        assert "repro profile:" in capsys.readouterr().err
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "s000"])
