@@ -19,7 +19,7 @@ available for callers that need custom circuits, collectors, or options
 objects.
 """
 
-from .api import check_design, run_flow
+from .api import TablesRun, check_design, run_flow, run_tables
 from .constants import (
     DEFAULT_CLOCK_PERIOD_PS,
     DEFAULT_TECHNOLOGY,
@@ -48,6 +48,8 @@ __all__ = [
     "period_ps",
     "oscillation_period_ps",
     "run_flow",
+    "run_tables",
+    "TablesRun",
     "check_design",
     "IntegratedFlow",
     "FlowOptions",

@@ -134,37 +134,52 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    from .experiments import (
-        ExperimentSuite,
-        format_table,
-        table1_integrality_gap,
-        table2_test_cases,
-        table3_base_case,
-        table4_network_flow,
-        table5_load_capacitance,
-        table6_power,
-        table7_wcp,
-    )
+    from .api import run_tables
+    from .experiments import format_table
+
+    if args.resume and not args.checkpoint_dir:
+        print("repro tables: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
 
     circuits = (
         [c.strip() for c in args.circuits.split(",") if c.strip()]
         if args.circuits
         else list(PROFILE_ORDER)
     )
-    suite = ExperimentSuite(circuits=circuits)
-    markdown = args.markdown
-    generators = [
-        ("Table I", lambda: table1_integrality_gap(suite, args.ilp_time_limit)),
-        ("Table II", lambda: table2_test_cases(suite)),
-        ("Table III", lambda: table3_base_case(suite)),
-        ("Table IV", lambda: table4_network_flow(suite)),
-        ("Table V", lambda: table5_load_capacitance(suite)),
-        ("Table VI", lambda: table6_power(suite)),
-        ("Table VII", lambda: table7_wcp(suite)),
-    ]
-    for title, gen in generators:
-        print(format_table(gen(), title, markdown=markdown))
+    run = run_tables(
+        circuits,
+        parallel=args.parallel,
+        timeout=args.timeout or None,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        checkpoint_dir=args.checkpoint_dir or None,
+        resume=args.resume,
+        ilp_time_limit=args.ilp_time_limit,
+    )
+    titles = {
+        "table1": "Table I",
+        "table2": "Table II",
+        "table3": "Table III",
+        "table4": "Table IV",
+        "table5": "Table V",
+        "table6": "Table VI",
+        "table7": "Table VII",
+    }
+    for key, rows in run.tables.items():
+        print(format_table(rows, titles[key], markdown=args.markdown))
         print()
+    if run.report is not None:
+        r = run.report
+        print(f"parallel run: {len(r.completed)} computed, "
+              f"{len(r.resumed)} resumed from checkpoints, "
+              f"{len(r.failed)} failed tasks "
+              f"({r.retries} retries, {r.timeouts} timeouts, "
+              f"{r.crashes} crashes) in {r.seconds:.1f} s")
+    if run.failures:
+        for name, reason in sorted(run.failures.items()):
+            print(f"repro tables: {name} failed: {reason}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -328,11 +343,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flow_args(check)
     check.set_defaults(func=cmd_check)
 
-    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables = sub.add_parser(
+        "tables",
+        help="regenerate the paper's tables",
+        description="Regenerate Tables I-VII. With --parallel the "
+        "(circuit x engine) matrix runs over worker processes with "
+        "per-task timeouts and bounded retries; with --checkpoint-dir "
+        "every completed circuit is written as an atomic JSON artifact "
+        "and --resume continues an interrupted suite from there. "
+        "Exit 0 = all circuits completed, 1 = partial tables (some "
+        "circuit failed), 2 = usage error.",
+    )
     tables.add_argument("--circuits", default="", help="comma-separated subset")
     tables.add_argument("--ilp-time-limit", type=float, default=10.0)
     tables.add_argument("--markdown", action="store_true",
                         help="emit Markdown tables instead of aligned text")
+    tables.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run the suite over N worker processes (0 = serial)",
+    )
+    tables.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-task wall-clock deadline for parallel runs (0 = none)",
+    )
+    tables.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per task after crash/timeout/error (default: 2)",
+    )
+    tables.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry backoff (default: 0.5)",
+    )
+    tables.add_argument(
+        "--checkpoint-dir", default="", metavar="DIR",
+        help="write one atomic JSON checkpoint per completed circuit",
+    )
+    tables.add_argument(
+        "--resume", action="store_true",
+        help="serve completed circuits from --checkpoint-dir",
+    )
     tables.set_defaults(func=cmd_tables)
 
     info = sub.add_parser("bench-info", help="show a benchmark profile")

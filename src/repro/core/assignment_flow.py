@@ -69,6 +69,14 @@ def _assign_via_ssp(
     for i in range(n_ff):
         net.add_arc("source", ("ff", i), capacity=1, cost=0.0)
         for j in matrix.candidates[i]:
+            # A repeated candidate ring would add a parallel arc whose
+            # ``arc_of`` entry overwrites the first; the unit of flow can
+            # then sit on the shadowed arc and vanish from the readback,
+            # leaving the flip-flop spuriously "unassigned".  The cost of
+            # a duplicate is identical (same matrix column), so the first
+            # arc is authoritative and duplicates are skipped.
+            if (i, int(j)) in arc_of:
+                continue
             arc_of[(i, int(j))] = net.add_arc(
                 ("ff", i), ("ring", int(j)), capacity=1, cost=float(matrix.costs[i, j])
             )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Literal, Mapping, Sequence
+from typing import Any, Literal, Mapping, Sequence
 
 import numpy as np
 import numpy.typing as npt
@@ -63,6 +63,29 @@ class MinMaxCapResult:
         if self.lp_bound <= 0.0:
             return 1.0
         return self.ilp_value / self.lp_bound
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (experiment checkpoints)."""
+        return {
+            "assign": [int(j) for j in self.assign],
+            "lp_bound": self.lp_bound,
+            "ilp_value": self.ilp_value,
+            "integral_fraction": self.integral_fraction,
+            "solve_seconds": self.solve_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "MinMaxCapResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            assign=np.asarray(
+                [int(j) for j in data["assign"]], dtype=np.intp
+            ),
+            lp_bound=float(data["lp_bound"]),
+            ilp_value=float(data["ilp_value"]),
+            integral_fraction=float(data["integral_fraction"]),
+            solve_seconds=float(data["solve_seconds"]),
+        )
 
 
 def _candidate_lists(

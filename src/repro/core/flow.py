@@ -187,6 +187,28 @@ class IterationRecord:
             "finding_counts": self.finding_counts,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IterationRecord":
+        """Rebuild a record serialized by :meth:`to_dict`.
+
+        ``finding_counts`` is a lossy projection of :attr:`findings`
+        (diagnostics do not round-trip); reloaded records carry no
+        findings.
+        """
+        return cls(
+            iteration=int(data["iteration"]),
+            tapping_wirelength=float(data["tapping_wirelength_um"]),
+            signal_wirelength=float(data["signal_wirelength_um"]),
+            average_flipflop_distance=float(
+                data["average_flipflop_distance_um"]
+            ),
+            max_load_capacitance=float(data["max_load_capacitance_ff"]),
+            overall_cost=float(data["overall_cost"]),
+            seconds=float(data["seconds"]),
+            cost_cache_hits=int(data.get("cost_cache_hits", 0)),
+            cost_cache_misses=int(data.get("cost_cache_misses", 0)),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class FlowResult:
@@ -212,6 +234,13 @@ class FlowResult:
     #: Populated when the run was traced (``FlowOptions(trace=True)`` or
     #: an explicit recording collector).
     trace: Trace | None = None
+    #: The clock-oblivious stage-1 placement (before any pseudo-net
+    #: iteration moved flip-flops).  The Table II conventional clock-tree
+    #: baseline is synthesized from these, so the reference never shifts
+    #: with the number of flow iterations.
+    initial_positions: dict[str, Point] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def tapping_improvement(self) -> float:
@@ -240,17 +269,42 @@ class FlowResult:
         Covers the design decisions (positions, assignment, schedule),
         the per-iteration records including ``finding_counts``, the
         headline improvements, and — when the run was traced — the
-        aggregated trace summary.
+        aggregated trace summary.  The document carries everything
+        :meth:`from_dict` needs to rebuild an equivalent result (the
+        checkpoint/resume path of the experiment suite); only
+        ``findings``, ``local_trees``, and the live ``trace`` object are
+        lossy.
         """
+        region = self.array.region
         return {
             "circuit": self.circuit_name,
             "period_ps": self.array.period,
             "num_rings": self.array.num_rings,
+            "die": [region.xlo, region.ylo, region.xhi, region.yhi],
+            "ring_grid_side": self.array.side,
+            "ring_fill_factor": self.array.options.fill_factor,
+            "ring_reference_delay": self.array.options.reference_delay,
             "positions": {
                 name: [p.x, p.y] for name, p in sorted(self.positions.items())
             },
+            "initial_positions": {
+                name: [p.x, p.y]
+                for name, p in sorted(self.initial_positions.items())
+            },
             "ring_of": dict(sorted(self.assignment.ring_of.items())),
+            "tappings": {
+                name: {
+                    "segment": sol.segment_index,
+                    "x": sol.x,
+                    "wirelength": sol.wirelength,
+                    "periods_borrowed": sol.periods_borrowed,
+                    "snaked": sol.snaked,
+                    "target_delay": sol.target_delay,
+                }
+                for name, sol in sorted(self.assignment.solutions.items())
+            },
             "schedule": dict(sorted(self.schedule.targets.items())),
+            "schedule_slack_ps": self.schedule.slack,
             "slack_available_ps": self.slack_available,
             "slack_guaranteed_ps": self.slack_guaranteed,
             "base": self.base.to_dict(),
@@ -265,8 +319,95 @@ class FlowResult:
                 "algorithm": self.seconds_algorithm,
                 "placer": self.seconds_placer,
             },
+            "ilp_stats": (
+                self.ilp_stats.to_dict() if self.ilp_stats is not None else None
+            ),
             "trace": self.trace.summary() if self.trace is not None else None,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowResult":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        Every value the experiment suite and the table generators read —
+        positions, ring array geometry, assignment with realized tapping
+        solutions, schedule, iteration records, timings, ILP statistics —
+        round-trips exactly (JSON floats are shortest-repr and restore
+        bit-identical doubles).  ``findings``, ``local_trees``, and
+        ``trace`` do not survive the round trip.
+        """
+        from ..geometry import BBox
+        from ..rotary import RingArrayOptions, TappingSolution
+
+        die = data["die"]
+        array = RingArray(
+            BBox(
+                float(die[0]), float(die[1]), float(die[2]), float(die[3])
+            ),
+            int(data["ring_grid_side"]),
+            float(data["period_ps"]),
+            RingArrayOptions(
+                fill_factor=float(data.get("ring_fill_factor", 0.7)),
+                reference_delay=float(data.get("ring_reference_delay", 0.0)),
+            ),
+        )
+        positions = {
+            name: Point(float(x), float(y))
+            for name, (x, y) in data["positions"].items()
+        }
+        initial_positions = {
+            name: Point(float(x), float(y))
+            for name, (x, y) in data.get("initial_positions", {}).items()
+        }
+        ring_of = {name: int(j) for name, j in data["ring_of"].items()}
+        solutions: dict[str, TappingSolution] = {}
+        for name, rec in data["tappings"].items():
+            ring_id = ring_of[name]
+            segment = array[ring_id].segments()[int(rec["segment"])]
+            x = float(rec["x"])
+            solutions[name] = TappingSolution(
+                ring_id=ring_id,
+                segment_index=int(rec["segment"]),
+                x=x,
+                point=segment.point_at(x),
+                wirelength=float(rec["wirelength"]),
+                periods_borrowed=int(rec["periods_borrowed"]),
+                snaked=bool(rec["snaked"]),
+                target_delay=float(rec["target_delay"]),
+            )
+        assignment = Assignment(
+            ff_names=tuple(sorted(ring_of)),
+            ring_of=ring_of,
+            solutions=solutions,
+        )
+        schedule = SkewSchedule(
+            targets={
+                name: float(t) for name, t in data["schedule"].items()
+            },
+            slack=float(data.get("schedule_slack_ps", 0.0)),
+        )
+        ilp_raw = data.get("ilp_stats")
+        ilp_stats = (
+            MinMaxCapResult.from_dict(ilp_raw) if ilp_raw is not None else None
+        )
+        return cls(
+            circuit_name=str(data["circuit"]),
+            positions=positions,
+            assignment=assignment,
+            schedule=schedule,
+            array=array,
+            base=IterationRecord.from_dict(data["base"]),
+            final=IterationRecord.from_dict(data["final"]),
+            history=tuple(
+                IterationRecord.from_dict(rec) for rec in data["history"]
+            ),
+            slack_available=float(data["slack_available_ps"]),
+            slack_guaranteed=float(data["slack_guaranteed_ps"]),
+            seconds_algorithm=float(data["seconds"]["algorithm"]),
+            seconds_placer=float(data["seconds"]["placer"]),
+            ilp_stats=ilp_stats,
+            initial_positions=initial_positions,
+        )
 
 
 class IntegratedFlow:
@@ -314,6 +455,10 @@ class IntegratedFlow:
             if opts.detailed_refinement:
                 refined = refine_placement(self.circuit, region, positions)
                 positions = refined.positions
+        # Snapshot the clock-oblivious placement: conventional-baseline
+        # comparisons (Table II) reference these positions, never the
+        # pseudo-net-iterated ones.
+        initial_positions = dict(positions)
         t_placer += time.monotonic() - tic
 
         # Stage 2: traditional max-slack skew optimization.
@@ -527,6 +672,7 @@ class IntegratedFlow:
             ilp_stats=ilp_stats,
             local_trees=local_tree_result,
             trace=obs.trace(),
+            initial_positions=initial_positions,
         )
 
     # ------------------------------------------------------------------

@@ -9,11 +9,25 @@ from .figures import (
     fig4_network_structure,
     fig5_greedy_rounding,
 )
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    experiment_key,
+)
 from .motivation import ZeroSkewComparison, zero_skew_comparison
+from .parallel import (
+    ParallelOptions,
+    ParallelSuiteRunner,
+    SuiteRunReport,
+    TaskFailure,
+    parallel_options_from_flags,
+    run_parallel_suite,
+)
 from .runner import (
     CircuitExperiment,
     ExperimentSuite,
     PowerBreakdown,
+    profile_for,
 )
 from .tables import (
     format_table,
@@ -30,6 +44,16 @@ __all__ = [
     "ExperimentSuite",
     "CircuitExperiment",
     "PowerBreakdown",
+    "profile_for",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "experiment_key",
+    "ParallelOptions",
+    "ParallelSuiteRunner",
+    "SuiteRunReport",
+    "TaskFailure",
+    "parallel_options_from_flags",
+    "run_parallel_suite",
     "table1_integrality_gap",
     "table2_test_cases",
     "table3_base_case",

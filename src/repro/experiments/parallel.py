@@ -1,0 +1,501 @@
+"""Parallel, fault-tolerant experiment orchestration.
+
+The serial :class:`~repro.experiments.runner.ExperimentSuite` runs every
+circuit and both assignment engines strictly back to back; this module
+fans the (circuit x engine) task matrix out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and hardens every task:
+
+* **per-task timeouts** — tasks are dispatched in waves no larger than
+  the worker count (so every submitted task starts immediately and its
+  wall-clock deadline is honest); a task that exceeds the deadline has
+  its whole pool generation torn down (hung workers are terminated) and
+  is requeued, while innocent wave-mates are requeued without penalty;
+* **bounded retries with exponential backoff** — a crashed (killed
+  worker), timed-out, or erroring task is retried up to
+  ``max_retries`` times, waiting ``backoff_seconds * 2**(attempt-1)``
+  between attempts;
+* **checkpoint/resume** — completed circuits are written through the
+  suite's :class:`~repro.experiments.checkpoint.CheckpointStore`; with
+  ``suite.resume`` they are served from disk and never re-run;
+* **trace merging** — each worker runs its flow under a recording
+  collector and ships the final counters/gauges home, where they are
+  folded into the parent collector next to the runner's own task
+  latency, retry, timeout, and crash metrics.
+
+Workers return ``FlowResult.to_dict()`` documents rather than live
+objects; the parent rebuilds them with ``FlowResult.from_dict``, the
+exact code path a checkpoint load takes.  Every float survives both
+trips bit-identically, so a parallel, a resumed, and a serial suite
+produce the same tables.
+
+For tests and CI smoke runs, the ``REPRO_EXPERIMENTS_FAULT`` environment
+variable injects worker faults: a comma-separated list of
+``circuit:engine:mode[:max_attempt]`` specs where mode is ``crash``
+(hard ``os._exit``, indistinguishable from a kill), ``hang`` (sleep
+until the timeout fires), or ``error`` (raise), and ``*`` matches any
+circuit/engine.  Faults fire only while ``attempt <= max_attempt``
+(default: always), so a ``...:1`` spec exercises the retry path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from ..constants import Technology
+from ..core import FlowOptions, FlowResult, IntegratedFlow
+from ..netlist import generate_circuit
+from ..obs import NULL_COLLECTOR, Collector, TraceCollector
+from .runner import ExperimentSuite, profile_for
+
+#: Environment variable holding fault-injection specs (tests/CI only).
+FAULT_ENV = "REPRO_EXPERIMENTS_FAULT"
+
+ENGINES = ("flow", "ilp")
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelOptions:
+    """Configuration of the parallel runner."""
+
+    #: Worker processes (and the maximum wave size).
+    workers: int = 2
+    #: Per-task wall-clock deadline in seconds (None disables).
+    timeout: float | None = None
+    #: Retries after the first attempt of each task.
+    max_retries: int = 2
+    #: Base of the exponential backoff between attempts (seconds).
+    backoff_seconds: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFailure:
+    """One task that exhausted its retry budget."""
+
+    circuit: str
+    engine: str
+    #: ``"crash"`` (worker died), ``"timeout"``, or ``"error"`` (raised).
+    kind: str
+    attempts: int
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteRunReport:
+    """Outcome and fault statistics of one parallel suite run."""
+
+    #: Circuits whose experiments were computed this run.
+    completed: tuple[str, ...]
+    #: Circuits served from the checkpoint store (resume).
+    resumed: tuple[str, ...]
+    #: Circuits that could not be completed, with their task failures.
+    failed: tuple[TaskFailure, ...]
+    retries: int
+    timeouts: int
+    crashes: int
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+@dataclass(slots=True)
+class _Task:
+    """Mutable scheduling state of one (circuit, engine) task."""
+
+    circuit: str
+    engine: str
+    payload: dict[str, Any]
+    attempt: int = 1
+    not_before: float = 0.0
+    last_kind: str = "error"
+    last_message: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.circuit, self.engine)
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the pool processes; must stay module-level
+# picklable and import-light).
+# ----------------------------------------------------------------------
+def _maybe_inject_fault(circuit: str, engine: str, attempt: int) -> None:
+    """Honor ``REPRO_EXPERIMENTS_FAULT`` (test/CI hook; no-op otherwise)."""
+    raw = os.environ.get(FAULT_ENV, "")
+    if not raw.strip():
+        return
+    for spec in raw.split(","):
+        parts = [p.strip() for p in spec.strip().split(":")]
+        if len(parts) < 3:
+            continue
+        c, e, mode = parts[0], parts[1], parts[2]
+        limit = int(parts[3]) if len(parts) > 3 else 1 << 30
+        if c not in ("*", circuit) or e not in ("*", engine):
+            continue
+        if attempt > limit:
+            continue
+        if mode == "crash":
+            # A hard exit, skipping interpreter teardown: the parent sees
+            # the same BrokenExecutor a SIGKILLed worker would produce.
+            os._exit(17)
+        elif mode == "hang":
+            time.sleep(3600.0)
+        elif mode == "error":
+            raise RuntimeError(
+                f"injected fault for task {circuit}/{engine} "
+                f"(attempt {attempt})"
+            )
+
+
+def _execute_task(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one (circuit, engine) flow in a worker process.
+
+    Returns a picklable document: the serialized flow result plus the
+    worker's trace counters/gauges and wall-clock, which the parent
+    merges into its collector.
+    """
+    circuit_name = payload["circuit"]
+    engine = payload["engine"]
+    _maybe_inject_fault(circuit_name, engine, int(payload["attempt"]))
+    options = FlowOptions.from_dict(payload["options"])
+    tech = Technology(**payload["tech"])
+    circuit = generate_circuit(profile_for(circuit_name))
+    collector = TraceCollector()
+    start = time.perf_counter()
+    result = IntegratedFlow(circuit, tech, options, collector=collector).run()
+    seconds = time.perf_counter() - start
+    trace = collector.trace()
+    return {
+        "circuit": circuit_name,
+        "engine": engine,
+        "result": result.to_dict(),
+        "seconds": seconds,
+        "counters": dict(trace.counters),
+        "gauges": dict(trace.gauges),
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+def _drain_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly hung or broken) pool generation down for good.
+
+    ``shutdown`` alone never kills a hung worker — the interpreter would
+    block on it at exit — so any worker still alive is terminated.
+    ``_processes`` is a CPython implementation detail, stable since 3.7;
+    the getattr guard keeps alternative interpreters merely slower, not
+    broken.
+    """
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5.0)
+
+
+class ParallelSuiteRunner:
+    """Fans a suite's (circuit x engine) matrix over worker processes."""
+
+    def __init__(
+        self,
+        suite: ExperimentSuite,
+        options: ParallelOptions | None = None,
+        collector: Collector = NULL_COLLECTOR,
+    ) -> None:
+        self.suite = suite
+        self.options = options or ParallelOptions()
+        if self.options.workers < 1:
+            raise ValueError("ParallelOptions.workers must be >= 1")
+        self.collector = collector
+
+    # ------------------------------------------------------------------
+    def _task_for(self, name: str, engine: str) -> _Task:
+        payload = {
+            "circuit": name,
+            "engine": engine,
+            "attempt": 1,
+            "options": self.suite.options_for(name, engine).to_dict(),
+            "tech": asdict(self.suite.tech),
+        }
+        return _Task(circuit=name, engine=engine, payload=payload)
+
+    def run(self) -> SuiteRunReport:
+        """Run every missing circuit; returns the fault-statistics report.
+
+        Completed circuits land in the suite's cache (and checkpoint
+        store); failed ones land in ``suite.failures`` so the table
+        generators degrade to annotated partial rows.
+        """
+        opts = self.options
+        suite = self.suite
+        t_start = time.perf_counter()
+
+        resumed: list[str] = []
+        todo: list[str] = []
+        for name in suite.names:
+            if suite.is_cached(name):
+                continue
+            if suite.load_checkpoint(name) is not None:
+                resumed.append(name)
+                self.collector.count("experiments.checkpoint-loads")
+                continue
+            todo.append(name)
+
+        pending: list[_Task] = [
+            self._task_for(name, engine)
+            for name in todo
+            for engine in ENGINES
+        ]
+        self.collector.count("experiments.tasks-scheduled", len(pending))
+        results: dict[tuple[str, str], dict[str, Any]] = {}
+        failures: list[TaskFailure] = []
+        retries = timeouts = crashes = 0
+
+        while pending:
+            now = time.monotonic()
+            due = [t for t in pending if t.not_before <= now]
+            if not due:
+                time.sleep(
+                    max(0.0, min(t.not_before for t in pending) - now)
+                )
+                continue
+            # Waves never exceed the worker count: every submitted task
+            # starts executing immediately, so its deadline is honest.
+            wave = due[: opts.workers]
+            pending = [t for t in pending if t not in wave]
+            done, soft_failed = self._run_wave(wave)
+            results.update(done)
+
+            for task, kind, message, penalize in soft_failed:
+                if not penalize:
+                    # Innocent victim of a torn-down pool generation:
+                    # requeue at the same attempt, no backoff.
+                    pending.append(task)
+                    continue
+                if kind == "timeout":
+                    timeouts += 1
+                    self.collector.count("experiments.timeouts")
+                elif kind == "crash":
+                    crashes += 1
+                    self.collector.count("experiments.crashes")
+                task.last_kind = kind
+                task.last_message = message
+                if task.attempt > opts.max_retries:
+                    failures.append(
+                        TaskFailure(
+                            circuit=task.circuit,
+                            engine=task.engine,
+                            kind=kind,
+                            attempts=task.attempt,
+                            message=message,
+                        )
+                    )
+                    self.collector.count("experiments.task-failures")
+                    continue
+                retries += 1
+                self.collector.count("experiments.retries")
+                task.attempt += 1
+                task.payload["attempt"] = task.attempt
+                task.not_before = time.monotonic() + (
+                    opts.backoff_seconds * 2.0 ** (task.attempt - 2)
+                )
+                pending.append(task)
+
+        completed = self._assemble(todo, results, failures)
+        return SuiteRunReport(
+            completed=tuple(completed),
+            resumed=tuple(resumed),
+            failed=tuple(failures),
+            retries=retries,
+            timeouts=timeouts,
+            crashes=crashes,
+            seconds=time.perf_counter() - t_start,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_wave(
+        self, wave: list[_Task]
+    ) -> tuple[
+        dict[tuple[str, str], dict[str, Any]],
+        list[tuple[_Task, str, str, bool]],
+    ]:
+        """One pool generation over at most ``workers`` tasks.
+
+        Returns completed payloads and ``(task, kind, message, penalize)``
+        soft failures.  A timeout or worker death abandons the whole
+        generation (terminating its processes); tasks that neither
+        finished nor caused the teardown come back unpenalized.
+        """
+        opts = self.options
+        ok: dict[tuple[str, str], dict[str, Any]] = {}
+        failed: list[tuple[_Task, str, str, bool]] = []
+        pool = ProcessPoolExecutor(max_workers=max(1, min(opts.workers, len(wave))))
+        broken = False
+        try:
+            with self.collector.span("experiments.wave", tasks=len(wave)):
+                futures = [
+                    (task, pool.submit(_execute_task, task.payload))
+                    for task in wave
+                ]
+                deadline = (
+                    None
+                    if opts.timeout is None
+                    else time.monotonic() + opts.timeout
+                )
+                for task, future in futures:
+                    if broken:
+                        # The generation is being abandoned; salvage
+                        # whatever already finished.
+                        if future.done():
+                            self._collect(task, future, ok, failed)
+                        else:
+                            failed.append((task, "aborted", "", False))
+                        continue
+                    try:
+                        remaining = (
+                            None
+                            if deadline is None
+                            else max(0.0, deadline - time.monotonic())
+                        )
+                        payload = future.result(timeout=remaining)
+                    except FutureTimeoutError:
+                        failed.append(
+                            (
+                                task,
+                                "timeout",
+                                f"exceeded {opts.timeout:.1f}s deadline",
+                                True,
+                            )
+                        )
+                        broken = True
+                    except BrokenExecutor:
+                        failed.append(
+                            (task, "crash", "worker process died", True)
+                        )
+                        broken = True
+                    except Exception as exc:
+                        failed.append(
+                            (
+                                task,
+                                "error",
+                                f"{type(exc).__name__}: {exc}",
+                                True,
+                            )
+                        )
+                    else:
+                        self._merge(task, payload)
+                        ok[task.key] = payload
+        finally:
+            if broken:
+                _drain_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        return ok, failed
+
+    def _collect(
+        self,
+        task: _Task,
+        future: Any,
+        ok: dict[tuple[str, str], dict[str, Any]],
+        failed: list[tuple[_Task, str, str, bool]],
+    ) -> None:
+        """Harvest an already-done future during generation teardown."""
+        try:
+            payload = future.result(timeout=0)
+        except BrokenExecutor:
+            failed.append((task, "aborted", "", False))
+        except Exception as exc:
+            failed.append(
+                (task, "error", f"{type(exc).__name__}: {exc}", True)
+            )
+        else:
+            self._merge(task, payload)
+            ok[task.key] = payload
+
+    def _merge(self, task: _Task, payload: Mapping[str, Any]) -> None:
+        """Fold one worker's trace and latency into the parent collector."""
+        self.collector.count("experiments.tasks-completed")
+        self.collector.gauge(
+            f"experiments.task-seconds.{task.circuit}.{task.engine}",
+            float(payload["seconds"]),
+        )
+        self.collector.merge_counters(payload.get("counters", {}))
+        self.collector.merge_gauges(payload.get("gauges", {}))
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        todo: list[str],
+        results: dict[tuple[str, str], dict[str, Any]],
+        failures: list[TaskFailure],
+    ) -> list[str]:
+        """Combine per-engine results into cached circuit experiments."""
+        completed: list[str] = []
+        failed_circuits = {f.circuit for f in failures}
+        for name in todo:
+            if name in failed_circuits:
+                reasons = "; ".join(
+                    f"{f.engine}: {f.kind} after {f.attempts} attempt(s)"
+                    + (f" ({f.message})" if f.message else "")
+                    for f in failures
+                    if f.circuit == name
+                )
+                self.suite.failures[name] = reasons
+                continue
+            flow_doc = results[(name, "flow")]
+            ilp_doc = results[(name, "ilp")]
+            self.suite.install_results(
+                name,
+                FlowResult.from_dict(flow_doc["result"]),
+                FlowResult.from_dict(ilp_doc["result"]),
+            )
+            completed.append(name)
+        return completed
+
+
+def run_parallel_suite(
+    suite: ExperimentSuite,
+    options: ParallelOptions | None = None,
+    collector: Collector = NULL_COLLECTOR,
+) -> SuiteRunReport:
+    """Run ``suite`` over worker processes (see :class:`ParallelSuiteRunner`)."""
+    return ParallelSuiteRunner(suite, options, collector).run()
+
+
+def parallel_options_from_flags(
+    parallel: int,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.5,
+) -> ParallelOptions:
+    """CLI/facade helper: flags -> :class:`ParallelOptions`.
+
+    ``timeout`` of 0 (the CLI default) means "no deadline".
+    """
+    return ParallelOptions(
+        workers=max(1, parallel),
+        timeout=None if not timeout else float(timeout),
+        max_retries=max_retries,
+        backoff_seconds=backoff,
+    )
+
+
+__all__ = [
+    "ENGINES",
+    "FAULT_ENV",
+    "ParallelOptions",
+    "ParallelSuiteRunner",
+    "SuiteRunReport",
+    "TaskFailure",
+    "parallel_options_from_flags",
+    "run_parallel_suite",
+]

@@ -5,12 +5,27 @@ assignment and ILP assignment), and Table II needs the conventional
 clock-tree baseline on the same initial placement.  The
 :class:`ExperimentSuite` runs each circuit once and caches everything the
 table generators need.
+
+Three layers of persistence/fault tolerance sit on top of the in-process
+cache:
+
+* an optional :class:`~repro.experiments.checkpoint.CheckpointStore`
+  writes one JSON artifact per completed :class:`CircuitExperiment`
+  (atomically, keyed by a digest of the suite configuration) and serves
+  them back on resume;
+* :meth:`ExperimentSuite.try_run` converts a crashing circuit into a
+  recorded failure instead of an exception, which the table generators
+  render as annotated partial rows;
+* :mod:`repro.experiments.parallel` fans the (circuit x engine) matrix
+  out over worker processes and installs the results through
+  :meth:`ExperimentSuite.install_results`.
 """
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..clocktree import PathLengthStats, path_length_stats, synthesize_clock_tree_dme
 from ..constants import DEFAULT_TECHNOLOGY, Technology, frequency_ghz
@@ -24,6 +39,22 @@ from ..netlist import (
     small_profile,
 )
 from ..power import clock_power_mw, signal_power_mw
+
+if TYPE_CHECKING:  # avoid a runtime cycle: checkpoint imports runner
+    from .checkpoint import CheckpointStore
+
+
+def profile_for(name: str) -> CircuitProfile:
+    """The bundled Table II profile, or a deterministic synthetic one.
+
+    Unknown names map to a small synthetic circuit whose seed is a CRC of
+    the name, so ad-hoc suites (tests, smoke runs) are reproducible.
+    """
+    if name in PROFILES:
+        return PROFILES[name]
+    import zlib
+
+    return small_profile(name=name, seed=zlib.crc32(name.encode()) % 100_000)
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +99,13 @@ class ExperimentSuite:
     options:
         Flow options template; the ring grid side and assignment engine
         are overridden per circuit/engine.
+    checkpoints:
+        Optional on-disk store; every completed experiment is written to
+        it (atomically, keyed by a digest of ``(name, options, tech)``).
+    resume:
+        When true, :meth:`run` serves circuits from ``checkpoints``
+        before computing anything, so an interrupted suite continues
+        instead of restarting.
     """
 
     def __init__(
@@ -75,42 +113,106 @@ class ExperimentSuite:
         circuits: Iterable[str] | None = None,
         tech: Technology = DEFAULT_TECHNOLOGY,
         options: FlowOptions | None = None,
+        checkpoints: "CheckpointStore | None" = None,
+        resume: bool = False,
     ):
         self.names = list(circuits) if circuits is not None else list(PROFILE_ORDER)
         self.tech = tech
         self.options = options or FlowOptions()
+        self.checkpoints = checkpoints
+        self.resume = resume
         self._cache: dict[str, CircuitExperiment] = {}
+        #: Per-circuit failure reasons (set by :meth:`try_run` and the
+        #: parallel runner); the table generators render these as
+        #: annotated partial rows instead of raising.
+        self.failures: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def profile_for(self, name: str) -> CircuitProfile:
-        if name in PROFILES:
-            return PROFILES[name]
-        import zlib
+        return profile_for(name)
 
-        return small_profile(name=name, seed=zlib.crc32(name.encode()) % 100_000)
+    def is_cached(self, name: str) -> bool:
+        return name in self._cache
+
+    def options_for(self, name: str, engine: str) -> FlowOptions:
+        """The per-circuit/engine options the suite runs with."""
+        profile = self.profile_for(name)
+        return _with(
+            self.options,
+            ring_grid_side=profile.ring_grid_side,
+            assignment=engine,
+        )
+
+    # ------------------------------------------------------------------
+    def load_checkpoint(self, name: str) -> CircuitExperiment | None:
+        """Serve ``name`` from the checkpoint store (resume mode only)."""
+        if self.checkpoints is None or not self.resume:
+            return None
+        experiment = self.checkpoints.load(name, self.options, self.tech)
+        if experiment is not None:
+            self._cache[name] = experiment
+            self.failures.pop(name, None)
+        return experiment
 
     def run(self, name: str) -> CircuitExperiment:
-        """Run (or return cached) experiments for one circuit."""
+        """Run (or return cached/checkpointed) experiments for one circuit."""
         if name in self._cache:
             return self._cache[name]
+        restored = self.load_checkpoint(name)
+        if restored is not None:
+            return restored
+        circuit = generate_circuit(self.profile_for(name))
+        flow_result = IntegratedFlow(
+            circuit, self.tech, self.options_for(name, "flow")
+        ).run()
+        ilp_result = IntegratedFlow(
+            circuit, self.tech, self.options_for(name, "ilp")
+        ).run()
+        return self.install_results(name, flow_result, ilp_result)
+
+    def try_run(self, name: str) -> CircuitExperiment | None:
+        """Like :meth:`run`, but a failure is recorded, not raised.
+
+        A circuit already marked failed (e.g. by the parallel runner
+        after exhausting its retries) stays failed — table generation
+        never silently re-runs a multi-minute flow behind a failure.
+        """
+        if name in self._cache:
+            return self._cache[name]
+        if name in self.failures:
+            return None
+        try:
+            return self.run(name)
+        except Exception as exc:  # degrade to an annotated partial row
+            self.failures[name] = f"{type(exc).__name__}: {exc}"
+            traceback.print_exc()
+            return None
+
+    def install_results(
+        self, name: str, flow_result: FlowResult, ilp_result: FlowResult
+    ) -> CircuitExperiment:
+        """Assemble, cache, and checkpoint one circuit's experiment.
+
+        The serial path calls this with live :class:`FlowResult` objects;
+        the parallel runner calls it with results deserialized from its
+        workers.  Both produce identical experiments because every field
+        the metrics read round-trips exactly.
+        """
         profile = self.profile_for(name)
         circuit = generate_circuit(profile)
-        side = profile.ring_grid_side
-        flow_opts = _with(self.options, ring_grid_side=side, assignment="flow")
-        ilp_opts = _with(self.options, ring_grid_side=side, assignment="ilp")
 
-        flow_result = IntegratedFlow(circuit, self.tech, flow_opts).run()
-        ilp_result = IntegratedFlow(circuit, self.tech, ilp_opts).run()
-
-        # Conventional clock-tree baseline over the flip-flop locations of
-        # the (clock-oblivious) initial placement equivalent — we use the
-        # final flow placement's flip-flops, matching "for reference".
+        # Conventional clock-tree baseline over the flip-flop locations
+        # of the clock-oblivious *initial* placement — the paper's "for
+        # reference" comparison.  Using the final flow placement here
+        # would let the baseline drift with the iteration count.
+        reference = flow_result.initial_positions or flow_result.positions
         ff_positions = {
-            ff.name: flow_result.positions[ff.name] for ff in circuit.flip_flops
+            ff.name: reference[ff.name] for ff in circuit.flip_flops
         }
         tree = synthesize_clock_tree_dme(ff_positions, self.tech)
         paths = path_length_stats(tree)
 
+        flow_opts = self.options_for(name, "flow")
         freq = frequency_ghz(flow_opts.period)
         n_ff = len(circuit.flip_flops)
 
@@ -140,6 +242,9 @@ class ExperimentSuite:
             ),
         )
         self._cache[name] = experiment
+        self.failures.pop(name, None)
+        if self.checkpoints is not None:
+            self.checkpoints.save(name, self.options, self.tech, experiment)
         return experiment
 
     def run_all(self) -> list[CircuitExperiment]:
@@ -150,4 +255,3 @@ def _with(options: FlowOptions, **overrides) -> FlowOptions:
     from dataclasses import replace
 
     return replace(options, **overrides)
-

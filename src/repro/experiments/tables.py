@@ -37,13 +37,27 @@ PAPER_TABLE5_CAP_IMP = {
 }
 
 
+def _failure_row(suite: ExperimentSuite, name: str) -> dict[str, object]:
+    """Annotated partial row for a circuit whose experiments failed.
+
+    Table generation degrades instead of raising: the row carries the
+    circuit name and the recorded failure reason in an ``error`` column,
+    and :func:`format_table` unions columns across rows so the partial
+    table still renders.
+    """
+    return {"circuit": name, "error": suite.failures.get(name, "failed")}
+
+
 def table1_integrality_gap(
     suite: ExperimentSuite, ilp_time_limit: float = 20.0
 ) -> list[dict[str, object]]:
     """Table I: greedy rounding vs a generic ILP solver (IG and CPU)."""
     rows: list[dict[str, object]] = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         # Rebuild the capacitance matrix of the ILP run's final state.
         targets = exp.ilp.schedule.normalized(suite.options.period).targets
         matrix = tapping_cost_matrix(
@@ -81,7 +95,10 @@ def table2_test_cases(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table II: circuit statistics plus the clock-tree PL baseline."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         stats = exp.circuit.stats()
         rows.append(
             {
@@ -101,7 +118,10 @@ def table3_base_case(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table III: the base case (stages 1-3 only, network-flow engine)."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         base = exp.flow.base
         rows.append(
             {
@@ -123,7 +143,10 @@ def table4_network_flow(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table IV: iterated flow (stages 4-6) with improvements vs base."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         r = exp.flow
         rows.append(
             {
@@ -148,7 +171,10 @@ def table5_load_capacitance(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table V: max load capacitance, network flow vs ILP formulation."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         nf_cap = exp.flow.final.max_load_capacitance
         ilp_cap = exp.ilp.final.max_load_capacitance
         nf_afd = exp.flow.final.average_flipflop_distance
@@ -180,7 +206,10 @@ def table6_power(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table VI: power for both formulations, improvement vs base case."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
 
         def imp(new: float, old: float) -> float:
             return 1.0 - new / old if old else 0.0
@@ -209,7 +238,10 @@ def table7_wcp(suite: ExperimentSuite) -> list[dict[str, object]]:
     """Table VII: wirelength-capacitance product comparison."""
     rows = []
     for name in suite.names:
-        exp = suite.run(name)
+        exp = suite.try_run(name)
+        if exp is None:
+            rows.append(_failure_row(suite, name))
+            continue
         nf = wirelength_capacitance_product(
             exp.flow.final.total_wirelength,
             exp.flow.final.max_load_capacitance,
@@ -260,7 +292,13 @@ def format_table(
     """
     if not rows:
         return f"{title}\n(no rows)"
-    cols = list(rows[0].keys())
+    # Union of all rows' columns in first-appearance order: failure rows
+    # carry only {circuit, error}, so rows[0] alone is not authoritative.
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
     table = [[_format_cell(r.get(c), c) for c in cols] for r in rows]
     if markdown:
         lines = [f"### {title}", ""] if title else []

@@ -61,6 +61,29 @@ class Collector:
         """Set a gauge to its latest value."""
         return None
 
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold another collector's final counters into this one.
+
+        The parallel experiment runner uses this to surface per-worker
+        trace counters (tapping cache hits, batch-solve calls, ...) in
+        the parent's collector: each worker records into its own
+        :class:`TraceCollector` and ships the final values back, and the
+        parent replays them as ordinary :meth:`count` calls (sorted by
+        name for deterministic event order).  A no-op on the disabled
+        collector, like every other method.
+        """
+        for name in sorted(counters):
+            self.count(name, counters[name])
+
+    def merge_gauges(self, gauges: Mapping[str, float]) -> None:
+        """Fold another collector's final gauges into this one.
+
+        Last write wins, matching :meth:`gauge` semantics — callers that
+        need per-worker values should namespace the gauge names.
+        """
+        for name in sorted(gauges):
+            self.gauge(name, gauges[name])
+
     def trace(self) -> Trace | None:
         """Snapshot of everything recorded so far (None when disabled)."""
         return None

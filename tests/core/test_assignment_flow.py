@@ -74,6 +74,32 @@ class TestAssignMinCost:
         cost_b = costs[np.arange(8), b].sum()
         assert cost_a == pytest.approx(cost_b)
 
+    def test_ssp_duplicate_candidates(self):
+        # Regression: a repeated ring index in ``candidates`` used to add
+        # parallel arcs whose ``arc_of`` entry was overwritten; the unit
+        # of flow could then sit on the shadowed arc and the flip-flop
+        # read back as unassigned (AssignmentError from a feasible
+        # instance).  Duplicates must be ignored, and the result must
+        # match the transportation backend on the same matrix.
+        costs = np.array([[1.0, 5.0], [4.0, 2.0], [3.0, 3.0]])
+        names = tuple(f"ff{i}" for i in range(3))
+        dup = TappingCostMatrix(
+            ff_names=names,
+            costs=costs,
+            candidates=(
+                np.array([0, 0, 1], dtype=np.intp),
+                np.array([1, 0, 1], dtype=np.intp),
+                np.array([0, 1, 0, 1], dtype=np.intp),
+            ),
+        )
+        caps = [2, 2]
+        a = assign_min_tapping_cost(dup, caps, backend="ssp")
+        b = assign_min_tapping_cost(matrix_from(costs), caps, backend="transportation")
+        cost_a = costs[np.arange(3), a].sum()
+        cost_b = costs[np.arange(3), b].sum()
+        assert cost_a == pytest.approx(cost_b)
+        assert (a >= 0).all()
+
     @settings(max_examples=20, deadline=None)
     @given(st.data())
     def test_optimal_vs_brute_force(self, data):

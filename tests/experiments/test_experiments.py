@@ -112,6 +112,41 @@ class TestTables:
         assert format_table([], "Empty") == "Empty\n(no rows)"
 
 
+class TestClockTreeBaseline:
+    def test_baseline_invariant_to_iteration_count(self):
+        """Table II's PL column is a property of the *initial* placement.
+
+        Regression: the DME baseline used to be synthesized from the
+        final (iterated) flip-flop positions, so running more flow
+        iterations silently changed the paper's reference column.  It
+        must now come from ``FlowResult.initial_positions`` and be
+        bit-identical regardless of how long the flow iterates.
+        """
+        from repro.core import FlowOptions
+
+        one = ExperimentSuite(
+            circuits=["tinyA"], options=FlowOptions(max_iterations=1)
+        ).run("tinyA")
+        three = ExperimentSuite(
+            circuits=["tinyA"], options=FlowOptions(max_iterations=3)
+        ).run("tinyA")
+        assert one.clock_tree_paths == three.clock_tree_paths
+        # Sanity: the flows really did diverge after stage 1.
+        assert one.flow.initial_positions == three.flow.initial_positions
+        assert len(one.flow.history) != len(three.flow.history)
+
+    def test_initial_positions_captured(self, suite):
+        exp = suite.run("tinyA")
+        assert set(exp.flow.initial_positions) == set(exp.flow.positions)
+        # Iterated placement moved at least one cell off its start.
+        moved = [
+            name
+            for name, p in exp.flow.positions.items()
+            if p != exp.flow.initial_positions[name]
+        ]
+        assert moved
+
+
 class TestFigures:
     def test_fig1_phases_cover_circle(self):
         ring = RotaryRing(0, Point(0, 0), 50.0, 1000.0)

@@ -1,0 +1,141 @@
+"""Adversarial boundary property tests for the tapping solvers.
+
+The generic property test (``test_tapping_vectorized``) draws uniform
+targets, which almost never land on the solver's fragile spots: the
+segment-joint boundaries of the two parabolas (roots at ``x ~ 0``,
+``x ~ xf``, ``x ~ b_len``, where the ``1e-7`` root-window clamps kick
+in) and targets just below a whole period multiple (where the
+``target % period`` normalization folds ``k*T - eps`` to ``T - eps``
+instead of ``~0``).  These tests construct targets that hit exactly
+those spots — the delay realized *at* a boundary tapping point, plus
+sub-ulp-to-1e-6 jitter — and require the vectorized kernel to agree
+with the scalar reference to the same 1e-9 contract everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY, Technology
+from repro.errors import TappingError
+from repro.geometry import Point
+from repro.rotary import RotaryRing, batch_solve, best_tapping
+from repro.rotary.tapping import stub_delay
+
+TECH = DEFAULT_TECHNOLOGY
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+technologies = st.builds(
+    Technology,
+    unit_resistance=st.floats(0.005, 0.5, **finite),
+    unit_capacitance=st.floats(0.01, 0.5, **finite),
+    flipflop_input_cap=st.floats(0.5, 60.0, **finite),
+)
+
+rings = st.builds(
+    RotaryRing,
+    st.just(0),
+    st.builds(
+        Point,
+        st.floats(-500.0, 500.0, **finite),
+        st.floats(-500.0, 500.0, **finite),
+    ),
+    st.floats(10.0, 400.0, **finite),
+    st.floats(100.0, 2000.0, **finite),
+    st.floats(0.0, 2000.0, **finite),
+)
+
+#: Jitter straddling the solver's 1e-7 root-window clamps.
+jitters = st.sampled_from(
+    [0.0, 1e-12, -1e-12, 1e-9, -1e-9, 1e-7, -1e-7, 5e-7, -5e-7, 1e-6, -1e-6]
+)
+
+
+def assert_batch_matches_scalar(ring, points, targets, tech):
+    """The shared 1e-9 agreement contract of the two solvers."""
+    px = np.array([p.x for p in points])
+    py = np.array([p.y for p in points])
+    result = batch_solve(ring, px, py, np.asarray(targets, dtype=float), tech)
+    for i, (p, t) in enumerate(zip(points, targets)):
+        try:
+            sol = best_tapping(ring, p, float(t), tech)
+        except TappingError:
+            assert not result.feasible[i]
+            continue
+        assert result.feasible[i]
+        assert result.wirelength[i] == pytest.approx(sol.wirelength, abs=1e-9)
+        assert int(result.segment_index[i]) == sol.segment_index
+        assert int(result.periods_borrowed[i]) == sol.periods_borrowed
+        assert bool(result.snaked[i]) == sol.snaked
+        assert result.x[i] == pytest.approx(sol.x, abs=1e-9)
+        assert result.target_delay[i] == pytest.approx(sol.target_delay, abs=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    tech=technologies,
+    ring=rings,
+    seg_index=st.integers(0, 7),
+    ff=st.builds(
+        Point,
+        st.floats(-1500.0, 1500.0, **finite),
+        st.floats(-1500.0, 1500.0, **finite),
+    ),
+    anchor=st.sampled_from(["start", "joint", "end"]),
+    jitter=jitters,
+    borrow=st.integers(0, 3),
+)
+def test_segment_joint_boundaries(tech, ring, seg_index, ff, anchor, jitter, borrow):
+    """Targets whose root lands exactly on x=0, x=xf, or x=b_len.
+
+    The target is the delay *realized* by tapping at the anchor point
+    (segment delay plus the Elmore delay of the direct Manhattan stub),
+    so one quadratic root of eq. 1 sits on the clamp boundary; the
+    jitter probes both sides of the 1e-7 acceptance window.  Whole
+    borrowed periods are added on top to exercise the normalization.
+    """
+    segment = ring.segments()[seg_index]
+    xf, yf = segment.project(ff)
+    x = {"start": 0.0, "joint": xf, "end": segment.length}[anchor]
+    x = min(max(x, 0.0), segment.length)
+    stub = abs(x - xf) + yf
+    target = segment.t0 + segment.rho * x + stub_delay(stub, tech)
+    target = target + jitter + borrow * ring.period
+    assert_batch_matches_scalar(ring, [ff], [target], tech)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    tech=technologies,
+    ring=rings,
+    ff=st.builds(
+        Point,
+        st.floats(-1500.0, 1500.0, **finite),
+        st.floats(-1500.0, 1500.0, **finite),
+    ),
+    k=st.integers(1, 4),
+    eps=st.floats(1e-12, 1e-6, **finite),
+)
+def test_targets_just_below_period_multiple(tech, ring, ff, k, eps):
+    """``k*T - eps`` normalizes to ``T - eps``, the top of the phase range.
+
+    This is where ``target % period`` is most fragile: an off-by-ulp
+    in either solver folds the target to ``~0`` instead, selecting a
+    completely different tapping case.  Both solvers must still agree.
+    """
+    target = k * ring.period - eps
+    assert_batch_matches_scalar(ring, [ff], [target], tech)
+
+
+def test_exact_period_multiple_normalizes_to_zero():
+    """``k*T`` exactly taps like phase 0 in both solvers."""
+    ring = RotaryRing(0, Point(100.0, 100.0), 80.0, period=1000.0)
+    p = Point(150.0, 250.0)
+    for k in (1, 2, 3):
+        assert_batch_matches_scalar(ring, [p], [k * 1000.0], TECH)
+        ref0 = best_tapping(ring, p, 0.0, TECH)
+        refk = best_tapping(ring, p, float(k) * 1000.0, TECH)
+        assert refk.wirelength == pytest.approx(ref0.wirelength, abs=1e-9)
+        assert refk.target_delay == pytest.approx(0.0, abs=1e-9)

@@ -140,6 +140,57 @@ class TestCheckCommand:
         assert set(doc["rules_run"]) == {"RCK101", "RCK102", "RCK103"}
 
 
+class TestTablesCommand:
+    """``repro tables`` exit codes: 0 complete, 1 partial, 2 usage error."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.parallel == 0
+        assert args.timeout == 0.0
+        assert args.max_retries == 2
+        assert args.checkpoint_dir == ""
+        assert not args.resume
+
+    def test_resume_without_checkpoint_dir_is_usage_error(self, capsys):
+        assert main(["tables", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_parallel_run_with_checkpoints(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        rc = main(
+            ["tables", "--circuits", "tinyA", "--parallel", "2",
+             "--checkpoint-dir", str(ckpt), "--ilp-time-limit", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table VII" in out
+        assert "parallel run: 1 computed" in out
+        assert len(list(ckpt.glob("tinyA-*.json"))) == 1
+        # Resume: served from the checkpoint, nothing recomputed.
+        rc = main(
+            ["tables", "--circuits", "tinyA", "--parallel", "2",
+             "--checkpoint-dir", str(ckpt), "--resume",
+             "--ilp-time-limit", "1"]
+        )
+        assert rc == 0
+        assert "1 resumed from checkpoints" in capsys.readouterr().out
+
+    def test_injected_failure_exits_one_with_partial_tables(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments.parallel import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "tinyB:*:error")
+        rc = main(
+            ["tables", "--circuits", "tinyA,tinyB", "--parallel", "2",
+             "--max-retries", "0", "--ilp-time-limit", "1"]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "error" in captured.out  # annotated partial rows
+        assert "tinyB failed" in captured.err
+
+
 class TestRunJson:
     def test_run_json_is_machine_readable(self, capsys):
         import json
