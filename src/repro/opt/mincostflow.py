@@ -58,6 +58,7 @@ class FlowNetwork:
         # adjacency: per node, list of [head, cap, cost, rev_index]
         self._adj: list[list[list]] = []
         self._arc_refs: list[ArcRef] = []
+        self._solved = False
 
     def _node(self, name: NodeId) -> int:
         idx = self._index.get(name)
@@ -95,10 +96,21 @@ class FlowNetwork:
         ``supplies`` maps node -> signed supply (positive = source,
         negative = sink); values must balance to zero.  Raises
         :class:`InfeasibleError` if the network cannot carry the supply.
+
+        The solve drains arc capacities in place, so a network can only
+        be solved once; a second call raises
+        :class:`OptimizationError` instead of silently computing flows
+        over the residual graph and stale super-source arcs.
         """
+        if self._solved:
+            raise OptimizationError(
+                "FlowNetwork.solve() already ran on this network; capacities "
+                "are drained — build a fresh network for another solve"
+            )
         total_supply = sum(v for v in supplies.values() if v > 0)
         if sum(supplies.values()) != 0:
             raise OptimizationError("supplies must sum to zero")
+        self._solved = True
         # Super source/sink reduction.
         s = self._node(("__super_source__",))
         t = self._node(("__super_sink__",))
@@ -247,6 +259,10 @@ def solve_transportation(
             f"total capacity {int(capacities.sum())} < {n_rows} flip-flops"
         )
     cost = np.where(np.isfinite(cost), cost, FORBIDDEN_COST)
+    # A column never takes more than n_rows rows, so replicating beyond
+    # that only inflates the dense matrix (a single huge-capacity ring
+    # used to allocate an n_rows x sum(U_j) expansion).
+    capacities = np.minimum(capacities, n_rows)
     col_owner = np.repeat(np.arange(n_cols), capacities)
     expanded = cost[:, col_owner]
     row_ind, col_ind = linear_sum_assignment(expanded)

@@ -225,22 +225,21 @@ def _simplex_core(
         cb = c[basis]
         reduced = c - cb @ T
         # Bland's rule: smallest index with negative reduced cost.
-        entering = next((j for j in range(n) if reduced[j] < -_TOL), None)
-        if entering is None:
+        negative = np.flatnonzero(reduced < -_TOL)
+        if negative.size == 0:
             x = np.zeros(n)
-            for k in range(m):
-                x[basis[k]] = b[k]
+            x[basis] = b
             return float(c @ x), x
-        ratios = [
-            (b[k] / T[k, entering], k)
-            for k in range(m)
-            if T[k, entering] > _TOL
-        ]
-        if not ratios:
+        entering = int(negative[0])
+        col = T[:, entering]
+        pos_rows = np.flatnonzero(col > _TOL)
+        if pos_rows.size == 0:
             raise UnboundedError("LP is unbounded")
+        ratios = b[pos_rows] / col[pos_rows]
         # Smallest ratio; tie-break on smallest basis index (Bland).
-        ratios.sort(key=lambda t: (t[0], basis[t[1]]))
-        leaving_row = ratios[0][1]
+        tied = pos_rows[ratios == ratios.min()]
+        basis_arr = np.asarray(basis)
+        leaving_row = int(tied[np.argmin(basis_arr[tied])])
         _pivot(T, b, leaving_row, entering)
         basis[leaving_row] = entering
     raise OptimizationError("simplex iteration limit exceeded")

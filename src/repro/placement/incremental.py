@@ -40,14 +40,23 @@ def incremental_place(
     options: IncrementalOptions | None = None,
     placer_options: PlacerOptions | None = None,
     collector: Collector = NULL_COLLECTOR,
+    placer: QuadraticPlacer | None = None,
 ) -> LegalizationResult:
-    """One incremental placement pass; returns legalized positions."""
+    """One incremental placement pass; returns legalized positions.
+
+    Pass an existing ``placer`` (bound to the same circuit and region)
+    to reuse its spring structure — and, in prefactored assembly mode,
+    its base Laplacian triplets — instead of rebuilding them.
+    """
     opts = options or IncrementalOptions()
     pseudo = list(pseudo_nets)
     with collector.span("placement.incremental"):
         collector.count("placement.incremental.passes")
         collector.count("placement.pseudo-nets", len(pseudo))
-        placer = QuadraticPlacer(circuit, region, placer_options)
+        if placer is None:
+            placer = QuadraticPlacer(circuit, region, placer_options)
+        else:
+            collector.count("placement.placer.reused")
         with collector.span("placement.quadratic"):
             global_pos = placer.place(
                 pseudo_nets=pseudo,

@@ -2,15 +2,14 @@
 
 Cells are processed in x order; each is assigned the free site (searched
 over nearby rows) minimizing its displacement.  All generated cells occupy
-one site, so a per-row occupancy bitmap suffices.
+one site, so a sorted free-site list per row suffices.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Mapping
-
-import numpy as np
 
 from ..errors import PlacementError
 from ..geometry import Point
@@ -45,7 +44,12 @@ def legalize(
         raise PlacementError(
             f"{len(names)} cells exceed region capacity {region.capacity_sites}"
         )
-    occupied = np.zeros((region.num_rows, region.sites_per_row), dtype=bool)
+    # Sorted free-site lists per row: a bisect per probed row replaces
+    # the previous whole-row boolean scan (same candidates, same
+    # right-site tie-break, so the packing is identical).
+    free_sites: list[list[int]] = [
+        list(range(region.sites_per_row)) for _ in range(region.num_rows)
+    ]
     # Process in x order (classic Tetris) for deterministic packing.
     names.sort(key=lambda n: (global_positions[n].x, global_positions[n].y, n))
     out: dict[str, Point] = {}
@@ -61,7 +65,7 @@ def legalize(
             lo = max(0, target_row - radius)
             hi = min(region.num_rows - 1, target_row + radius)
             for row in range(lo, hi + 1):
-                site = _nearest_free_site(occupied[row], target_site)
+                site = _nearest_free_site(free_sites[row], target_site)
                 if site is None:
                     continue
                 cost = abs(region.row_y(row) - p.y) + abs(
@@ -74,7 +78,8 @@ def legalize(
                     raise PlacementError("no free site found during legalization")
                 radius *= 2
         _, row, site = best
-        occupied[row, site] = True
+        row_free = free_sites[row]
+        del row_free[bisect_left(row_free, site)]
         q = Point(region.site_x(site), region.row_y(row))
         out[name] = q
         d = p.manhattan(q)
@@ -83,15 +88,18 @@ def legalize(
     return LegalizationResult(out, total_disp, max_disp)
 
 
-def _nearest_free_site(row_mask: np.ndarray, target: int) -> int | None:
-    """Index of the free site nearest ``target`` in one row, or ``None``."""
-    free = np.flatnonzero(~row_mask)
-    if free.size == 0:
+def _nearest_free_site(free: list[int], target: int) -> int | None:
+    """Free site nearest ``target`` in one row's sorted list, or ``None``.
+
+    Ties go to the right-hand candidate, matching the original
+    whole-row-bitmap implementation.
+    """
+    if not free:
         return None
-    pos = int(np.searchsorted(free, target))
+    pos = bisect_left(free, target)
     candidates = []
-    if pos < free.size:
-        candidates.append(int(free[pos]))
+    if pos < len(free):
+        candidates.append(free[pos])
     if pos > 0:
-        candidates.append(int(free[pos - 1]))
+        candidates.append(free[pos - 1])
     return min(candidates, key=lambda s: abs(s - target))

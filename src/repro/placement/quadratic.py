@@ -20,7 +20,7 @@ integrated flow's incremental placement works.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,8 +29,12 @@ import scipy.sparse.linalg as spla
 from ..errors import PlacementError
 from ..geometry import BBox, Point
 from ..netlist import Circuit
+from ..obs import NULL_COLLECTOR, Collector
 from .pseudonet import PseudoNet
 from .region import PlacementRegion, pad_positions
+
+#: Anchor triple in array form: (cell indices, targets, weights).
+AnchorArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 #: Nets up to this degree use the clique spring model; bigger nets use a star.
 _CLIQUE_MAX_DEGREE = 5
@@ -48,6 +52,11 @@ class PlacerOptions:
     spreading_weight: float = 0.05
     #: Hard cap on bisection levels.
     max_levels: int = 12
+    #: Laplacian assembly: "prefactored" builds the spring/star/eps base
+    #: triplets once per placer and only concatenates per-solve anchors;
+    #: "triplets" is the original per-solve Python rebuild.  Both feed
+    #: scipy the identical COO stream, so results are bit-identical.
+    assembly: Literal["prefactored", "triplets"] = "prefactored"
 
 
 class QuadraticPlacer:
@@ -58,16 +67,23 @@ class QuadraticPlacer:
         circuit: Circuit,
         region: PlacementRegion,
         options: PlacerOptions | None = None,
+        *,
+        collector: Collector = NULL_COLLECTOR,
     ):
         self.circuit = circuit
         self.region = region
         self.options = options or PlacerOptions()
+        self.collector = collector
         self._movable = [c.name for c in circuit.standard_cells]
         if not self._movable:
             raise PlacementError("no movable cells")
         self._index = {name: i for i, name in enumerate(self._movable)}
         self._fixed = pad_positions(circuit, region)
         self._springs = self._build_springs()
+        self._base: tuple[np.ndarray, ...] | None = None
+        if self.options.assembly == "prefactored":
+            self._base = self._prefactor()
+            self.collector.count("placement.assembly.builds")
 
     # ------------------------------------------------------------------
     def _build_springs(self) -> list[tuple[int, int | None, float, Point | None]]:
@@ -101,7 +117,125 @@ class QuadraticPlacer:
         return springs
 
     # ------------------------------------------------------------------
+    def _prefactor(self) -> tuple[np.ndarray, ...]:
+        """Assemble the position-independent base system once.
+
+        Emits the exact triplet stream the per-solve ``add()`` loop in
+        :meth:`_solve_axis_triplets` would produce for springs, star
+        nets and eps anchors (weights are axis-independent; only the
+        rhs differs per axis).  Because scipy's duplicate summation is
+        deterministic for a given COO stream, feeding the identical
+        stream keeps solutions bit-identical to the triplets path.
+        """
+        n = len(self._movable)
+        n_aux = len(self._star_nets)
+        size = n + n_aux
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        rhs_x = np.zeros(size)
+        rhs_y = np.zeros(size)
+
+        def add(
+            i: int, j: int | None, w: float, fx: float = 0.0, fy: float = 0.0
+        ) -> None:
+            rows.append(i)
+            cols.append(i)
+            vals.append(w)
+            if j is None:
+                rhs_x[i] += w * fx
+                rhs_y[i] += w * fy
+            else:
+                rows.append(j)
+                cols.append(j)
+                vals.append(w)
+                rows.append(i)
+                cols.append(j)
+                vals.append(-w)
+                rows.append(j)
+                cols.append(i)
+                vals.append(-w)
+
+        for i, j, w, p in self._springs:
+            if p is None:
+                add(i, j, w)
+            else:
+                add(i, None, w, p.x, p.y)
+        for k, (movable_idx, fixed_pts, w) in enumerate(self._star_nets):
+            aux = n + k
+            for i in movable_idx:
+                add(i, aux, w)
+            for p in fixed_pts:
+                add(aux, None, w, p.x, p.y)
+        center = self.region.bbox.center
+        for i in range(size):
+            add(i, None, _EPS_ANCHOR, center.x, center.y)
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals),
+            rhs_x,
+            rhs_y,
+        )
+
+    @staticmethod
+    def _anchor_arrays(
+        anchors: "Sequence[tuple[int, float, float]] | AnchorArrays",
+    ) -> AnchorArrays:
+        if isinstance(anchors, tuple):
+            return anchors
+        if not anchors:
+            empty = np.zeros(0)
+            return np.zeros(0, dtype=np.int64), empty, empty
+        arr = np.asarray(anchors, dtype=np.float64)
+        return arr[:, 0].astype(np.int64), arr[:, 1], arr[:, 2]
+
+    def _solve_axis_prefactored(
+        self,
+        axis: int,
+        anchors: "Sequence[tuple[int, float, float]] | AnchorArrays",
+        warm: np.ndarray | None,
+    ) -> np.ndarray:
+        """Prefactored twin of :meth:`_solve_axis_triplets`: base triplets
+        are reused; only the anchor diagonal entries are appended."""
+        assert self._base is not None
+        base_rows, base_cols, base_vals, base_rhs_x, base_rhs_y = self._base
+        n = len(self._movable)
+        n_aux = len(self._star_nets)
+        size = n + n_aux
+        a_idx, a_tgt, a_w = self._anchor_arrays(anchors)
+        rows = np.concatenate([base_rows, a_idx])
+        cols = np.concatenate([base_cols, a_idx])
+        vals = np.concatenate([base_vals, a_w])
+        rhs = (base_rhs_x if axis == 0 else base_rhs_y).copy()
+        # ufunc.at accumulates sequentially in index order, matching the
+        # scalar path's per-anchor ``rhs[i] += w * target`` fold.
+        np.add.at(rhs, a_idx, a_w * a_tgt)
+        self.collector.count("placement.assembly.reuses")
+
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(size, size))
+        x0 = None
+        if warm is not None:
+            center = (self.region.bbox.center.x, self.region.bbox.center.y)[axis]
+            x0 = np.concatenate([warm, np.full(n_aux, center)])
+        sol, info = spla.cg(A, rhs, x0=x0, rtol=1e-8, maxiter=2000)
+        if info != 0:
+            sol = spla.spsolve(A.tocsc(), rhs)
+        return np.asarray(sol[:n])
+
     def _solve_axis(
+        self,
+        axis: int,
+        anchors: "Sequence[tuple[int, float, float]] | AnchorArrays",
+        warm: np.ndarray | None,
+    ) -> np.ndarray:
+        if self._base is not None:
+            return self._solve_axis_prefactored(axis, anchors, warm)
+        if isinstance(anchors, tuple):  # array form only in prefactored mode
+            anchors = list(zip(anchors[0].tolist(), anchors[1], anchors[2]))
+        return self._solve_axis_triplets(axis, anchors, warm)
+
+    def _solve_axis_triplets(
         self,
         axis: int,
         anchors: Sequence[tuple[int, float, float]],
@@ -161,8 +295,8 @@ class QuadraticPlacer:
 
     def _solve(
         self,
-        anchors_x: Sequence[tuple[int, float, float]],
-        anchors_y: Sequence[tuple[int, float, float]],
+        anchors_x: "Sequence[tuple[int, float, float]] | AnchorArrays",
+        anchors_y: "Sequence[tuple[int, float, float]] | AnchorArrays",
         warm_x: np.ndarray | None = None,
         warm_y: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -229,6 +363,10 @@ class QuadraticPlacer:
         ]
         level = 0
         weight = opts.spreading_weight
+        base_ax = base_ay = None
+        if self._base is not None:
+            base_ax = self._anchor_arrays(base_x)
+            base_ay = self._anchor_arrays(base_y)
         while level < opts.max_levels:
             next_regions: list[tuple[BBox, np.ndarray, bool]] = []
             split_any = False
@@ -255,13 +393,36 @@ class QuadraticPlacer:
             regions = next_regions
             if not split_any:
                 break
-            anchors_x = list(base_x)
-            anchors_y = list(base_y)
-            for bbox, idx, _ in regions:
-                cx, cy = bbox.center.x, bbox.center.y
-                for i in idx:
-                    anchors_x.append((int(i), cx, weight))
-                    anchors_y.append((int(i), cy, weight))
+            if base_ax is not None and base_ay is not None:
+                # Array form of the identical anchor sequence: base
+                # anchors first, then each region's cells in order.
+                reg_idx = np.concatenate([idx for _, idx, _ in regions])
+                cxs = np.concatenate(
+                    [np.full(idx.size, bbox.center.x) for bbox, idx, _ in regions]
+                )
+                cys = np.concatenate(
+                    [np.full(idx.size, bbox.center.y) for bbox, idx, _ in regions]
+                )
+                ws = np.full(reg_idx.size, weight)
+                anchors_x: "Sequence[tuple[int, float, float]] | AnchorArrays" = (
+                    np.concatenate([base_ax[0], reg_idx]),
+                    np.concatenate([base_ax[1], cxs]),
+                    np.concatenate([base_ax[2], ws]),
+                )
+                anchors_y: "Sequence[tuple[int, float, float]] | AnchorArrays" = (
+                    np.concatenate([base_ay[0], reg_idx]),
+                    np.concatenate([base_ay[1], cys]),
+                    np.concatenate([base_ay[2], ws]),
+                )
+            else:
+                lx = list(base_x)
+                ly = list(base_y)
+                for bbox, idx, _ in regions:
+                    cx, cy = bbox.center.x, bbox.center.y
+                    for i in idx:
+                        lx.append((int(i), cx, weight))
+                        ly.append((int(i), cy, weight))
+                anchors_x, anchors_y = lx, ly
             x, y = self._solve(anchors_x, anchors_y, x, y)
             weight *= 2.0
             level += 1

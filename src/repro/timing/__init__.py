@@ -11,6 +11,7 @@ from .corners import Corner, MultiCornerTiming, analyze_corners, default_corners
 from .elmore import RCTree, star_net_delay
 from .gates import GateDelayModel
 from .sta import PathBounds, SequentialTiming
+from .sta_vec import TimingSnapshot, TimingStructure, VectorizedTiming, get_structure
 
 __all__ = [
     "RCTree",
@@ -18,6 +19,10 @@ __all__ = [
     "GateDelayModel",
     "PathBounds",
     "SequentialTiming",
+    "TimingSnapshot",
+    "TimingStructure",
+    "VectorizedTiming",
+    "get_structure",
     "PermissibleRange",
     "permissible_range",
     "permissible_ranges",

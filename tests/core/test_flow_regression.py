@@ -67,3 +67,34 @@ class TestDeterminism:
             b.final.signal_wirelength
         )
         assert a.assignment.ring_of == b.assignment.ring_of
+
+
+class TestEngineEquivalence:
+    """The vectorized STA engine and prefactored placer assembly are
+    drop-in replacements: the full flow must make *identical* decisions
+    (iteration count, tapping cost, schedule, positions) either way."""
+
+    def test_vectorized_matches_scalar_flow(self):
+        circuit = generate_named("s9234")
+        side = PROFILES["s9234"].ring_grid_side
+        fast = IntegratedFlow(
+            circuit,
+            options=FlowOptions(
+                ring_grid_side=side,
+                sta_engine="vectorized",
+                placer_assembly="prefactored",
+            ),
+        ).run()
+        slow = IntegratedFlow(
+            generate_named("s9234"),
+            options=FlowOptions(
+                ring_grid_side=side,
+                sta_engine="scalar",
+                placer_assembly="triplets",
+            ),
+        ).run()
+        assert len(fast.history) == len(slow.history)
+        assert fast.final.tapping_wirelength == slow.final.tapping_wirelength
+        assert fast.final.signal_wirelength == slow.final.signal_wirelength
+        assert fast.schedule.targets == slow.schedule.targets
+        assert fast.positions == slow.positions

@@ -165,3 +165,39 @@ class TestTransportation:
         # Capacities respected.
         counts = np.bincount(assign, minlength=n_cols)
         assert (counts <= np.array(caps)).all()
+
+    def test_huge_capacity_does_not_expand(self):
+        """A single effectively-unbounded ring must not allocate an
+        n_rows x capacity cost expansion (regression: the dense
+        replication used the raw capacity instead of min(cap, n_rows))."""
+        n_rows = 6
+        cost = np.arange(n_rows * 2, dtype=float).reshape(n_rows, 2)
+        assign = solve_transportation(cost, [10**9, 10**9])
+        # Clamping cannot change the optimum: everyone fits column 0.
+        assert list(assign) == [0] * n_rows
+
+    def test_huge_capacity_matches_clamped(self):
+        cost = np.array([[1.0, 3.0], [4.0, 1.0], [2.0, 2.0]])
+        huge = solve_transportation(cost, [10**12, 10**12])
+        modest = solve_transportation(cost, [3, 3])
+        assert list(huge) == list(modest)
+
+
+class TestSolveReuseGuard:
+    def test_second_solve_raises(self):
+        """solve() drains capacities in place; a silent second solve used
+        to compute flows over the residual graph."""
+        net = FlowNetwork()
+        net.add_arc("s", "t", 2, 1.0)
+        net.solve({"s": 2, "t": -2})
+        with pytest.raises(OptimizationError, match="already ran"):
+            net.solve({"s": 2, "t": -2})
+
+    def test_failed_validation_does_not_consume_network(self):
+        """A rejected supply mapping must leave the network solvable."""
+        net = FlowNetwork()
+        net.add_arc("s", "t", 2, 1.0)
+        with pytest.raises(OptimizationError, match="sum to zero"):
+            net.solve({"s": 2, "t": -1})
+        res = net.solve({"s": 2, "t": -2})
+        assert res.total_flow == 2
