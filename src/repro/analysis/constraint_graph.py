@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..constants import Technology
 from ..opt.diffconstraints import SkewConstraint
 from ..timing import PathBounds, skew_constraints
@@ -52,6 +54,23 @@ class SkewConstraintGraph:
             nodes.setdefault(con.left, len(nodes))
         self._index = nodes
         self._names = list(nodes)
+        # Edge arrays (right -> left), pre-sorted by target node so the
+        # vectorized Bellman-Ford sweeps can segment-reduce per target.
+        src = np.array([nodes[c.right] for c in self.constraints], dtype=np.intp)
+        dst = np.array([nodes[c.left] for c in self.constraints], dtype=np.intp)
+        bound = np.array([c.bound for c in self.constraints])
+        coeff = np.array([c.slack_coeff for c in self.constraints])
+        order = np.argsort(dst, kind="stable")
+        self._src = src[order]
+        self._dst = dst[order]
+        self._bound = bound[order]
+        self._coeff = coeff[order]
+        self._targets, self._starts = np.unique(self._dst, return_index=True)
+        n_edges = self._dst.size
+        self._edge_ids = np.arange(n_edges, dtype=np.intp)
+        self._seg_of_edge = (
+            np.searchsorted(self._starts, self._edge_ids, side="right") - 1
+        )
 
     @classmethod
     def from_pairs(
@@ -80,35 +99,35 @@ class SkewConstraintGraph:
         n = len(self._names)
         if n == 0:
             return None
-        edges: list[tuple[int, int, float]] = [
-            (
-                self._index[con.right],
-                self._index[con.left],
-                con.bound - con.slack_coeff * slack,
-            )
-            for con in self.constraints
-        ]
-        dist = [0.0] * n
-        pred = [-1] * n
+        w = self._bound - self._coeff * slack
+        n_edges = w.size
+        dist = np.zeros(n)
+        pred = np.full(n, -1, dtype=np.intp)
         relaxed_node = -1
-        for sweep in range(n):
-            relaxed_node = -1
-            for u, v, w in edges:
-                if dist[u] + w < dist[v] - tol:
-                    dist[v] = dist[u] + w
-                    pred[v] = u
-                    relaxed_node = v
-            if relaxed_node < 0:
+        for _ in range(n):
+            cand = dist[self._src] + w
+            mins = np.minimum.reduceat(cand, self._starts)
+            improved = mins < dist[self._targets] - tol
+            if not improved.any():
                 return None  # converged: no negative cycle
+            # First minimizing edge per improved target segment -> pred.
+            full_min = mins[self._seg_of_edge]
+            first = np.minimum.reduceat(
+                np.where(cand <= full_min, self._edge_ids, n_edges), self._starts
+            )
+            hit = self._targets[improved]
+            dist[hit] = mins[improved]
+            pred[hit] = self._src[first[improved]]
+            relaxed_node = int(hit[-1])
         # Walk back n steps to guarantee we are *on* the cycle.
         on_cycle = relaxed_node
         for _ in range(n):
-            on_cycle = pred[on_cycle]
+            on_cycle = int(pred[on_cycle])
         cycle = [on_cycle]
-        node = pred[on_cycle]
+        node = int(pred[on_cycle])
         while node != on_cycle:
             cycle.append(node)
-            node = pred[node]
+            node = int(pred[node])
         cycle.reverse()
         members = tuple(self._names[i] for i in cycle)
         weight = self._cycle_weight(cycle, slack)
@@ -116,18 +135,16 @@ class SkewConstraintGraph:
 
     def _cycle_weight(self, cycle: list[int], slack: float) -> float:
         """Total weight around ``cycle`` using the cheapest edge per hop."""
-        weight = 0.0
+        w = self._bound - self._coeff * slack
+        best: dict[tuple[int, int], float] = {}
+        for pos in range(w.size):
+            key = (int(self._src[pos]), int(self._dst[pos]))
+            if key not in best or w[pos] < best[key]:
+                best[key] = float(w[pos])
         k = len(cycle)
-        for pos in range(k):
-            u, v = cycle[pos], cycle[(pos + 1) % k]
-            best: float | None = None
-            for con in self.constraints:
-                if self._index[con.right] == u and self._index[con.left] == v:
-                    w = con.bound - con.slack_coeff * slack
-                    if best is None or w < best:
-                        best = w
-            weight += best if best is not None else 0.0
-        return weight
+        return sum(
+            best.get((cycle[pos], cycle[(pos + 1) % k]), 0.0) for pos in range(k)
+        )
 
     def feasible(self, slack: float = 0.0) -> bool:
         """Whether the system admits a schedule at slack ``M``."""

@@ -17,7 +17,12 @@ from typing import Callable, Iterable, Iterator
 
 from ..errors import CheckError, TappingError
 from ..netlist import Cell, CellKind, Circuit
-from ..rotary import best_tapping, ring_electrical, required_total_capacitance
+from ..rotary import (
+    batch_solve_rings,
+    best_tapping,
+    ring_electrical,
+    required_total_capacitance,
+)
 from ..timing import permissible_range
 from .constraint_graph import SkewConstraintGraph
 from .context import (
@@ -469,6 +474,10 @@ def check_tapping_targets(ctx: DesignContext) -> Iterator[Diagnostic]:
     assert ctx.array is not None and ctx.ring_of is not None
     assert ctx.schedule is not None and ctx.positions is not None
     period = ctx.period
+    # Flip-flops with no stored solution are batched into one vectorized
+    # pairs solve below; the per-flip-flop scalar solver would make this
+    # rule the checker's bottleneck on 100k-cell contexts.
+    pending: list[tuple[str, int, float]] = []
     for ff in sorted(ctx.ring_of):
         ring_id = ctx.ring_of[ff]
         if ff not in ctx.schedule or ff not in ctx.positions:
@@ -477,32 +486,47 @@ def check_tapping_targets(ctx: DesignContext) -> Iterator[Diagnostic]:
             continue  # RCK301 reports out-of-range ring ids
         target = ctx.schedule[ff] % period
         sol = ctx.tappings.get(ff) if ctx.tappings is not None else None
-        if sol is not None:
-            if sol.ring_id != ring_id:
-                yield _diag(
-                    "RCK501",
-                    f"flip-flop {ff!r} is assigned to ring {ring_id} but its "
-                    f"tapping solution taps ring {sol.ring_id}",
-                    "flip-flop",
-                    ff,
-                    hint="stale artifact: re-realize tappings after "
-                    "reassignment",
-                )
-                continue
-            drift = abs(sol.target_delay - target)
-            drift = min(drift, period - drift)  # phase distance
-            if drift > 1e-6:
-                yield _diag(
-                    "RCK501",
-                    f"flip-flop {ff!r}: tapping solution realizes "
-                    f"{sol.target_delay:.3f} ps but the schedule asks for "
-                    f"{target:.3f} ps",
-                    "flip-flop",
-                    ff,
-                    hint="stale artifact: re-realize tappings after "
-                    "rescheduling",
-                )
+        if sol is None:
+            pending.append((ff, ring_id, target))
             continue
+        if sol.ring_id != ring_id:
+            yield _diag(
+                "RCK501",
+                f"flip-flop {ff!r} is assigned to ring {ring_id} but its "
+                f"tapping solution taps ring {sol.ring_id}",
+                "flip-flop",
+                ff,
+                hint="stale artifact: re-realize tappings after "
+                "reassignment",
+            )
+            continue
+        drift = abs(sol.target_delay - target)
+        drift = min(drift, period - drift)  # phase distance
+        if drift > 1e-6:
+            yield _diag(
+                "RCK501",
+                f"flip-flop {ff!r}: tapping solution realizes "
+                f"{sol.target_delay:.3f} ps but the schedule asks for "
+                f"{target:.3f} ps",
+                "flip-flop",
+                ff,
+                hint="stale artifact: re-realize tappings after "
+                "rescheduling",
+            )
+    if not pending:
+        return
+    import numpy as np
+
+    rids = np.array([ring_id for _, ring_id, _ in pending], dtype=np.intp)
+    px = np.array([ctx.positions[ff].x for ff, _, _ in pending])
+    py = np.array([ctx.positions[ff].y for ff, _, _ in pending])
+    targets = np.array([target for _, _, target in pending])
+    result = batch_solve_rings(ctx.array, rids, px, py, targets, ctx.tech)
+    for p in np.flatnonzero(~result.feasible):
+        ff, ring_id, target = pending[int(p)]
+        # Re-run the scalar solver for its exact diagnostic text; the
+        # batch kernel is bit-identical, so only infeasible (rare) rows
+        # pay this.
         try:
             best_tapping(ctx.array[ring_id], ctx.positions[ff], target, ctx.tech)
         except TappingError as exc:

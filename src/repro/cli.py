@@ -25,7 +25,7 @@ import sys
 from .api import flow_options, run_flow
 from .constants import DEFAULT_TECHNOLOGY, frequency_ghz
 from .core import FlowOptions, sweep_ring_count
-from .netlist import PROFILE_ORDER, PROFILES, generate_named
+from .netlist import ALL_PROFILES, PROFILE_ORDER, generate_named
 
 
 def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
@@ -184,7 +184,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
-    profile = PROFILES[args.circuit]
+    profile = ALL_PROFILES[args.circuit]
     circuit = generate_named(args.circuit)
     stats = circuit.stats()
     print(f"{profile.name}: {stats.num_cells} cells "
@@ -267,7 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run the integrated flow on a benchmark")
-    run.add_argument("circuit", choices=sorted(PROFILES))
+    run.add_argument("circuit", choices=sorted(ALL_PROFILES))
     run.add_argument("--save", default="", help="write the design to a JSON file")
     run.add_argument("--json", action="store_true",
                      help="print the full FlowResult as JSON instead of text")
@@ -282,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-event file (loadable in ui.perfetto.dev) plus an aggregated "
         "JSON summary. Exit 0 = success, 2 = unwritable output path.",
     )
-    profile.add_argument("circuit", choices=sorted(PROFILES))
+    profile.add_argument("circuit", choices=sorted(ALL_PROFILES))
     profile.add_argument(
         "--trace", default="", metavar="PATH",
         help="Chrome trace-event output (default: <circuit>.trace.json)",
@@ -302,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         "Exit 0 = clean, 1 = findings at/above --fail-on, 2 = usage error.",
     )
     check.add_argument(
-        "circuit", nargs="?", choices=sorted(PROFILES),
+        "circuit", nargs="?", choices=sorted(ALL_PROFILES),
         help="bundled benchmark profile to flow and check",
     )
     check.add_argument(
@@ -385,11 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
     tables.set_defaults(func=cmd_tables)
 
     info = sub.add_parser("bench-info", help="show a benchmark profile")
-    info.add_argument("circuit", choices=sorted(PROFILES))
+    info.add_argument("circuit", choices=sorted(ALL_PROFILES))
     info.set_defaults(func=cmd_bench_info)
 
     render = sub.add_parser("render", help="render the flow result as SVG")
-    render.add_argument("circuit", choices=sorted(PROFILES))
+    render.add_argument("circuit", choices=sorted(ALL_PROFILES))
     render.add_argument("-o", "--output", default="rotary.svg")
     render.add_argument("--cells", action="store_true",
                         help="also draw combinational cells")
@@ -397,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     render.set_defaults(func=cmd_render)
 
     sweep = sub.add_parser("sweep-rings", help="ring-count ablation (Section IX)")
-    sweep.add_argument("circuit", choices=sorted(PROFILES))
+    sweep.add_argument("circuit", choices=sorted(ALL_PROFILES))
     sweep.add_argument("--sides", default="2,3,4,5")
     _add_common_flow_args(sweep)
     sweep.set_defaults(func=cmd_sweep_rings)

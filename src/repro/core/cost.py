@@ -38,11 +38,15 @@ from ..opt.mincostflow import FORBIDDEN_COST
 from ..rotary import (
     BatchTappingResult,
     RingArray,
+    RingPairsTappingResult,
     TappingSolution,
-    batch_solve,
+    batch_solve_rings,
     best_tapping,
     stub_load_capacitance,
 )
+
+#: Either batched-result flavour; both expose ``.solution(i)``.
+_TappingBatch = BatchTappingResult | RingPairsTappingResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,13 +143,25 @@ def _candidate_mask(
     return mask
 
 
-def _raise_infeasible(
-    ring_id: int, result: BatchTappingResult, names: Sequence[str]
+def _check_pairs_feasible(
+    result: RingPairsTappingResult,
+    names: Sequence[str],
+    rows: npt.NDArray[np.intp] | None = None,
 ) -> None:
-    i = int(np.flatnonzero(~result.feasible)[0])
+    """Raise on the first infeasible pair, in pair order.
+
+    Callers order pairs ring-major (all of ring 0's rows, then ring 1's,
+    ...), so the reported (ring, flip-flop) matches what the historical
+    per-ring loop raised on.  ``rows`` maps pair index to a row of
+    ``names``; ``None`` means pairs and ``names`` are parallel.
+    """
+    if result.feasible.all():
+        return
+    p = int(np.flatnonzero(~result.feasible)[0])
+    name = names[p] if rows is None else names[int(rows[p])]
     raise TappingError(
-        f"no tapping point on ring {ring_id} is feasible for flip-flop "
-        f"{names[i]!r}"
+        f"no tapping point on ring {int(result.ring_ids[p])} is feasible "
+        f"for flip-flop {name!r}"
     )
 
 
@@ -188,14 +204,13 @@ def tapping_cost_matrix(
     py = np.array([positions[name].y for name in ff_names])
     tg = np.array([targets[name] for name in ff_names])
     mask = _candidate_mask(array, px, py, candidate_rings)
-    for ring in array:
-        rows = np.flatnonzero(mask[:, ring.ring_id])
-        if rows.size == 0:
-            continue
-        result = batch_solve(ring, px[rows], py[rows], tg[rows], tech)
-        if not result.feasible.all():
-            _raise_infeasible(ring.ring_id, result, [ff_names[i] for i in rows])
-        costs[rows, ring.ring_id] = result.wirelength
+    # One pair-batched kernel call over every candidate arc, ring-major
+    # so infeasibility reporting matches the historical per-ring loop.
+    rid, fid = np.nonzero(mask.T)
+    if rid.size:
+        result = batch_solve_rings(array, rid, px[fid], py[fid], tg[fid], tech)
+        _check_pairs_feasible(result, ff_names, rows=fid)
+        costs[fid, rid] = result.wirelength
     return TappingCostMatrix(ff_names=ff_names, costs=costs)
 
 
@@ -237,7 +252,7 @@ class TappingCostCache:
         #: Cached solutions per flip-flop: ring id -> (batch result, index).
         #: Materialized into :class:`TappingSolution` lazily — only the
         #: assigned ring of each flip-flop is ever realized.
-        self._solutions: dict[str, dict[int, tuple[BatchTappingResult, int]]] = {}
+        self._solutions: dict[str, dict[int, tuple[_TappingBatch, int]]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -257,29 +272,23 @@ class TappingCostCache:
         py = np.array([positions[name].y for name in names])
         tg = np.array([targets[name] for name in names])
         n_rings = self.array.num_rings
-        rows = {name: np.full(n_rings, FORBIDDEN_COST) for name in names}
-        sols: dict[str, dict[int, tuple[BatchTappingResult, int]]] = {
-            name: {} for name in names
-        }
+        sols: list[dict[int, tuple[_TappingBatch, int]]] = [{} for _ in names]
         mask = _candidate_mask(self.array, px, py, self.candidate_rings)
-        for ring in self.array:
-            idx = np.flatnonzero(mask[:, ring.ring_id])
-            if idx.size == 0:
-                continue
-            result = batch_solve(
-                ring, px[idx], py[idx], tg[idx], self.tech,
+        rid, fid = np.nonzero(mask.T)
+        rows_arr = np.full((len(names), n_rings), FORBIDDEN_COST)
+        if rid.size:
+            result = batch_solve_rings(
+                self.array, rid, px[fid], py[fid], tg[fid], self.tech,
                 collector=self.collector,
             )
-            if not result.feasible.all():
-                _raise_infeasible(ring.ring_id, result, [names[i] for i in idx])
-            for pos, i in enumerate(idx):
-                name = names[i]
-                rows[name][ring.ring_id] = result.wirelength[pos]
-                sols[name][ring.ring_id] = (result, pos)
-        for name in names:
+            _check_pairs_feasible(result, names, rows=fid)
+            rows_arr[fid, rid] = result.wirelength
+            for p in range(rid.size):
+                sols[fid[p]][int(rid[p])] = (result, p)
+        for i, name in enumerate(names):
             self._key[name] = self._row_key(positions[name], targets[name])
-            self._row[name] = rows[name]
-            self._solutions[name] = sols[name]
+            self._row[name] = rows_arr[i]
+            self._solutions[name] = sols[i]
 
     def _evict_stale(self, live: Sequence[str]) -> None:
         stale = set(self._key) - set(live)
@@ -363,17 +372,21 @@ class TappingCostCache:
                         continue
                 missed.setdefault(int(ring_id), []).append(name)
             self._tally(hits, len(ring_of) - hits)
-            for ring_id, names in missed.items():
-                ring = self.array[ring_id]
-                px = np.array([positions[name].x for name in names])
-                py = np.array([positions[name].y for name in names])
-                tg = np.array([targets[name] for name in names])
-                result = batch_solve(
-                    ring, px, py, tg, self.tech, collector=self.collector
+            if missed:
+                pair_names: list[str] = []
+                pair_rings: list[int] = []
+                for ring_id, names in missed.items():
+                    pair_names.extend(names)
+                    pair_rings.extend([ring_id] * len(names))
+                px = np.array([positions[name].x for name in pair_names])
+                py = np.array([positions[name].y for name in pair_names])
+                tg = np.array([targets[name] for name in pair_names])
+                result = batch_solve_rings(
+                    self.array, np.array(pair_rings, dtype=np.intp),
+                    px, py, tg, self.tech, collector=self.collector,
                 )
-                if not result.feasible.all():
-                    _raise_infeasible(ring_id, result, names)
-                for i, name in enumerate(names):
+                _check_pairs_feasible(result, pair_names)
+                for i, name in enumerate(pair_names):
                     out[name] = result.solution(i)
             return out
 
@@ -440,20 +453,16 @@ def realize_assignment(
     if cache is not None:
         solutions = cache.realize(ring_of, positions, targets)
     else:
-        solutions: dict[str, TappingSolution] = {}
-        by_ring: dict[int, list[str]] = {}
-        for name, ring_id in ring_of.items():
-            by_ring.setdefault(ring_id, []).append(name)
-        for ring_id, names in by_ring.items():
-            ring = array[ring_id]
-            px = np.array([positions[name].x for name in names])
-            py = np.array([positions[name].y for name in names])
-            tg = np.array([targets[name] for name in names])
-            result = batch_solve(ring, px, py, tg, tech)
-            if not result.feasible.all():
-                _raise_infeasible(ring_id, result, names)
-            for i, name in enumerate(names):
-                solutions[name] = result.solution(i)
+        solutions = {}
+        names = list(ring_of)
+        px = np.array([positions[name].x for name in names])
+        py = np.array([positions[name].y for name in names])
+        tg = np.array([targets[name] for name in names])
+        rid = np.array([ring_of[name] for name in names], dtype=np.intp)
+        result = batch_solve_rings(array, rid, px, py, tg, tech)
+        _check_pairs_feasible(result, names)
+        for i, name in enumerate(names):
+            solutions[name] = result.solution(i)
     return Assignment(
         ff_names=matrix.ff_names, ring_of=ring_of, solutions=solutions
     )

@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Literal, Mapping
 
+import numpy as np
+
 from ..constants import DEFAULT_CLOCK_PERIOD_PS, DEFAULT_TECHNOLOGY, Technology
 from ..errors import ReproError
 from ..geometry import Point
@@ -121,6 +123,16 @@ class FlowOptions:
     #: Quadratic-placer Laplacian assembly ("prefactored" reuses base
     #: triplets across solves; results are bit-identical to "triplets").
     placer_assembly: Literal["prefactored", "triplets"] = "prefactored"
+    #: Quadratic-placer linear solver.  "auto" keeps plain CG on
+    #: ISCAS-scale circuits (bit-identical to the historical engine) and
+    #: switches to Jacobi-preconditioned CG ("pcg") beyond 20k movable
+    #: cells; "direct" is the sparse-LU factorization baseline.
+    placer_solver: Literal["auto", "cg", "pcg", "direct"] = "auto"
+    #: Warm-start the stage-3 min-cost-flow re-solve from the previous
+    #: iteration's assignment (exchange-graph cycle canceling; exactly
+    #: optimal, falls back to a cold solve whenever unusable).  Only the
+    #: "flow" assignment engine consumes it.
+    assignment_warm_start: bool = True
 
     def replace(self, **changes: Any) -> "FlowOptions":
         """A copy with ``changes`` applied (keyword-only, validated)."""
@@ -465,7 +477,9 @@ class IntegratedFlow:
             placer = QuadraticPlacer(
                 self.circuit,
                 region,
-                PlacerOptions(assembly=opts.placer_assembly),
+                PlacerOptions(
+                    assembly=opts.placer_assembly, solver=opts.placer_solver
+                ),
                 collector=obs,
             )
             legal = legalize(placer.place(), region)
@@ -533,6 +547,10 @@ class IntegratedFlow:
         assignment: Assignment | None = None
         ilp_stats: MinMaxCapResult | None = None
         prev_cost = float("inf")
+        # Previous iteration's ring assignment, aligned to the sorted
+        # flip-flop order of the cost matrix — the warm start for the
+        # stage-3 min-cost-flow re-solve.
+        prev_assign: "np.ndarray | None" = None
         # Best iterate seen: (record, assignment, schedule, positions).
         best: (
             tuple[IterationRecord, Assignment, SkewSchedule, dict[str, Point]] | None
@@ -555,7 +573,14 @@ class IntegratedFlow:
                         self.tech,
                         capacities,
                         cache=cache,
+                        warm_start=(
+                            prev_assign if opts.assignment_warm_start else None
+                        ),
                         collector=obs,
+                    )
+                    prev_assign = np.array(
+                        [assignment.ring_of[n] for n in matrix.ff_names],
+                        dtype=np.intp,
                     )
                 else:
                     assignment, ilp_stats = ilp_assignment(

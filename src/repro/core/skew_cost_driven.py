@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Mapping
 
+import numpy as np
+
 from ..constants import Technology
 from ..errors import SkewOptimizationError
 from ..geometry import Point
@@ -34,7 +36,7 @@ from ..obs import NULL_COLLECTOR, Collector
 from ..opt.lp import LinearProgram
 from ..rotary import RingArray, stub_delay
 from ..timing import PathBounds
-from .skew_traditional import SkewSchedule
+from .skew_traditional import SkewSchedule, _pair_index_arrays
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,10 +99,43 @@ def ring_attractions(
 def _add_timing_constraints(
     lp: LinearProgram,
     pairs: Mapping[tuple[str, str], PathBounds],
+    flip_flops: list[str],
     period: float,
     tech: Technology,
     slack: float,
 ) -> None:
+    """Timing rows at fixed slack, assembled as one COO block.
+
+    Row 2k: t_i - t_j <= T - Dmax - setup - M; row 2k+1:
+    t_j - t_i <= Dmin - hold - M.  Self-loop pairs cancel to a vacuous
+    (empty) row, exactly as the dict path's zero-dropping produced.
+    """
+    ii, jj, d_max, d_min = _pair_index_arrays(pairs, flip_flops)
+    n_p = len(pairs)
+    setup_rows = 2 * np.arange(n_p, dtype=np.intp)
+    hold_rows = setup_rows + 1
+    nd = ii != jj
+    ones_nd = np.ones(int(nd.sum()))
+    rows = np.concatenate(
+        [setup_rows[nd], setup_rows[nd], hold_rows[nd], hold_rows[nd]]
+    )
+    cols = np.concatenate([ii[nd], jj[nd], jj[nd], ii[nd]])
+    vals = np.concatenate([ones_nd, -ones_nd, ones_nd, -ones_nd])
+    rhs = np.empty(2 * n_p)
+    rhs[0::2] = period - d_max - tech.setup_time - slack
+    rhs[1::2] = d_min - tech.hold_time - slack
+    lp.add_constraint_block(rows, cols, vals, "<=", rhs)
+
+
+def _add_timing_constraints_loops(
+    lp: LinearProgram,
+    pairs: Mapping[tuple[str, str], PathBounds],
+    period: float,
+    tech: Technology,
+    slack: float,
+) -> None:
+    """Reference row-by-row assembly; equivalence-tested against
+    :func:`_add_timing_constraints`."""
     from .skew_traditional import _skew_coeffs
 
     for (i, j), b in pairs.items():
@@ -157,40 +192,53 @@ def _solve_cost_driven(
     lp = LinearProgram(f"cost_driven_skew_{mode}")
     for ff in flip_flops:
         lp.add_var(f"t_{ff}", lb=float("-inf"))
-    _add_timing_constraints(lp, pairs, period, tech, slack)
+    _add_timing_constraints(lp, pairs, flip_flops, period, tech, slack)
+
+    attracted = [ff for ff in flip_flops if ff in attractions]
+    n_a = len(attracted)
+    t_cols = np.array(
+        [k for k, ff in enumerate(flip_flops) if ff in attractions], dtype=np.intp
+    )
+    t_c = np.array([attractions[ff].delay_at_point for ff in attracted])
+    stub = np.array([attractions[ff].stub_delay for ff in attracted])
+    first = 2 * np.arange(n_a, dtype=np.intp)
+    second = first + 1
 
     if mode == "minmax":
         lp.add_var("delta", lb=0.0)
-        for ff in flip_flops:
-            att = attractions.get(ff)
-            if att is None:
-                continue
-            t_c = att.delay_at_point
-            # t_c + 2 t_{c,i} - t̂_i <= Delta ; t̂_i - t_c <= Delta
-            lp.add_constraint(
-                {f"t_{ff}": -1.0, "delta": -1.0},
-                "<=",
-                -(t_c + 2.0 * att.stub_delay),
-            )
-            lp.add_constraint({f"t_{ff}": 1.0, "delta": -1.0}, "<=", t_c)
+        delta_cols = np.full(n_a, len(flip_flops), dtype=np.intp)
+        ones_a = np.ones(n_a)
+        # Row 2k: t_c + 2 t_{c,i} - t̂_i <= Delta; row 2k+1: t̂_i - t_c <= Delta.
+        rows = np.concatenate([first, first, second, second])
+        cols = np.concatenate([t_cols, delta_cols, t_cols, delta_cols])
+        vals = np.concatenate([-ones_a, -ones_a, ones_a, -ones_a])
+        rhs = np.empty(2 * n_a)
+        rhs[0::2] = -(t_c + 2.0 * stub)
+        rhs[1::2] = t_c
+        lp.add_constraint_block(rows, cols, vals, "<=", rhs)
         lp.set_objective({"delta": 1.0})
     else:
-        objective: dict[str, float] = {}
-        for ff in flip_flops:
-            att = attractions.get(ff)
-            if att is None:
-                continue
-            lp.add_var(f"d_{ff}", lb=0.0)
-            t_i = att.achievable_delay
-            # |t̂_i - t_i| <= delta_i
-            lp.add_constraint({f"t_{ff}": 1.0, f"d_{ff}": -1.0}, "<=", t_i)
-            lp.add_constraint({f"t_{ff}": -1.0, f"d_{ff}": -1.0}, "<=", -t_i)
-            # Natural weights: w_i = l_i (+ epsilon so near-ring flip-flops
-            # are not entirely ignored).
-            objective[f"d_{ff}"] = att.distance + 1e-3
-        if not objective:
+        if not attracted:
             raise SkewOptimizationError("no ring attractions provided")
-        lp.set_objective(objective)
+        # d_{ff} vars are appended contiguously after the t vars.
+        d_cols = lp.num_vars + np.arange(n_a, dtype=np.intp)
+        for ff in attracted:
+            lp.add_var(f"d_{ff}", lb=0.0)
+        ones_a = np.ones(n_a)
+        t_i = t_c + stub  # achievable delay per attracted flip-flop
+        # Rows 2k / 2k+1: |t̂_i - t_i| <= delta_i as two one-sided rows.
+        rows = np.concatenate([first, first, second, second])
+        cols = np.concatenate([t_cols, d_cols, t_cols, d_cols])
+        vals = np.concatenate([ones_a, -ones_a, -ones_a, -ones_a])
+        rhs = np.empty(2 * n_a)
+        rhs[0::2] = t_i
+        rhs[1::2] = -t_i
+        lp.add_constraint_block(rows, cols, vals, "<=", rhs)
+        # Natural weights: w_i = l_i (+ epsilon so near-ring flip-flops
+        # are not entirely ignored).
+        lp.set_objective(
+            {f"d_{ff}": attractions[ff].distance + 1e-3 for ff in attracted}
+        )
 
     sol = lp.solve()
     targets = {ff: sol.values[f"t_{ff}"] for ff in flip_flops}

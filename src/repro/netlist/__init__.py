@@ -16,7 +16,16 @@ from .verilog import (
     verilog_to_text,
     write_verilog,
 )
-from .profiles import PROFILE_ORDER, PROFILES, CircuitProfile, small_profile
+from .profiles import (
+    ALL_PROFILES,
+    PROFILE_ORDER,
+    PROFILES,
+    SCALE_PROFILE_ORDER,
+    SCALE_PROFILES,
+    CircuitProfile,
+    scale_profile,
+    small_profile,
+)
 
 __all__ = [
     "Cell",
@@ -34,7 +43,11 @@ __all__ = [
     "generate_named",
     "PROFILES",
     "PROFILE_ORDER",
+    "ALL_PROFILES",
+    "SCALE_PROFILES",
+    "SCALE_PROFILE_ORDER",
     "CircuitProfile",
+    "scale_profile",
     "small_profile",
     "write_verilog",
     "verilog_to_text",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from .cells import CellKind
 from .circuit import Circuit
-from .profiles import PROFILES, CircuitProfile
+from .profiles import ALL_PROFILES, CircuitProfile
 
 #: Embedded real ISCAS89 s27 benchmark, used by tests and the quickstart.
 S27_BENCH = """\
@@ -74,6 +74,11 @@ class GeneratorOptions:
     input_fraction: float = 0.02
     #: Bias toward reading the immediately preceding level (0..1).
     previous_level_bias: float = 0.6
+    #: In the "rent" fanout model, probability that a source is drawn by
+    #: preferential attachment (proportionally to its existing fanout)
+    #: rather than uniformly from a level pool.  Higher values thicken
+    #: the power-law fanout tail.
+    attachment_fraction: float = 0.5
 
 
 def generate_circuit(
@@ -104,20 +109,43 @@ def generate_circuit(
     gate_counter = 0
     consumed: dict[str, int] = {}
 
+    # Preferential-attachment pool for the "rent" fanout model: one entry
+    # per existing consumption, so a draw lands on a signal with
+    # probability proportional to its current fanout (power-law tail).
+    # Entries are only ever signals from completed levels, so attachment
+    # can never break the level DAG discipline.
+    rent = profile.fanout_model == "rent"
+    attach: list[str] = []
+
     for level_size in per_level:
         current: list[str] = []
         prev = levels[-1]
         earlier = [s for lvl in levels[:-1] for s in lvl]
+        level_sources: list[str] = []
         for _ in range(level_size):
             name = f"g{gate_counter}"
             gate_counter += 1
             k = _pick_fanin_count(rng)
-            fanin = _pick_fanin(rng, prev, earlier, k, opts.previous_level_bias)
+            if rent:
+                fanin = _pick_fanin_rent(
+                    rng, prev, earlier, attach, k,
+                    opts.previous_level_bias, opts.attachment_fraction,
+                )
+            else:
+                fanin = _pick_fanin(
+                    rng, prev, earlier, k, opts.previous_level_bias
+                )
             kind = rng.choice(_KINDS_BY_FANIN[len(fanin)])
             circuit.add_gate(name, kind, fanin)
             for sig in fanin:
                 consumed[sig] = consumed.get(sig, 0) + 1
+                level_sources.append(sig)
             current.append(name)
+        # Fold this level's consumptions into the attachment pool only
+        # once the level is complete — attachment draws must stay on
+        # strictly earlier levels.
+        if rent:
+            attach.extend(level_sources)
         levels.append(current)
 
     # --- flip-flop data inputs from late levels ---------------------------
@@ -134,11 +162,11 @@ def generate_circuit(
 
 
 def generate_named(name: str, options: GeneratorOptions | None = None) -> Circuit:
-    """Generate one of the paper's Table II circuits by name."""
+    """Generate a Table II circuit or scale profile by name."""
     try:
-        profile = PROFILES[name]
+        profile = ALL_PROFILES[name]
     except KeyError:
-        known = ", ".join(sorted(PROFILES))
+        known = ", ".join(sorted(ALL_PROFILES))
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
     return generate_circuit(profile, options)
 
@@ -176,6 +204,39 @@ def _pick_fanin(
     while len(chosen) < k:
         use_prev = prev_level and (not earlier or rng.random() < prev_bias)
         sig = rng.choice(prev_level if use_prev else earlier)
+        if sig not in seen:
+            seen.add(sig)
+            chosen.append(sig)
+    return tuple(chosen)
+
+
+def _pick_fanin_rent(
+    rng: random.Random,
+    prev_level: list[str],
+    earlier: list[str],
+    attach: list[str],
+    k: int,
+    prev_bias: float,
+    attachment_fraction: float,
+) -> tuple[str, ...]:
+    """Pick ``k`` distinct sources with a preferential-attachment mixture.
+
+    With probability ``attachment_fraction`` a source is drawn from the
+    attachment pool (one entry per existing consumption, so a signal's
+    draw odds scale with its current fanout — the Barabási–Albert
+    mechanism behind power-law fanout tails in Rent-rule netlists);
+    otherwise it falls back to the uniform level-biased draw.
+    """
+    chosen: list[str] = []
+    pool_size = len(prev_level) + len(earlier)
+    k = min(k, pool_size)
+    seen: set[str] = set()
+    while len(chosen) < k:
+        if attach and rng.random() < attachment_fraction:
+            sig = rng.choice(attach)
+        else:
+            use_prev = prev_level and (not earlier or rng.random() < prev_bias)
+            sig = rng.choice(prev_level if use_prev else earlier)
         if sig not in seen:
             seen.add(sig)
             chosen.append(sig)

@@ -1,4 +1,4 @@
-"""ISCAS89 benchmark profiles used in the paper's evaluation (Table II).
+"""Benchmark profiles: the paper's Table II circuits plus scale profiles.
 
 The paper synthesizes the ISCAS89 suite with SIS and reports the resulting
 cell/flip-flop/net counts.  We reproduce those counts with the synthetic
@@ -6,11 +6,19 @@ generator in :mod:`repro.netlist.generator`; the profile also records the
 paper's reference numbers (conventional clock-tree path length ``PL`` and
 the rotary ring count) so the experiment harness can regenerate Table II
 side by side with the paper's values.
+
+:data:`SCALE_PROFILES` extends the suite past ISCAS scale with
+Open3DBench-class synthetic instances (10k and 100k cells, hundreds of
+rings) whose fanout distribution follows a Rent-style preferential-
+attachment model instead of the near-uniform ISCAS emulation; see
+``DESIGN.md`` §13.  They drive ``benchmarks/bench_scale.py`` and the
+nightly scale CI job, not the paper tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Literal
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +41,11 @@ class CircuitProfile:
     #: depth realistic is what lets every benchmark close timing at 1 GHz,
     #: as in the paper.
     logic_depth: int = 7
+    #: Fanout model: "uniform" (the ISCAS emulation — sources drawn
+    #: uniformly within their level pools) or "rent" (preferential
+    #: attachment toward already-loaded signals, yielding the power-law
+    #: fanout tail of Rent-rule netlists; used by the scale profiles).
+    fanout_model: Literal["uniform", "rent"] = "uniform"
 
     def __post_init__(self) -> None:
         if self.num_flipflops <= 0 or self.num_cells <= self.num_flipflops:
@@ -67,6 +80,56 @@ PROFILES: dict[str, CircuitProfile] = {
 
 #: The order circuits appear in the paper's tables.
 PROFILE_ORDER: tuple[str, ...] = ("s9234", "s5378", "s15850", "s38417", "s35932")
+
+
+def scale_profile(
+    name: str,
+    num_cells: int,
+    num_flipflops: int | None = None,
+    num_rings: int | None = None,
+    seed: int | None = None,
+    logic_depth: int = 6,
+) -> CircuitProfile:
+    """An Open3DBench-class scale profile with Rent-style fanout.
+
+    Defaults derive a register count of ~1/12 of the cells (typical for
+    synthesized logic) and a ring grid of ~20 flip-flops per ring rounded
+    to the nearest perfect square — denser than the paper's ~32/ring so
+    that 100k-cell instances exercise grids of hundreds of rings.  The
+    seed defaults to ``num_cells`` so each size is its own deterministic
+    instance.
+    """
+    if num_flipflops is None:
+        num_flipflops = max(16, num_cells // 12)
+    if num_rings is None:
+        side = max(2, round((num_flipflops / 20.0) ** 0.5))
+        num_rings = side * side
+    return CircuitProfile(
+        name=name,
+        num_cells=num_cells,
+        num_flipflops=num_flipflops,
+        num_nets=int(num_cells * 0.985),
+        num_rings=num_rings,
+        paper_path_length_um=0.0,
+        seed=num_cells if seed is None else seed,
+        logic_depth=logic_depth,
+        fanout_model="rent",
+    )
+
+
+#: The scale frontier: 10k and 100k-cell deterministic instances.
+SCALE_PROFILES: dict[str, CircuitProfile] = {
+    p.name: p
+    for p in (
+        scale_profile("scale10k", 10_000, num_flipflops=1_250, num_rings=100),
+        scale_profile("scale100k", 100_000, num_flipflops=8_000, num_rings=400),
+    )
+}
+
+SCALE_PROFILE_ORDER: tuple[str, ...] = ("scale10k", "scale100k")
+
+#: Every generatable profile (paper benchmarks + scale instances).
+ALL_PROFILES: dict[str, CircuitProfile] = {**PROFILES, **SCALE_PROFILES}
 
 
 def small_profile(name: str = "tiny", num_cells: int = 120, num_flipflops: int = 16,

@@ -13,6 +13,7 @@ from .mincostflow import (
     ArcRef,
     FlowNetwork,
     FlowResult,
+    refine_assignment,
     solve_transportation,
 )
 from .simplex import solve_simplex
@@ -26,6 +27,7 @@ __all__ = [
     "ArcRef",
     "FORBIDDEN_COST",
     "solve_transportation",
+    "refine_assignment",
     "BBResult",
     "branch_and_bound",
     "SkewConstraint",

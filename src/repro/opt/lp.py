@@ -32,6 +32,24 @@ class _Constraint:
     name: str
 
 
+@dataclass(slots=True)
+class _ConstraintBlock:
+    """A batch of same-sense constraints in COO triplet form.
+
+    ``rows`` are block-local (0..n_rows-1); ``cols`` index the variable
+    declaration order.  Rows with no entries are legal (a vacuous
+    ``0 <= rhs`` row, e.g. a self-loop timing pair whose coefficients
+    cancelled) and keep their right-hand side.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    sense: Sense
+    rhs: np.ndarray
+    n_rows: int
+
+
 @dataclass(frozen=True, slots=True)
 class LPSolution:
     """Result of an LP/MILP solve."""
@@ -60,7 +78,7 @@ class LinearProgram:
         self.name = name
         self._vars: dict[str, tuple[float, float, bool]] = {}
         self._order: list[str] = []
-        self._constraints: list[_Constraint] = []
+        self._constraints: list[_Constraint | _ConstraintBlock] = []
         self._objective: dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -98,6 +116,59 @@ class LinearProgram:
             _Constraint(dict(coeffs), sense, rhs, name or f"c{len(self._constraints)}")
         )
 
+    def add_constraint_block(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        sense: Sense,
+        rhs: np.ndarray,
+    ) -> None:
+        """Add ``len(rhs)`` constraints at once from COO triplets.
+
+        Equivalent to calling :meth:`add_constraint` row by row with the
+        same coefficients, but without per-row Python objects — the fast
+        assembly path for the 10^5-row skew LPs on scale profiles.
+        ``rows`` are block-local row indices, ``cols`` are variable
+        indices in declaration order (see :meth:`var_indices`), and every
+        row shares ``sense``.  Duplicate ``(row, col)`` entries are
+        summed by the CSR lowering; emit each coefficient once (and skip
+        zeros) to stay byte-compatible with the scalar path.
+        """
+        if sense not in ("<=", ">=", "=="):
+            raise OptimizationError(f"bad constraint sense {sense!r}")
+        row_arr = np.asarray(rows, dtype=np.intp)
+        col_arr = np.asarray(cols, dtype=np.intp)
+        val_arr = np.asarray(values, dtype=float)
+        rhs_arr = np.asarray(rhs, dtype=float)
+        if not (row_arr.shape == col_arr.shape == val_arr.shape) or row_arr.ndim != 1:
+            raise OptimizationError(
+                f"constraint block in LP {self.name}: triplet arrays must be "
+                "1-D and share a shape"
+            )
+        n_rows = int(rhs_arr.shape[0])
+        if row_arr.size and (row_arr.min() < 0 or row_arr.max() >= n_rows):
+            raise OptimizationError(
+                f"constraint block in LP {self.name}: row index out of range"
+            )
+        if col_arr.size and (col_arr.min() < 0 or col_arr.max() >= len(self._order)):
+            raise OptimizationError(
+                f"constraint block in LP {self.name} references unknown variables"
+            )
+        self._constraints.append(
+            _ConstraintBlock(row_arr, col_arr, val_arr, sense, rhs_arr, n_rows)
+        )
+
+    def var_indices(self, names: list[str]) -> np.ndarray:
+        """Indices of ``names`` in declaration order, for block assembly."""
+        idx = {v: i for i, v in enumerate(self._order)}
+        try:
+            return np.array([idx[n] for n in names], dtype=np.intp)
+        except KeyError as exc:
+            raise OptimizationError(
+                f"unknown variable {exc.args[0]!r} in LP {self.name}"
+            ) from None
+
     def set_objective(self, coeffs: Mapping[str, float]) -> None:
         """Set the objective (always minimized; negate to maximize)."""
         unknown = [v for v in coeffs if v not in self._vars]
@@ -111,7 +182,10 @@ class LinearProgram:
 
     @property
     def num_constraints(self) -> int:
-        return len(self._constraints)
+        return sum(
+            c.n_rows if isinstance(c, _ConstraintBlock) else 1
+            for c in self._constraints
+        )
 
     @property
     def has_integers(self) -> bool:
@@ -133,34 +207,60 @@ class LinearProgram:
         for v, coef in self._objective.items():
             c[idx[v]] = coef
 
-        def build(rows: list[_Constraint], negate: bool) -> sp.csr_matrix:
+        def build(
+            rows: list[_Constraint | _ConstraintBlock], negate: bool
+        ) -> tuple[sp.csr_matrix, np.ndarray]:
             data: list[float] = []
             ri: list[int] = []
             ci: list[int] = []
-            for k, con in enumerate(rows):
+            chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            b: list[float] = []
+            offset = 0
+            for con in rows:
                 sign = -1.0 if (negate and con.sense == ">=") else 1.0
-                for v, coef in con.coeffs.items():
-                    ri.append(k)
-                    ci.append(idx[v])
-                    data.append(sign * coef)
-            return sp.csr_matrix((data, (ri, ci)), shape=(len(rows), n))
+                if isinstance(con, _ConstraintBlock):
+                    chunks.append(
+                        (
+                            con.rows + offset,
+                            con.cols,
+                            con.values if sign == 1.0 else -con.values,
+                        )
+                    )
+                    b.extend((con.rhs if sign == 1.0 else -con.rhs).tolist())
+                    offset += con.n_rows
+                else:
+                    for v, coef in con.coeffs.items():
+                        ri.append(offset)
+                        ci.append(idx[v])
+                        data.append(sign * coef)
+                    b.append(con.rhs if sign == 1.0 else -con.rhs)
+                    offset += 1
+            all_r = np.concatenate(
+                [np.asarray(ri, dtype=np.intp), *(ch[0] for ch in chunks)]
+            )
+            all_c = np.concatenate(
+                [np.asarray(ci, dtype=np.intp), *(ch[1] for ch in chunks)]
+            )
+            all_v = np.concatenate(
+                [np.asarray(data, dtype=float), *(ch[2] for ch in chunks)]
+            )
+            matrix = sp.csr_matrix((all_v, (all_r, all_c)), shape=(offset, n))
+            return matrix, np.array(b)
 
         ub_cons = [c_ for c_ in self._constraints if c_.sense in ("<=", ">=")]
         eq_cons = [c_ for c_ in self._constraints if c_.sense == "=="]
-        b_ub = np.array(
-            [c_.rhs if c_.sense == "<=" else -c_.rhs for c_ in ub_cons]
-        )
-        b_eq = np.array([c_.rhs for c_ in eq_cons])
+        a_ub, b_ub = build(ub_cons, negate=True) if ub_cons else (None, None)
+        a_eq, b_eq = build(eq_cons, negate=False) if eq_cons else (None, None)
         bounds = [(self._vars[v][0], self._vars[v][1]) for v in self._order]
         integrality = np.array(
             [1 if self._vars[v][2] else 0 for v in self._order], dtype=int
         )
         return {
             "c": c,
-            "A_ub": build(ub_cons, negate=True) if ub_cons else None,
-            "b_ub": b_ub if ub_cons else None,
-            "A_eq": build(eq_cons, negate=False) if eq_cons else None,
-            "b_eq": b_eq if eq_cons else None,
+            "A_ub": a_ub,
+            "b_ub": b_ub,
+            "A_eq": a_eq,
+            "b_eq": b_eq,
             "bounds": bounds,
             "integrality": integrality,
             "order": list(self._order),

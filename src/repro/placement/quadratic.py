@@ -40,6 +40,12 @@ AnchorArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
 _CLIQUE_MAX_DEGREE = 5
 #: Tiny centering anchor guaranteeing a non-singular system.
 _EPS_ANCHOR = 1e-6
+#: ``solver="auto"`` switches from plain CG to Jacobi-preconditioned CG
+#: above this many movable cells.  The threshold sits above the largest
+#: bundled circuit (s35932, 17005 movables) so ISCAS-scale flows keep
+#: the historical solver bit-for-bit; scale profiles get the
+#: preconditioned path.
+_PCG_AUTO_THRESHOLD = 20_000
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +63,18 @@ class PlacerOptions:
     #: "triplets" is the original per-solve Python rebuild.  Both feed
     #: scipy the identical COO stream, so results are bit-identical.
     assembly: Literal["prefactored", "triplets"] = "prefactored"
+    #: Linear solver for the SPD axis systems:
+    #:
+    #: * ``"cg"`` — plain conjugate gradients (the historical path);
+    #: * ``"pcg"`` — Jacobi-preconditioned CG; same tolerance, far fewer
+    #:   iterations on ill-conditioned 100k-cell systems;
+    #: * ``"direct"`` — sparse LU factorization per solve;
+    #: * ``"dense"`` — dense LU per solve (materializes the full matrix;
+    #:   the dense-factorization baseline of ``benchmarks/bench_scale.py``
+    #:   — O(n^2) memory, never auto-selected);
+    #: * ``"auto"`` — ``"cg"`` up to ``_PCG_AUTO_THRESHOLD`` movable
+    #:   cells, ``"pcg"`` beyond.
+    solver: Literal["auto", "cg", "pcg", "direct", "dense"] = "auto"
 
 
 class QuadraticPlacer:
@@ -80,6 +98,14 @@ class QuadraticPlacer:
         self._index = {name: i for i, name in enumerate(self._movable)}
         self._fixed = pad_positions(circuit, region)
         self._springs = self._build_springs()
+        if self.options.solver == "auto":
+            self._solver_mode = (
+                "cg" if len(self._movable) <= _PCG_AUTO_THRESHOLD else "pcg"
+            )
+        elif self.options.solver in ("cg", "pcg", "direct", "dense"):
+            self._solver_mode = self.options.solver
+        else:
+            raise PlacementError(f"unknown placer solver {self.options.solver!r}")
         self._base: tuple[np.ndarray, ...] | None = None
         if self.options.assembly == "prefactored":
             self._base = self._prefactor()
@@ -178,6 +204,39 @@ class QuadraticPlacer:
             rhs_y,
         )
 
+    def _linear_solve(
+        self, A: sp.csr_matrix, rhs: np.ndarray, x0: np.ndarray | None
+    ) -> np.ndarray:
+        """Solve the SPD axis system with the configured solver mode.
+
+        ``"cg"`` reproduces the historical solve exactly (same scipy
+        call, same fallback); ``"pcg"`` adds a Jacobi preconditioner —
+        the diagonal of a spring Laplacian plus anchors is strictly
+        positive, so ``M = diag(A)^-1`` is well defined; ``"direct"``
+        factors the system per solve (sparse LU).
+        """
+        mode = self._solver_mode
+        if mode == "dense":
+            import scipy.linalg as sla
+
+            self.collector.count("placement.solver.dense")
+            return np.asarray(sla.lu_solve(sla.lu_factor(A.toarray()), rhs))
+        if mode == "direct":
+            self.collector.count("placement.solver.direct")
+            return np.asarray(spla.splu(A.tocsc()).solve(rhs))
+        M = None
+        if mode == "pcg":
+            self.collector.count("placement.solver.pcg")
+            inv_diag = 1.0 / A.diagonal()
+            M = spla.LinearOperator(A.shape, matvec=lambda v: inv_diag * v)
+        else:
+            self.collector.count("placement.solver.cg")
+        sol, info = spla.cg(A, rhs, x0=x0, rtol=1e-8, maxiter=2000, M=M)
+        if info != 0:
+            self.collector.count("placement.solver.fallbacks")
+            sol = spla.spsolve(A.tocsc(), rhs)
+        return np.asarray(sol)
+
     @staticmethod
     def _anchor_arrays(
         anchors: "Sequence[tuple[int, float, float]] | AnchorArrays",
@@ -218,10 +277,8 @@ class QuadraticPlacer:
         if warm is not None:
             center = (self.region.bbox.center.x, self.region.bbox.center.y)[axis]
             x0 = np.concatenate([warm, np.full(n_aux, center)])
-        sol, info = spla.cg(A, rhs, x0=x0, rtol=1e-8, maxiter=2000)
-        if info != 0:
-            sol = spla.spsolve(A.tocsc(), rhs)
-        return np.asarray(sol[:n])
+        sol = self._linear_solve(A, rhs, x0)
+        return sol[:n]
 
     def _solve_axis(
         self,
@@ -288,10 +345,8 @@ class QuadraticPlacer:
         x0 = None
         if warm is not None:
             x0 = np.concatenate([warm, np.full(n_aux, center)])
-        sol, info = spla.cg(A, rhs, x0=x0, rtol=1e-8, maxiter=2000)
-        if info != 0:
-            sol = spla.spsolve(A.tocsc(), rhs)
-        return np.asarray(sol[:n])
+        sol = self._linear_solve(A, rhs, x0)
+        return sol[:n]
 
     def _solve(
         self,

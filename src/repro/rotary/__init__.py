@@ -21,8 +21,10 @@ from .tapping import (
 )
 from .tapping_vec import (
     BatchTappingResult,
+    RingPairsTappingResult,
     batch_best_tapping,
     batch_solve,
+    batch_solve_rings,
     batch_tapping_wirelengths,
 )
 from .wave_sim import WaveSimResult, simulate_ring, uniform_load
@@ -38,8 +40,10 @@ __all__ = [
     "stub_delay",
     "tapping_arc_length",
     "BatchTappingResult",
+    "RingPairsTappingResult",
     "batch_best_tapping",
     "batch_solve",
+    "batch_solve_rings",
     "batch_tapping_wirelengths",
     "RingElectrical",
     "ring_electrical",

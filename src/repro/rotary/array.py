@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..geometry import BBox, Point
 from .ring import RotaryRing
 
@@ -49,6 +51,7 @@ class RingArray:
         pitch_x = region.width / side
         pitch_y = region.height / side
         half = 0.5 * min(pitch_x, pitch_y) * opts.fill_factor
+        self._segment_stacks: tuple[np.ndarray, ...] | None = None
         self._rings: list[RotaryRing] = []
         for gy in range(side):
             for gx in range(side):
@@ -96,6 +99,30 @@ class RingArray:
         """
         ordered = sorted(self._rings, key=lambda r: r.center.manhattan(p))
         return ordered if k is None else ordered[:k]
+
+    def segment_stacks(self) -> tuple[np.ndarray, ...]:
+        """Stacked per-ring segment arrays for the pair-batched kernel.
+
+        Returns ``(sx, sy, dx, dy, length, t0, rho)`` each of shape
+        ``(num_rings, num_segments)`` plus the per-ring ``period`` of
+        shape ``(num_rings,)``; row ``j`` holds ring ``j``'s segments in
+        :meth:`RotaryRing.segments` order.  Computed once and cached —
+        ring geometry is immutable after construction.
+        """
+        if self._segment_stacks is None:
+            per_ring = [
+                [
+                    (s.start.x, s.start.y, s.dx, s.dy, s.length, s.t0, s.rho)
+                    for s in ring.segments()
+                ]
+                for ring in self._rings
+            ]
+            stacked = np.array(per_ring)  # (R, S, 7)
+            periods = np.array([ring.period for ring in self._rings])
+            self._segment_stacks = tuple(
+                np.ascontiguousarray(stacked[:, :, k]) for k in range(7)
+            ) + (periods,)
+        return self._segment_stacks
 
     def default_capacities(self, num_flipflops: int, headroom: float = 1.5) -> list[int]:
         """Per-ring flip-flop capacities ``U_j``.

@@ -18,8 +18,17 @@ scalar reference, so the two paths agree to the last ULP on the same
 inputs; the scalar solver stays in the tree as the cross-checked
 reference implementation (see ``tests/rotary/test_tapping_vectorized.py``).
 
-The kernel is the hot path of :func:`repro.core.cost.tapping_cost_matrix`:
-one call per ring replaces ``num_flipflops * 8 * 5`` scalar solves.
+Two batched entry points share the kernel core:
+
+* :func:`batch_solve` — one ring, many flip-flops (the PR-1 shape);
+* :func:`batch_solve_rings` — arbitrary ``(flip-flop, ring)`` pairs
+  against a whole :class:`~repro.rotary.array.RingArray` in one call,
+  evaluated in bounded-memory chunks.  This is the hot path of
+  :func:`repro.core.cost.tapping_cost_matrix`: one call per *iteration*
+  replaces one call per *ring*.
+
+Because the kernel math is elementwise over pairs, the pair-indexed and
+ring-at-a-time paths produce bit-identical results for the same inputs.
 """
 
 from __future__ import annotations
@@ -39,6 +48,11 @@ from .tapping import _MAX_PERIOD_REDUCTIONS, _TOL, TappingSolution
 _SNAKE_CANDIDATE = 4
 #: Root-acceptance slack used by the scalar solver (kept identical).
 _ROOT_TOL = 1e-7
+#: Pairs evaluated per kernel invocation by the chunked multi-ring entry
+#: point.  The kernel materializes ~(segments x periods x candidates)
+#: intermediates per pair, so unbounded batches would peak at hundreds of
+#: MB on 100k-cell circuits; chunking is elementwise and changes nothing.
+_PAIRS_PER_CHUNK = 16384
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,6 +111,51 @@ class BatchTappingResult:
         return [self.solution(i) for i in range(len(self))]
 
 
+@dataclass(frozen=True, slots=True)
+class RingPairsTappingResult:
+    """Best tapping of arbitrary ``(flip-flop, ring)`` pairs.
+
+    The multi-ring analogue of :class:`BatchTappingResult`: all arrays
+    are indexed by pair position in the input batch and ``ring_ids[i]``
+    identifies the ring pair ``i`` was solved against.
+    """
+
+    #: Ring id per pair.
+    ring_ids: np.ndarray
+    wirelength: np.ndarray
+    segment_index: np.ndarray
+    x: np.ndarray
+    periods_borrowed: np.ndarray
+    snaked: np.ndarray
+    target_delay: np.ndarray
+    point_x: np.ndarray
+    point_y: np.ndarray
+
+    @property
+    def feasible(self) -> np.ndarray:
+        return np.isfinite(self.wirelength)
+
+    def __len__(self) -> int:
+        return int(self.wirelength.shape[0])
+
+    def solution(self, i: int) -> TappingSolution:
+        """Materialize pair ``i``'s result as a :class:`TappingSolution`."""
+        if not np.isfinite(self.wirelength[i]):
+            raise TappingError(
+                f"pair {i} has no feasible tapping on ring {int(self.ring_ids[i])}"
+            )
+        return TappingSolution(
+            ring_id=int(self.ring_ids[i]),
+            segment_index=int(self.segment_index[i]),
+            x=float(self.x[i]),
+            point=Point(float(self.point_x[i]), float(self.point_y[i])),
+            wirelength=float(self.wirelength[i]),
+            periods_borrowed=int(self.periods_borrowed[i]),
+            snaked=bool(self.snaked[i]),
+            target_delay=float(self.target_delay[i]),
+        )
+
+
 def _segment_arrays(
     ring: RotaryRing,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -112,43 +171,36 @@ def _segment_arrays(
     return sx, sy, dx, dy, length, t0, rho
 
 
-def batch_solve(
-    ring: RotaryRing,
+def _solve_pairs(
+    sx: np.ndarray,
+    sy: np.ndarray,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    length: np.ndarray,
+    t0: np.ndarray,
+    rho: np.ndarray,
+    period: "float | np.ndarray",
     px: np.ndarray,
     py: np.ndarray,
     targets: np.ndarray,
     tech: Technology,
-    load_cap: float | np.ndarray | None = None,
-    collector: Collector = NULL_COLLECTOR,
-) -> BatchTappingResult:
-    """Best tapping of every ``(px[i], py[i], targets[i])`` on ``ring``.
+    cf: "np.floating | np.ndarray",
+) -> tuple[np.ndarray, ...]:
+    """Kernel core over ``(pair, segment, period, candidate)``.
 
-    The batched equivalent of calling :func:`repro.rotary.best_tapping`
-    once per flip-flop; infeasible entries are reported through the
-    ``feasible`` mask instead of raising.  ``load_cap`` may be a scalar
-    or a per-flip-flop array; ``None`` uses the flip-flop input cap.
+    Segment arrays are ``(n, S)`` (broadcast views are fine); ``period``
+    is a scalar or per-pair ``(n,)`` array.  Every expression keeps the
+    floating-point association of the scalar reference, so results are
+    bit-identical to per-ring evaluation of the same pairs.
     """
-    px = np.asarray(px, dtype=float)
-    py = np.asarray(py, dtype=float)
-    targets = np.asarray(targets, dtype=float)
     n = px.shape[0]
-    collector.count("tapping.batch.calls")
-    collector.count("tapping.batch.flipflops", n)
-    period = ring.period
-
     r, c = tech.unit_resistance, tech.unit_capacitance
-    if load_cap is None:
-        cf = np.float64(tech.flipflop_input_cap)
-    else:
-        cf = np.asarray(load_cap, dtype=float)
     K = OHM_FF_TO_PS
     A = K * 0.5 * r * c
 
-    sx, sy, dx, dy, length, t0, rho = _segment_arrays(ring)
-
     # Projection onto each segment axis: (n, S).
-    rx = px[:, None] - sx[None, :]
-    ry = py[:, None] - sy[None, :]
+    rx = px[:, None] - sx
+    ry = py[:, None] - sy
     xf = rx * dx + ry * dy
     yf = np.abs(rx * dy - ry * dx)
 
@@ -161,18 +213,23 @@ def batch_solve(
     target_norm = np.fmod(targets, period)
     target_norm = np.where(target_norm < 0.0, target_norm + period, target_norm)
     ks = np.arange(_MAX_PERIOD_REDUCTIONS + 1, dtype=float)
+    kp = (
+        ks[None, None, :] * np.asarray(period)[:, None, None]
+        if np.ndim(period) == 1
+        else ks[None, None, :] * period
+    )
     # Case 1 period borrowing: budget per (ff, segment, k).
-    budget = (target_norm[:, None, None] + ks[None, None, :] * period) - t0[None, :, None]
+    budget = (target_norm[:, None, None] + kp) - t0[:, :, None]
 
     xf3 = xf[:, :, None]
     yf3 = yf[:, :, None]
-    len3 = length[None, :, None]
+    len3 = length[:, :, None]
     cq = C0[:, :, None] - budget
 
     with np.errstate(invalid="ignore", divide="ignore"):
         # Right parabola: x = xf + u, u >= 0, stub = u + yf.
         u_lo = np.maximum(0.0, -xf)[:, :, None]
-        u_hi = (length[None, :] - xf)[:, :, None]
+        u_hi = (length - xf)[:, :, None]
         gate_r = u_hi >= u_lo - _TOL
         b_r = (rho + wire_lin)[:, :, None]
         disc_r = b_r * b_r - 4.0 * A * cq
@@ -189,7 +246,7 @@ def batch_solve(
         x_r = xf3[..., None] + u_cl
 
         # Left parabola: x = xf - v, v >= 0, stub = v + yf.
-        v_lo = np.maximum(0.0, xf - length[None, :])[:, :, None]
+        v_lo = np.maximum(0.0, xf - length)[:, :, None]
         v_hi = xf3
         gate_l = v_hi >= v_lo - _TOL
         b_l = (-rho + wire_lin)[:, :, None]
@@ -207,9 +264,9 @@ def batch_solve(
         x_l = xf3[..., None] - v_cl
 
         # Case 4: snake from the far segment end (maximum ring delay).
-        direct = np.abs(length[None, :] - xf) + yf
+        direct = np.abs(length - xf) + yf
         stub_at_end = K * (0.5 * r * c * direct * direct + r * direct * cfb)
-        snake_budget = budget - (rho * length)[None, :, None]
+        snake_budget = budget - (rho * length)[:, :, None]
         gate_s = snake_budget >= stub_at_end[:, :, None] - _TOL
         b_s = r * cfb if np.ndim(cfb) else np.float64(r * cf)
         b_s3 = b_s[:, :, None] if np.ndim(b_s) else b_s
@@ -248,24 +305,182 @@ def batch_solve(
     k_at = first_k[idx, best_s]
     c_at = best_c[idx, best_s, k_at]
     x_at = cand_x[idx, best_s, k_at, c_at]
-    seg_len = length[best_s]
+    seg_len = length[idx, best_s]
     x_at = np.minimum(np.maximum(x_at, 0.0), seg_len)
     snaked = (c_at == _SNAKE_CANDIDATE) & feasible
 
-    point_x = sx[best_s] + dx[best_s] * x_at
-    point_y = sy[best_s] + dy[best_s] * x_at
+    point_x = sx[idx, best_s] + dx[idx, best_s] * x_at
+    point_y = sy[idx, best_s] + dy[idx, best_s] * x_at
+
+    return (
+        wirelength,
+        np.where(feasible, best_s, -1),
+        np.where(feasible, x_at, 0.0),
+        np.where(feasible, k_at, 0),
+        snaked,
+        target_norm,
+        point_x,
+        point_y,
+    )
+
+
+def batch_solve(
+    ring: RotaryRing,
+    px: np.ndarray,
+    py: np.ndarray,
+    targets: np.ndarray,
+    tech: Technology,
+    load_cap: float | np.ndarray | None = None,
+    collector: Collector = NULL_COLLECTOR,
+) -> BatchTappingResult:
+    """Best tapping of every ``(px[i], py[i], targets[i])`` on ``ring``.
+
+    The batched equivalent of calling :func:`repro.rotary.best_tapping`
+    once per flip-flop; infeasible entries are reported through the
+    ``feasible`` mask instead of raising.  ``load_cap`` may be a scalar
+    or a per-flip-flop array; ``None`` uses the flip-flop input cap.
+    """
+    px = np.asarray(px, dtype=float)
+    py = np.asarray(py, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    n = px.shape[0]
+    collector.count("tapping.batch.calls")
+    collector.count("tapping.batch.flipflops", n)
+
+    if load_cap is None:
+        cf: np.floating | np.ndarray = np.float64(tech.flipflop_input_cap)
+    else:
+        cf = np.asarray(load_cap, dtype=float)
+
+    seg = _segment_arrays(ring)
+    n_seg = seg[0].shape[0]
+    pairwise = tuple(np.broadcast_to(a, (n, n_seg)) for a in seg)
+    (
+        wirelength,
+        segment_index,
+        x,
+        periods_borrowed,
+        snaked,
+        target_norm,
+        point_x,
+        point_y,
+    ) = _solve_pairs(*pairwise, ring.period, px, py, targets, tech, cf)
 
     return BatchTappingResult(
         ring_id=ring.ring_id,
         wirelength=wirelength,
-        segment_index=np.where(feasible, best_s, -1),
-        x=np.where(feasible, x_at, 0.0),
-        periods_borrowed=np.where(feasible, k_at, 0),
+        segment_index=segment_index,
+        x=x,
+        periods_borrowed=periods_borrowed,
         snaked=snaked,
         target_delay=target_norm,
         point_x=point_x,
         point_y=point_y,
     )
+
+
+def batch_solve_rings(
+    array: "RingArrayLike",
+    ring_ids: np.ndarray,
+    px: np.ndarray,
+    py: np.ndarray,
+    targets: np.ndarray,
+    tech: Technology,
+    load_cap: float | np.ndarray | None = None,
+    collector: Collector = NULL_COLLECTOR,
+    pairs_per_chunk: int = _PAIRS_PER_CHUNK,
+) -> RingPairsTappingResult:
+    """Best tapping of arbitrary ``(flip-flop, ring)`` pairs in one call.
+
+    ``ring_ids[i]`` names the ring pair ``i`` is solved against;
+    ``px``/``py``/``targets`` give the flip-flop side of the pair.  The
+    whole batch is evaluated through the stacked segment arrays of the
+    ring array (cached on it), chunked to ``pairs_per_chunk`` so peak
+    memory stays bounded on 100k-cell circuits.  Chunking is elementwise:
+    results are bit-identical to per-ring :func:`batch_solve` calls over
+    the same pairs.
+    """
+    ring_ids = np.asarray(ring_ids, dtype=np.intp)
+    px = np.asarray(px, dtype=float)
+    py = np.asarray(py, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    n = px.shape[0]
+    collector.count("tapping.pairs.calls")
+    collector.count("tapping.pairs.count", n)
+
+    if load_cap is None:
+        cf_all: np.floating | np.ndarray = np.float64(tech.flipflop_input_cap)
+    else:
+        cf_all = np.asarray(load_cap, dtype=float)
+
+    sx, sy, dx, dy, length, t0, rho, periods = array.segment_stacks()
+
+    wirelength = np.empty(n)
+    segment_index = np.empty(n, dtype=np.intp)
+    x = np.empty(n)
+    periods_borrowed = np.empty(n, dtype=np.intp)
+    snaked = np.empty(n, dtype=bool)
+    target_norm = np.empty(n)
+    point_x = np.empty(n)
+    point_y = np.empty(n)
+
+    if pairs_per_chunk <= 0:
+        raise ValueError("pairs_per_chunk must be positive")
+    for lo in range(0, n, pairs_per_chunk):
+        hi = min(lo + pairs_per_chunk, n)
+        rid = ring_ids[lo:hi]
+        cf = cf_all[lo:hi] if np.ndim(cf_all) == 1 else cf_all
+        out = _solve_pairs(
+            sx[rid],
+            sy[rid],
+            dx[rid],
+            dy[rid],
+            length[rid],
+            t0[rid],
+            rho[rid],
+            periods[rid],
+            px[lo:hi],
+            py[lo:hi],
+            targets[lo:hi],
+            tech,
+            cf,
+        )
+        (
+            wirelength[lo:hi],
+            segment_index[lo:hi],
+            x[lo:hi],
+            periods_borrowed[lo:hi],
+            snaked[lo:hi],
+            target_norm[lo:hi],
+            point_x[lo:hi],
+            point_y[lo:hi],
+        ) = out
+
+    return RingPairsTappingResult(
+        ring_ids=ring_ids,
+        wirelength=wirelength,
+        segment_index=segment_index,
+        x=x,
+        periods_borrowed=periods_borrowed,
+        snaked=snaked,
+        target_delay=target_norm,
+        point_x=point_x,
+        point_y=point_y,
+    )
+
+
+class RingArrayLike:
+    """Structural interface of :class:`repro.rotary.array.RingArray`.
+
+    Only what :func:`batch_solve_rings` needs: the stacked per-ring
+    segment arrays.  Declared for documentation/typing; RingArray is the
+    one real implementation.
+    """
+
+    def segment_stacks(
+        self,
+    ) -> tuple[np.ndarray, ...]:  # pragma: no cover - interface stub
+        raise NotImplementedError
 
 
 def batch_best_tapping(

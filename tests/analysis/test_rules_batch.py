@@ -1,0 +1,132 @@
+"""RCK501's batched pending-pair path.
+
+Flip-flops with *no stored tapping solution* are checked through one
+vectorized :func:`batch_solve_rings` call (the scalar per-flip-flop
+solver made RCK501 the checker's bottleneck at 100k cells); only the
+rare infeasible rows re-run the scalar solver for its exact diagnostic
+text.  These tests pin the batched path's semantics: feasible pending
+flip-flops stay silent, infeasible ones report with the scalar solver's
+message, and mixing pending with stored solutions changes nothing.
+"""
+
+from repro.analysis import DesignContext, run_checks
+from repro.geometry import BBox, Point
+from repro.rotary import RingArray, TappingSolution
+
+
+def _ctx(**kwargs):
+    kwargs.setdefault("name", "fixture")
+    return DesignContext(**kwargs)
+
+
+def _array(side=2, extent=100.0, period=1000.0):
+    return RingArray(BBox(0.0, 0.0, extent, extent), side=side, period=period)
+
+
+def _solution(ring_id=0, target=0.0):
+    return TappingSolution(
+        ring_id=ring_id,
+        segment_index=0,
+        x=0.0,
+        point=Point(0.0, 0.0),
+        wirelength=1.0,
+        periods_borrowed=0,
+        snaked=False,
+        target_delay=target,
+    )
+
+
+class TestBatchedPendingPairs:
+    def test_feasible_pending_flipflops_are_clean(self):
+        """No stored solutions at all: the whole rule runs through the
+        batched kernel and must stay silent on realizable targets."""
+        report = run_checks(
+            _ctx(
+                array=_array(),
+                ring_of={"ff0": 0, "ff1": 3, "ff2": 1},
+                capacities=(4, 4, 4, 4),
+                positions={
+                    "ff0": Point(20.0, 20.0),
+                    "ff1": Point(80.0, 75.0),
+                    "ff2": Point(60.0, 30.0),
+                },
+                schedule={"ff0": 0.0, "ff1": 250.0, "ff2": 990.0},
+            )
+        )
+        assert report.findings == ()
+
+    def test_infeasible_pending_reports_scalar_diagnostic(self):
+        """A short-period ring cannot reach a far-away flip-flop; the
+        batched path must report it with the scalar solver's message."""
+        report = run_checks(
+            _ctx(
+                array=_array(period=10.0),
+                ring_of={"ff0": 0},
+                capacities=(4, 4, 4, 4),
+                positions={"ff0": Point(5000.0, 5000.0)},
+                schedule={"ff0": 0.0},
+            )
+        )
+        # The far-away position also (correctly) trips the die-bounds
+        # rule; this test pins the tapping diagnostic.
+        assert report.counts_by_code["RCK501"] == 1
+        (diag,) = [d for d in report.findings if d.code == "RCK501"]
+        assert "no feasible tapping on ring 0" in diag.message
+        # The scalar solver's own text rides along in parentheses.
+        assert "no tapping point on ring 0" in diag.message
+
+    def test_mixed_pending_and_stored_solutions(self):
+        """One stale stored solution + one feasible pending + one
+        infeasible pending: exactly the right two findings."""
+        report = run_checks(
+            _ctx(
+                array=_array(period=10.0),
+                ring_of={"stale": 0, "ok": 1, "far": 2},
+                capacities=(4, 4, 4, 4),
+                positions={
+                    "stale": Point(20.0, 20.0),
+                    "ok": Point(80.0, 20.0),
+                    "far": Point(5000.0, 0.0),
+                },
+                schedule={"stale": 0.0, "ok": 2.0, "far": 0.0},
+                tappings={"stale": _solution(ring_id=3)},
+            )
+        )
+        rck501 = sorted(d.message for d in report.findings if d.code == "RCK501")
+        assert len(rck501) == 2
+        assert "no feasible tapping on ring 2" in rck501[0]
+        assert "taps ring 3" in rck501[1]  # the stale stored solution
+        assert not any("'ok'" in m for m in rck501)
+
+    def test_batch_matches_singleton_checks(self):
+        """Checking N pending flip-flops at once equals checking them
+        one context at a time (chunk-independence of the rule)."""
+        array = _array(period=10.0)
+        ffs = {
+            "a": (Point(10.0, 10.0), 0),
+            "b": (Point(5000.0, 5000.0), 1),
+            "c": (Point(90.0, 90.0), 3),
+        }
+        together = run_checks(
+            _ctx(
+                array=array,
+                ring_of={ff: ring for ff, (_, ring) in ffs.items()},
+                capacities=(4, 4, 4, 4),
+                positions={ff: pos for ff, (pos, _) in ffs.items()},
+                schedule={ff: 0.0 for ff in ffs},
+            )
+        )
+        singles = []
+        for ff, (pos, ring) in ffs.items():
+            rep = run_checks(
+                _ctx(
+                    array=array,
+                    ring_of={ff: ring},
+                    capacities=(4, 4, 4, 4),
+                    positions={ff: pos},
+                    schedule={ff: 0.0},
+                )
+            )
+            singles.extend(d.message for d in rep.findings if d.code == "RCK501")
+        batched = [d.message for d in together.findings if d.code == "RCK501"]
+        assert sorted(batched) == sorted(singles)

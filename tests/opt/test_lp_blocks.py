@@ -1,0 +1,175 @@
+"""COO constraint blocks: equivalence with scalar rows plus validation.
+
+``add_constraint_block`` is the fast assembly path for the 10^5-row skew
+LPs on scale profiles.  Its contract is strict: a block must lower to
+the *byte-identical* CSR that the equivalent ``add_constraint`` calls
+produce, scalar and block parts must interleave by insertion order, and
+malformed triplets are rejected up front rather than at solve time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.opt import LinearProgram
+
+
+def _csr_tuple(m):
+    return (m.shape, m.indptr.tolist(), m.indices.tolist(), m.data.tolist())
+
+
+def assert_same_arrays(a: dict, b: dict) -> None:
+    assert a["order"] == b["order"]
+    assert np.array_equal(a["c"], b["c"])
+    for key in ("A_ub", "A_eq"):
+        ma, mb = a[key], b[key]
+        assert (ma is None) == (mb is None)
+        if ma is not None:
+            assert _csr_tuple(ma) == _csr_tuple(mb)
+    for key in ("b_ub", "b_eq"):
+        va, vb = a[key], b[key]
+        assert (va is None) == (vb is None)
+        if va is not None:
+            assert np.array_equal(va, vb)
+    assert a["bounds"] == b["bounds"]
+
+
+def _fresh(n_vars: int = 4) -> LinearProgram:
+    lp = LinearProgram("blocks")
+    for i in range(n_vars):
+        lp.add_var(f"x{i}", lb=float("-inf"))
+    return lp
+
+
+class TestBlockScalarEquivalence:
+    def test_block_matches_scalar_rows(self):
+        rows = np.array([0, 0, 1, 2, 2])
+        cols = np.array([0, 2, 1, 3, 0])
+        vals = np.array([1.0, -2.0, 3.0, 0.5, -1.0])
+        rhs = np.array([4.0, 5.0, 6.0])
+
+        blk = _fresh()
+        blk.add_constraint_block(rows, cols, vals, "<=", rhs)
+
+        row_by_row = _fresh()
+        row_by_row.add_constraint({"x0": 1.0, "x2": -2.0}, "<=", 4.0)
+        row_by_row.add_constraint({"x1": 3.0}, "<=", 5.0)
+        row_by_row.add_constraint({"x3": 0.5, "x0": -1.0}, "<=", 6.0)
+
+        assert blk.num_constraints == row_by_row.num_constraints == 3
+        assert_same_arrays(blk.to_arrays(), row_by_row.to_arrays())
+
+    def test_ge_blocks_negate_like_scalar_rows(self):
+        blk = _fresh(2)
+        blk.add_constraint_block(
+            np.array([0]), np.array([1]), np.array([2.0]), ">=", np.array([7.0])
+        )
+        scalar = _fresh(2)
+        scalar.add_constraint({"x1": 2.0}, ">=", 7.0)
+        assert_same_arrays(blk.to_arrays(), scalar.to_arrays())
+
+    def test_blocks_interleave_with_scalar_rows(self):
+        """Insertion order defines row order across both kinds."""
+        mixed = _fresh(2)
+        mixed.add_constraint({"x0": 1.0}, "<=", 1.0)
+        mixed.add_constraint_block(
+            np.array([0, 1]),
+            np.array([1, 0]),
+            np.array([1.0, 1.0]),
+            "<=",
+            np.array([2.0, 3.0]),
+        )
+        mixed.add_constraint({"x1": -1.0}, "<=", 4.0)
+
+        flat = _fresh(2)
+        flat.add_constraint({"x0": 1.0}, "<=", 1.0)
+        flat.add_constraint({"x1": 1.0}, "<=", 2.0)
+        flat.add_constraint({"x0": 1.0}, "<=", 3.0)
+        flat.add_constraint({"x1": -1.0}, "<=", 4.0)
+        assert_same_arrays(mixed.to_arrays(), flat.to_arrays())
+
+    def test_vacuous_empty_rows_keep_their_rhs(self):
+        """A row with no triplets (e.g. a self-loop timing pair whose t
+        terms cancelled) still occupies a row and constrains nothing."""
+        lp = _fresh(1)
+        lp.add_constraint_block(
+            np.array([], dtype=int),
+            np.array([], dtype=int),
+            np.array([]),
+            "<=",
+            np.array([9.0, -1.0]),
+        )
+        arrays = lp.to_arrays()
+        assert arrays["A_ub"].shape == (2, 1)
+        assert arrays["A_ub"].nnz == 0
+        assert arrays["b_ub"].tolist() == [9.0, -1.0]
+
+    def test_var_indices_resolve_declaration_order(self):
+        lp = _fresh(3)
+        assert lp.var_indices(["x2", "x0"]).tolist() == [2, 0]
+
+    def test_block_model_solves_like_scalar_model(self):
+        """End to end: same optimum through either assembly."""
+
+        def build(block: bool) -> LinearProgram:
+            lp = LinearProgram("lp")
+            lp.add_var("a", lb=0.0)
+            lp.add_var("b", lb=0.0)
+            if block:
+                lp.add_constraint_block(
+                    np.array([0, 0, 1]),
+                    np.array([0, 1, 0]),
+                    np.array([1.0, 2.0, 1.0]),
+                    "<=",
+                    np.array([10.0, 6.0]),
+                )
+            else:
+                lp.add_constraint({"a": 1.0, "b": 2.0}, "<=", 10.0)
+                lp.add_constraint({"a": 1.0}, "<=", 6.0)
+            lp.set_objective({"a": -1.0, "b": -1.0})
+            return lp
+
+        sol_blk = build(True).solve()
+        sol_row = build(False).solve()
+        assert sol_blk.objective == pytest.approx(sol_row.objective)
+        assert sol_blk.values["a"] == pytest.approx(sol_row.values["a"])
+        assert sol_blk.values["b"] == pytest.approx(sol_row.values["b"])
+
+
+class TestBlockValidation:
+    def test_bad_sense_rejected(self):
+        lp = _fresh(1)
+        with pytest.raises(OptimizationError, match="sense"):
+            lp.add_constraint_block(
+                np.array([0]), np.array([0]), np.array([1.0]), "<", np.array([0.0])
+            )
+
+    def test_mismatched_triplet_shapes_rejected(self):
+        lp = _fresh(2)
+        with pytest.raises(OptimizationError, match="share a shape"):
+            lp.add_constraint_block(
+                np.array([0, 1]), np.array([0]), np.array([1.0]), "<=", np.array([0.0])
+            )
+
+    def test_row_index_out_of_range_rejected(self):
+        lp = _fresh(2)
+        with pytest.raises(OptimizationError, match="row index"):
+            lp.add_constraint_block(
+                np.array([2]),
+                np.array([0]),
+                np.array([1.0]),
+                "<=",
+                np.array([0.0, 0.0]),
+            )
+
+    def test_unknown_variable_index_rejected(self):
+        lp = _fresh(2)
+        with pytest.raises(OptimizationError, match="unknown variables"):
+            lp.add_constraint_block(
+                np.array([0]), np.array([5]), np.array([1.0]), "<=", np.array([0.0])
+            )
+
+    def test_var_indices_unknown_name_raises(self):
+        lp = _fresh(1)
+        with pytest.raises(OptimizationError):
+            lp.var_indices(["nope"])

@@ -1,0 +1,120 @@
+"""Warm-started assignment refinement vs the cold transportation solve.
+
+:func:`repro.opt.refine_assignment` re-optimizes a feasible previous
+assignment by canceling negative cycles in the column exchange graph;
+"no negative cycle" is Klein's optimality certificate, so whenever it
+returns an assignment at all, that assignment's objective must equal the
+cold :func:`solve_transportation` optimum — regardless of how stale the
+warm start is.  Unusable warm starts (infeasible, malformed) must come
+back as ``None`` so the §V flow falls back to the cold solve.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt import FORBIDDEN_COST, refine_assignment, solve_transportation
+
+
+def _objective(cost: np.ndarray, assign: np.ndarray) -> float:
+    return float(cost[np.arange(len(assign)), assign].sum())
+
+
+def _round_robin(n_rows: int, caps: list[int]) -> np.ndarray:
+    """A feasible but typically far-from-optimal warm start."""
+    out = np.empty(n_rows, dtype=np.intp)
+    j, used = 0, 0
+    for i in range(n_rows):
+        while used >= caps[j]:
+            j, used = j + 1, 0
+        out[i] = j
+        used += 1
+    return out
+
+
+class TestRefineMatchesColdObjective:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_warm_start_reaches_cold_optimum(self, data):
+        n_rows = data.draw(st.integers(1, 6))
+        n_cols = data.draw(st.integers(1, 5))
+        caps = [data.draw(st.integers(1, 3)) for _ in range(n_cols)]
+        if sum(caps) < n_rows:
+            caps[0] += n_rows - sum(caps)
+        ints = st.integers(0, 9)
+        cost = np.array(
+            [[data.draw(ints) for _ in range(n_cols)] for _ in range(n_rows)],
+            dtype=float,
+        )
+        cold = solve_transportation(cost, caps)
+        warm = _round_robin(n_rows, caps)
+        refined = refine_assignment(cost, caps, warm)
+        assert refined is not None
+        # Capacities respected and objective exactly optimal.
+        counts = np.bincount(refined, minlength=n_cols)
+        assert (counts <= np.array(caps)).all()
+        assert _objective(cost, refined) == pytest.approx(_objective(cost, cold))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_perturbed_costs_still_reach_optimum(self, data):
+        """The flow's actual use: last iteration's assignment under this
+        iteration's (moved-flip-flop) costs."""
+        n_rows = data.draw(st.integers(2, 6))
+        n_cols = data.draw(st.integers(2, 4))
+        caps = [n_rows] * n_cols
+        base = st.floats(0.0, 50.0, allow_nan=False)
+        jitter = st.floats(-5.0, 5.0, allow_nan=False)
+        old = np.array(
+            [[data.draw(base) for _ in range(n_cols)] for _ in range(n_rows)]
+        )
+        drift = np.array(
+            [[data.draw(jitter) for _ in range(n_cols)] for _ in range(n_rows)]
+        )
+        new = np.clip(old + drift, 0.0, None)
+        warm = solve_transportation(old, caps)
+        cold = solve_transportation(new, caps)
+        refined = refine_assignment(new, caps, warm)
+        assert refined is not None
+        assert _objective(new, refined) == pytest.approx(
+            _objective(new, cold), abs=1e-9
+        )
+
+    def test_already_optimal_is_fixed_point(self):
+        cost = np.array([[3.0, 1.0], [2.0, 4.0]])
+        opt = solve_transportation(cost, [1, 2])
+        refined = refine_assignment(cost, [1, 2], opt)
+        assert refined is not None
+        assert _objective(cost, refined) == _objective(cost, opt)
+
+    def test_load_rebalancing_through_slack_node(self):
+        """The optimum needs a net load shift between columns, which only
+        the slack-node arcs of the exchange graph allow."""
+        cost = np.array([[0.0, 9.0], [0.0, 9.0], [0.0, 9.0]])
+        warm = np.array([0, 1, 1])  # two rows parked on the dear column
+        refined = refine_assignment(cost, [3, 3], warm)
+        assert refined is not None
+        assert list(refined) == [0, 0, 0]
+
+
+class TestUnusableWarmStarts:
+    def test_wrong_shape_returns_none(self):
+        cost = np.ones((3, 2))
+        assert refine_assignment(cost, [2, 2], np.array([0, 1])) is None
+
+    def test_out_of_range_column_returns_none(self):
+        cost = np.ones((2, 2))
+        assert refine_assignment(cost, [2, 2], np.array([0, 5])) is None
+
+    def test_over_capacity_returns_none(self):
+        cost = np.ones((3, 2))
+        assert refine_assignment(cost, [1, 2], np.array([0, 0, 1])) is None
+
+    def test_forbidden_chosen_arc_returns_none(self):
+        cost = np.array([[FORBIDDEN_COST, 1.0], [1.0, 1.0]])
+        assert refine_assignment(cost, [2, 2], np.array([0, 1])) is None
+
+    def test_infinite_chosen_arc_returns_none(self):
+        cost = np.array([[np.inf, 1.0]])
+        assert refine_assignment(cost, [1, 1], np.array([0])) is None

@@ -1,0 +1,150 @@
+"""The multi-ring pairs kernel is bit-identical to per-ring solves.
+
+:func:`batch_solve_rings` evaluates arbitrary ``(flip-flop, ring)``
+pairs through the ring array's stacked segment arrays, chunked so peak
+memory stays bounded at 100k cells.  Both the stacking and the chunking
+are pure reindexing, so every output array must equal — bitwise, not
+approximately — what per-ring :func:`batch_solve` calls (and hence the
+scalar solver, already pinned in test_tapping_vectorized) produce for
+the same pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.geometry import BBox
+from repro.rotary import RingArray, batch_solve, batch_solve_rings
+
+TECH = DEFAULT_TECHNOLOGY
+
+
+def _array(side=3, extent=300.0, period=1000.0):
+    return RingArray(BBox(0.0, 0.0, extent, extent), side=side, period=period)
+
+
+def _per_ring_reference(array, ring_ids, px, py, targets, load_cap=None):
+    """Solve each pair through its own ring's batch kernel."""
+    fields = (
+        "wirelength",
+        "segment_index",
+        "x",
+        "periods_borrowed",
+        "snaked",
+        "target_delay",
+        "point_x",
+        "point_y",
+    )
+    out = {f: [] for f in fields}
+    for rid, x, y, t in zip(ring_ids, px, py, targets):
+        res = batch_solve(
+            array[int(rid)],
+            np.array([x]),
+            np.array([y]),
+            np.array([t]),
+            TECH,
+            load_cap,
+        )
+        for f in fields:
+            out[f].append(getattr(res, f)[0])
+    return {f: np.array(v) for f, v in out.items()}
+
+
+def assert_bit_identical(result, ref: dict) -> None:
+    for field, expect in ref.items():
+        got = getattr(result, field)
+        assert np.array_equal(got, expect), field  # exact, no tolerance
+
+
+class TestPairsKernelBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_matches_per_ring_batches(self, data):
+        array = _array()
+        n = data.draw(st.integers(1, 24))
+        ring_ids = np.array(
+            [data.draw(st.integers(0, array.num_rings - 1)) for _ in range(n)]
+        )
+        px = np.array([data.draw(st.floats(-50.0, 350.0)) for _ in range(n)])
+        py = np.array([data.draw(st.floats(-50.0, 350.0)) for _ in range(n)])
+        targets = np.array([data.draw(st.floats(0.0, 1000.0)) for _ in range(n)])
+        result = batch_solve_rings(array, ring_ids, px, py, targets, TECH)
+        assert_bit_identical(
+            result, _per_ring_reference(array, ring_ids, px, py, targets)
+        )
+
+    def test_chunking_is_elementwise(self):
+        """Tiny chunks must reproduce the single-chunk run exactly."""
+        array = _array()
+        rng = np.random.default_rng(5)
+        n = 37
+        ring_ids = rng.integers(0, array.num_rings, n)
+        px = rng.uniform(0.0, 300.0, n)
+        py = rng.uniform(0.0, 300.0, n)
+        targets = rng.uniform(0.0, 1000.0, n)
+        one = batch_solve_rings(array, ring_ids, px, py, targets, TECH)
+        tiny = batch_solve_rings(
+            array, ring_ids, px, py, targets, TECH, pairs_per_chunk=3
+        )
+        for field in (
+            "wirelength",
+            "segment_index",
+            "x",
+            "periods_borrowed",
+            "snaked",
+            "target_delay",
+            "point_x",
+            "point_y",
+        ):
+            assert np.array_equal(getattr(one, field), getattr(tiny, field))
+
+    def test_per_pair_load_cap_array(self):
+        array = _array(side=2)
+        ring_ids = np.array([0, 3, 1])
+        px = np.array([20.0, 250.0, 140.0])
+        py = np.array([30.0, 260.0, 40.0])
+        targets = np.array([0.0, 125.0, 500.0])
+        caps = np.array([5.0, 40.0, 90.0])
+        result = batch_solve_rings(array, ring_ids, px, py, targets, TECH, caps)
+        for i in range(3):
+            ref = batch_solve(
+                array[int(ring_ids[i])],
+                px[i : i + 1],
+                py[i : i + 1],
+                targets[i : i + 1],
+                TECH,
+                caps[i],
+            )
+            assert result.wirelength[i] == ref.wirelength[0]
+            assert result.segment_index[i] == ref.segment_index[0]
+
+    def test_invalid_chunk_size_rejected(self):
+        array = _array(side=2)
+        with pytest.raises(ValueError, match="pairs_per_chunk"):
+            batch_solve_rings(
+                array,
+                np.array([0]),
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([0.0]),
+                TECH,
+                pairs_per_chunk=0,
+            )
+
+    def test_solution_accessor_round_trips(self):
+        """RingPairsTappingResult.solution(i) carries the pair's ring id."""
+        array = _array(side=2)
+        result = batch_solve_rings(
+            array,
+            np.array([2]),
+            np.array([60.0]),
+            np.array([200.0]),
+            np.array([100.0]),
+            TECH,
+        )
+        assert result.feasible.all()
+        sol = result.solution(0)
+        assert sol.ring_id == 2
+        assert sol.wirelength == result.wirelength[0]
