@@ -9,10 +9,12 @@ Usage (also via ``python -m repro``)::
     repro bench-info s38417                # circuit profile + generation
     repro sweep-rings s5378 --sides 2,3,4  # ring-count ablation (§IX)
     repro check s9234 --format sarif       # static design-rule checks
+    repro lint src/ --format sarif         # determinism/API codebase lint
 
-``repro check`` exit codes: 0 = no findings at or above ``--fail-on``
-(default error), 1 = findings at or above the threshold, 2 = usage or
-configuration error (unknown rule code, bad severity, unreadable input).
+``repro check`` and ``repro lint`` exit codes: 0 = no findings at or
+above ``--fail-on`` (default error), 1 = findings at or above the
+threshold, 2 = usage or configuration error (unknown rule code, bad
+severity, unreadable input).
 ``repro profile`` exits 2 when an output path cannot be written.
 """
 
@@ -118,6 +120,47 @@ def cmd_check(args: argparse.Namespace) -> int:
             ctx = DesignContext.from_flow(circuit, result)
 
     report = run_checks(ctx, config)
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    rendered = renderers[args.format](report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    if args.sarif and args.format != "sarif":
+        with open(args.sarif, "w") as fh:
+            fh.write(render_sarif(report) + "\n")
+        print(f"wrote {args.sarif}")
+    return report.exit_code(config.fail_on)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .errors import CheckError
+    from .lint import (
+        LintConfig,
+        Severity,
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    overrides: dict[str, Severity] = {}
+    for item in args.severity or ():
+        code, sep, level = item.partition("=")
+        if not sep:
+            raise CheckError(
+                f"--severity expects CODE=LEVEL, got {item!r}"
+            )
+        overrides[code.strip()] = Severity.parse(level.strip())
+    config = LintConfig(
+        enabled=tuple(args.enable or ()),
+        disabled=tuple(args.disable or ()),
+        severity_overrides=overrides,
+        fail_on=Severity.parse(args.fail_on),
+    )
+    report = lint_paths(args.paths, config)
     renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
     rendered = renderers[args.format](report)
     if args.output:
@@ -343,6 +386,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flow_args(check)
     check.set_defaults(func=cmd_check)
 
+    lint = sub.add_parser(
+        "lint",
+        help="lint Python sources for nondeterminism hazards (DET/API)",
+        description="Run the determinism sanitizer's static pass over "
+        "Python sources: DET rules flag iteration orders and global "
+        "state that vary with PYTHONHASHSEED or the wall clock, API "
+        "rules flag mutable defaults, swallowed exceptions, and "
+        "unannotated public functions. "
+        "Exit 0 = clean, 1 = findings at/above --fail-on, 2 = usage "
+        "error (unknown rule code, unparseable file, missing path).",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format on stdout",
+    )
+    lint.add_argument(
+        "-o", "--output", default="", help="write the report to a file"
+    )
+    lint.add_argument(
+        "--sarif", default="",
+        help="additionally write a SARIF 2.1.0 report to this path",
+    )
+    lint.add_argument(
+        "--enable", action="append", metavar="CODE",
+        help="restrict the run to these rule codes (repeatable)",
+    )
+    lint.add_argument(
+        "--disable", action="append", metavar="CODE",
+        help="disable a rule code (repeatable)",
+    )
+    lint.add_argument(
+        "--severity", action="append", metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. API003=error (repeatable)",
+    )
+    lint.add_argument(
+        "--fail-on", default="error", metavar="LEVEL",
+        help="exit 1 when findings reach this severity (default: error)",
+    )
+    lint.set_defaults(func=cmd_lint)
+
     tables = sub.add_parser(
         "tables",
         help="regenerate the paper's tables",
@@ -419,6 +506,9 @@ def main(argv: list[str] | None = None) -> int:
     except (CheckError, NetlistError, OSError) as exc:
         if args.func is cmd_check:
             print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        if args.func is cmd_lint:
+            print(f"repro lint: {exc}", file=sys.stderr)
             return 2
         if args.func is cmd_profile and isinstance(exc, OSError):
             print(f"repro profile: {exc}", file=sys.stderr)

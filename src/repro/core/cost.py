@@ -292,7 +292,7 @@ class TappingCostCache:
 
     def _evict_stale(self, live: Sequence[str]) -> None:
         stale = set(self._key) - set(live)
-        for name in stale:
+        for name in sorted(stale):
             del self._key[name], self._row[name], self._solutions[name]
 
     # -- public -------------------------------------------------------

@@ -23,6 +23,8 @@ The record after the first stage-3 pass is the paper's *base case*
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Literal, Mapping
@@ -133,6 +135,14 @@ class FlowOptions:
     #: optimal, falls back to a cold solve whenever unusable).  Only the
     #: "flow" assignment engine consumes it.
     assignment_warm_start: bool = True
+    #: Arm the runtime nondeterminism tripwires
+    #: (:class:`repro.lint.sanitize.Sanitizer`) for the duration of the
+    #: run: touching the global ``random`` / legacy ``numpy.random``
+    #: state or the wall clock inside a flow stage raises
+    #: :class:`~repro.errors.SanitizerError`.  The ``REPRO_SANITIZE``
+    #: environment variable arms the same tripwires without code changes
+    #: (``1`` raises, ``record`` only counts).
+    sanitize: bool = False
 
     def replace(self, **changes: Any) -> "FlowOptions":
         """A copy with ``changes`` applied (keyword-only, validated)."""
@@ -351,6 +361,31 @@ class FlowResult:
             "trace": self.trace.summary() if self.trace is not None else None,
         }
 
+    def decision_digest(self) -> str:
+        """SHA-256 over the *decision* content of :meth:`to_dict`.
+
+        Wall-clock-derived keys — every ``seconds`` entry and the
+        ``trace`` summary — are stripped recursively before hashing, so
+        two runs that made identical placement/assignment/schedule
+        decisions produce identical digests no matter how long each
+        stage took.  This is the quantity the determinism integration
+        test compares across ``PYTHONHASHSEED`` values.
+        """
+
+        def strip(value: Any) -> Any:
+            if isinstance(value, dict):
+                return {
+                    key: strip(sub)
+                    for key, sub in value.items()
+                    if key not in ("seconds", "trace")
+                }
+            if isinstance(value, list):
+                return [strip(sub) for sub in value]
+            return value
+
+        payload = json.dumps(strip(self.to_dict()), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FlowResult":
         """Rebuild a result serialized by :meth:`to_dict`.
@@ -465,6 +500,19 @@ class IntegratedFlow:
     def run(self) -> FlowResult:
         opts = self.options
         obs = self._resolve_collector()
+        # Lazy import: repro.lint pulls in analysis.diagnostics, whose
+        # package __init__ imports back into core.
+        from ..lint.sanitize import Sanitizer, sanitize_action_from_env
+
+        action = sanitize_action_from_env()
+        if action is None and opts.sanitize:
+            action = "raise"
+        if action is None:
+            return self._run(opts, obs)
+        with Sanitizer(action=action, collector=obs):
+            return self._run(opts, obs)
+
+    def _run(self, opts: FlowOptions, obs: Collector) -> FlowResult:
         t_alg = 0.0
         t_placer = 0.0
 

@@ -83,3 +83,7 @@ class ClockTreeError(ReproError):
 
 class CheckError(ReproError):
     """Static checker misconfiguration: unknown rule code or severity."""
+
+
+class SanitizerError(ReproError):
+    """A runtime nondeterminism tripwire fired (see ``repro.lint``)."""

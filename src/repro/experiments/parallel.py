@@ -382,7 +382,7 @@ class ParallelSuiteRunner:
                             (task, "crash", "worker process died", True)
                         )
                         broken = True
-                    except Exception as exc:
+                    except Exception as exc:  # repro: lint-disable=API002 -- fault boundary: a worker exception of any type must become a TaskFailure record
                         failed.append(
                             (
                                 task,
@@ -413,7 +413,7 @@ class ParallelSuiteRunner:
             payload = future.result(timeout=0)
         except BrokenExecutor:
             failed.append((task, "aborted", "", False))
-        except Exception as exc:
+        except Exception as exc:  # repro: lint-disable=API002 -- fault boundary: harvested futures surface arbitrary worker exception types
             failed.append(
                 (task, "error", f"{type(exc).__name__}: {exc}", True)
             )

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..clocktree import PathLengthStats, path_length_stats, synthesize_clock_tree_dme
 from ..constants import DEFAULT_TECHNOLOGY, Technology, frequency_ghz
+from ..errors import ReproError
 from ..core import FlowOptions, FlowResult, IntegratedFlow
 from ..netlist import (
     PROFILE_ORDER,
@@ -42,6 +43,26 @@ from ..power import clock_power_mw, signal_power_mw
 
 if TYPE_CHECKING:  # avoid a runtime cycle: checkpoint imports runner
     from .checkpoint import CheckpointStore
+
+#: Exception types under which a circuit's experiment degrades to an
+#: annotated ``{circuit, error}`` partial table row.  Deliberately a
+#: named tuple of types instead of a blanket ``except Exception``:
+#: numeric and solver failures (ReproError covers the whole library
+#: hierarchy; RuntimeError covers scipy breakdowns and injected test
+#: faults; ValueError covers numpy.linalg.LinAlgError) are recoverable
+#: data points, while programming errors (NameError, AttributeError,
+#: AssertionError) and interrupts keep propagating.
+FLOW_FAILURE_TYPES: tuple[type[Exception], ...] = (
+    ReproError,
+    ArithmeticError,
+    IndexError,
+    KeyError,
+    MemoryError,
+    OSError,
+    RuntimeError,
+    TypeError,
+    ValueError,
+)
 
 
 def profile_for(name: str) -> CircuitProfile:
@@ -183,7 +204,7 @@ class ExperimentSuite:
             return None
         try:
             return self.run(name)
-        except Exception as exc:  # degrade to an annotated partial row
+        except FLOW_FAILURE_TYPES as exc:  # degrade to a partial row
             self.failures[name] = f"{type(exc).__name__}: {exc}"
             traceback.print_exc()
             return None

@@ -1,0 +1,148 @@
+"""Run the lint pass over files and directories.
+
+The engine walks its input paths (directories are expanded to every
+``*.py`` under them, **in sorted order** — the linter practices what it
+preaches), parses each file, runs the
+:class:`~repro.lint.visitor.DeterminismVisitor`, applies justified
+pragma suppressions, and folds everything into one
+:class:`~repro.lint.findings.LintReport`.
+
+A file that fails to parse is a *usage* problem, not a lint finding:
+the engine raises :class:`~repro.errors.CheckError` so the CLI exits 2,
+matching the ``repro check`` contract for unreadable inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import CheckError
+from .findings import LintFinding, LintReport, Severity
+from .pragmas import scan_pragmas
+from .rules import registered_lint_rules, rule_by_code
+from .visitor import collect_findings
+
+__all__ = ["LintConfig", "lint_paths", "lint_source"]
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Rule selection and failure threshold for one lint run."""
+
+    #: Restrict the run to these codes (empty = all registered rules).
+    enabled: tuple[str, ...] = ()
+    #: Codes to skip entirely.
+    disabled: tuple[str, ...] = ()
+    #: Exit 1 when findings reach this severity.
+    fail_on: Severity = Severity.ERROR
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for code in (
+            *self.enabled, *self.disabled, *self.severity_overrides
+        ):
+            rule_by_code(code)  # raises CheckError on unknown codes
+
+    def active(self, code: str) -> bool:
+        if code in self.disabled:
+            return False
+        if self.enabled:
+            # Pragma-hygiene findings always apply: they guard the
+            # suppression mechanism itself, not a selectable rule.
+            return code in self.enabled or code.startswith("PRG")
+        return True
+
+    def leveled(self, finding: LintFinding) -> LintFinding:
+        override = self.severity_overrides.get(finding.code)
+        if override is None or override is finding.severity:
+            return finding
+        return LintFinding(
+            code=finding.code,
+            rule=finding.rule,
+            severity=override,
+            message=finding.message,
+            path=finding.path,
+            line=finding.line,
+            column=finding.column,
+            hint=finding.hint,
+        )
+
+
+def _expand(paths: Sequence[str | Path]) -> list[Path]:
+    """Every Python file under ``paths``, sorted, without duplicates."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                seen.setdefault(file, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise CheckError(f"lint path does not exist: {path}")
+    return sorted(seen)
+
+
+def _lint_one(
+    source: str, path: str, cfg: LintConfig
+) -> tuple[list[LintFinding], list[str]]:
+    """Findings after suppression, plus the codes actually suppressed."""
+    try:
+        raw = collect_findings(source, path)
+    except SyntaxError as exc:
+        raise CheckError(f"{path}: cannot parse: {exc.msg}") from exc
+    suppressions, pragma_findings = scan_pragmas(source, path)
+    kept: list[LintFinding] = []
+    used: list[str] = []
+    for finding in raw:
+        pragma = suppressions.get(finding.line)
+        if pragma is not None and finding.code in pragma.codes:
+            used.append(finding.code)
+            continue
+        kept.append(finding)
+    kept.extend(pragma_findings)
+    kept.sort(key=lambda f: (f.line, f.column, f.code))
+    return [cfg.leveled(f) for f in kept if cfg.active(f.code)], used
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: LintConfig | None = None
+) -> list[LintFinding]:
+    """Lint one source string; returns suppression-applied findings."""
+    findings, _ = _lint_one(source, path, config or LintConfig())
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` into one report."""
+    cfg = config or LintConfig()
+    files = _expand(list(paths))
+    findings: list[LintFinding] = []
+    suppressed: dict[str, list[str]] = {}
+    checked: list[str] = []
+    for file in files:
+        rel = str(file)
+        try:
+            source = file.read_text()
+        except OSError as exc:
+            raise CheckError(f"cannot read {file}: {exc}") from exc
+        file_findings, used = _lint_one(source, rel, cfg)
+        findings.extend(file_findings)
+        if used:
+            suppressed[rel] = used
+        checked.append(rel)
+    rules_run = tuple(
+        rule.code
+        for rule in registered_lint_rules()
+        if cfg.active(rule.code)
+    )
+    return LintReport(
+        findings=tuple(findings),
+        files_checked=tuple(checked),
+        rules_run=rules_run,
+        suppressed=suppressed,
+    )

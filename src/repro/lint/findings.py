@@ -1,0 +1,100 @@
+"""Typed findings emitted by the determinism/API-hygiene linter.
+
+A :class:`LintFinding` is the source-level analogue of the design-rule
+checker's :class:`~repro.analysis.diagnostics.Diagnostic`: a stable rule
+code (``DET0xx`` / ``API0xx`` / ``PRG0xx``), a severity (shared with the
+checker), a message, and a *physical* location — file path, 1-based line
+and column — because lint findings point at code, not at design objects.
+
+A :class:`LintReport` aggregates the findings of one run over one or
+more paths and carries the same exit-code contract ``repro check``
+established: 0 clean, 1 findings at/above the threshold (2 is reserved
+for usage errors and produced only by the CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.diagnostics import Severity
+
+__all__ = ["LintFinding", "LintReport", "Severity"]
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    """One finding of one lint rule at one source location."""
+
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    column: int
+    hint: str = ""
+
+    def format(self) -> str:
+        """One-line human-readable rendering (``path:line:col`` first)."""
+        text = (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.name.lower()} {self.code} {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the JSON reporter)."""
+        doc: dict[str, Any] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.hint:
+            doc["hint"] = self.hint
+        return doc
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """The outcome of one linter run over a set of files."""
+
+    findings: tuple[LintFinding, ...]
+    files_checked: tuple[str, ...]
+    rules_run: tuple[str, ...]
+    #: ``{path: [codes]}`` of pragma suppressions that were honored.
+    suppressed: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def counts_by_code(self) -> dict[str, int]:
+        """``{code: count}`` over the findings (insertion-ordered)."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return counts
+
+    @property
+    def counts_by_severity(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            key = f.severity.name.lower()
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def at_least(self, severity: Severity) -> tuple[LintFinding, ...]:
+        """Findings at or above ``severity``."""
+        return tuple(f for f in self.findings if f.severity >= severity)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.at_least(Severity.ERROR))
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """``repro lint`` contract: 0 clean, 1 findings >= threshold."""
+        return 1 if self.at_least(fail_on) else 0

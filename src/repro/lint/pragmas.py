@@ -1,0 +1,103 @@
+"""Inline suppression pragmas.
+
+A finding is suppressed by a comment on the *same line*::
+
+    for key in keys:  # repro: lint-disable=DET001 -- order folded later
+
+The justification after ``--`` is mandatory: a pragma without one does
+not suppress anything and instead produces a ``PRG001`` finding, so
+every suppression in the tree documents *why* the hazard is acceptable.
+Multiple codes are comma-separated (``lint-disable=DET001,DET005``); a
+code the registry does not define produces ``PRG002``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .findings import LintFinding
+from .rules import is_known_code, rule_by_code
+
+__all__ = ["Pragma", "scan_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-disable=(?P<codes>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Pragma:
+    """One parsed ``lint-disable`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+
+def scan_pragmas(
+    source: str, path: str
+) -> tuple[dict[int, Pragma], list[LintFinding]]:
+    """Parse every pragma in ``source``.
+
+    Returns ``{line: pragma}`` for the *well-formed, justified* pragmas
+    (the only ones that suppress), plus the ``PRG0xx`` findings for
+    malformed ones.  Scanning is line-based: a pragma inside a string
+    literal would be honored too, which is harmless for suppression
+    comments and keeps the scanner independent of the AST pass.
+    """
+    suppressions: dict[int, Pragma] = {}
+    findings: list[LintFinding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip() for c in match.group("codes").split(",") if c.strip()
+        )
+        why = (match.group("why") or "").strip()
+        column = match.start() + 1
+        unknown = [c for c in codes if not is_known_code(c)]
+        for code in unknown:
+            rule = rule_by_code("PRG002")
+            findings.append(
+                LintFinding(
+                    code=rule.code,
+                    rule=rule.name,
+                    severity=rule.default_severity,
+                    message=f"pragma disables unknown rule {code!r}",
+                    path=path,
+                    line=lineno,
+                    column=column,
+                    hint="fix or remove the code from lint-disable=",
+                )
+            )
+        if not why:
+            rule = rule_by_code("PRG001")
+            findings.append(
+                LintFinding(
+                    code=rule.code,
+                    rule=rule.name,
+                    severity=rule.default_severity,
+                    message=(
+                        "lint-disable pragma has no justification and "
+                        "suppresses nothing"
+                    ),
+                    path=path,
+                    line=lineno,
+                    column=column,
+                    hint="append ' -- <why this hazard is acceptable>'",
+                )
+            )
+            continue
+        known = tuple(c for c in codes if is_known_code(c))
+        if known:
+            suppressions[lineno] = Pragma(
+                line=lineno, codes=known, justification=why
+            )
+    return suppressions, findings

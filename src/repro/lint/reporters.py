@@ -1,0 +1,129 @@
+"""Render a :class:`~repro.lint.findings.LintReport`.
+
+The same three formats the design-rule checker established: a human
+``text`` listing, a machine ``json`` document, and SARIF 2.1.0 for
+code-scanning UIs.  Lint findings carry *physical* locations (file,
+line, column), so the SARIF results use ``physicalLocation`` regions
+where ``repro check`` uses logical design-object locations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..analysis.reporters import SARIF_SCHEMA_URI, SARIF_VERSION
+from .findings import LintReport
+from .rules import registered_lint_rules
+
+TOOL_NAME = "repro-lint"
+
+__all__ = [
+    "TOOL_NAME",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "sarif_document",
+]
+
+
+def _tool_version() -> str:
+    from .. import __version__
+
+    return str(__version__)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable listing: one line per finding plus a summary."""
+    lines = [f.format() for f in report.findings]
+    by_sev = report.counts_by_severity
+    summary = ", ".join(f"{n} {sev}" for sev, n in sorted(by_sev.items())) or "clean"
+    n_suppressed = sum(len(codes) for codes in report.suppressed.values())
+    lines.append(
+        f"{len(report.findings)} finding(s) ({summary}) in "
+        f"{len(report.files_checked)} file(s); "
+        f"{len(report.rules_run)} rule(s) run, "
+        f"{n_suppressed} justified suppression(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document with findings and per-code counts."""
+    doc = {
+        "findings": [f.as_dict() for f in report.findings],
+        "counts_by_code": report.counts_by_code,
+        "counts_by_severity": report.counts_by_severity,
+        "files_checked": list(report.files_checked),
+        "rules_run": list(report.rules_run),
+        "suppressed": {
+            path: list(codes)
+            for path, codes in sorted(report.suppressed.items())
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def sarif_document(report: LintReport) -> dict[str, Any]:
+    """The SARIF 2.1.0 log object for one lint run."""
+    rules = registered_lint_rules()
+    rule_index = {r.code: i for i, r in enumerate(rules)}
+    descriptors: list[dict[str, Any]] = [
+        {
+            "id": r.code,
+            "name": r.name,
+            "shortDescription": {"text": r.description},
+            "defaultConfiguration": {"level": r.default_severity.sarif_level},
+        }
+        for r in rules
+    ]
+    results: list[dict[str, Any]] = []
+    for f in report.findings:
+        message = f.message if not f.hint else f"{f.message}. Hint: {f.hint}"
+        result: dict[str, Any] = {
+            "ruleId": f.code,
+            "level": f.severity.sarif_level,
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.column,
+                        },
+                    }
+                }
+            ],
+        }
+        idx = rule_index.get(f.code)
+        if idx is not None:
+            result["ruleIndex"] = idx
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": _tool_version(),
+                        "informationUri": (
+                            "https://github.com/paper-repro/rotary-clocking"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "invocations": [
+                    {"executionSuccessful": not report.has_errors}
+                ],
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 JSON text."""
+    return json.dumps(sarif_document(report), indent=2)

@@ -17,7 +17,7 @@ import re
 from pathlib import Path
 from typing import TextIO
 
-from ..errors import BenchParseError
+from ..errors import BenchParseError, NetlistError
 from .cells import CellKind
 from .circuit import Circuit
 
@@ -74,7 +74,9 @@ def parse_bench_text(
             fanin = tuple(a.strip() for a in args.split(",") if a.strip())
             try:
                 circuit.add_gate(out, kind, fanin)
-            except Exception as exc:  # fanin arity / duplicate names
+            except (NetlistError, ValueError) as exc:
+                # NetlistError: duplicate names; ValueError: Cell's own
+                # fanin-arity validation.
                 raise BenchParseError(str(exc), lineno) from exc
             continue
         raise BenchParseError(f"unparseable line: {line!r}", lineno)
@@ -83,7 +85,7 @@ def parse_bench_text(
     if validate:
         try:
             circuit.validate()
-        except Exception as exc:
+        except NetlistError as exc:
             raise BenchParseError(f"invalid netlist: {exc}") from exc
     return circuit
 

@@ -44,7 +44,7 @@ class Circuit:
     omits the clock pin.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._cells: dict[str, Cell] = {}
         self._inputs: list[str] = []

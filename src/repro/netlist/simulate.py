@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import NetlistError
-from .cells import CellKind
+from .cells import Cell, CellKind
 from .circuit import Circuit
 
 
@@ -127,7 +128,7 @@ def simulate_activities(
     )
 
 
-def _topological_gates(circuit: Circuit, gates) -> list:
+def _topological_gates(circuit: Circuit, gates: Sequence[Cell]) -> list[Cell]:
     """Gates in evaluation order (fanins before consumers)."""
     gate_names = {g.name for g in gates}
     indeg = {g.name: 0 for g in gates}
@@ -139,7 +140,7 @@ def _topological_gates(circuit: Circuit, gates) -> list:
                 indeg[g.name] += 1
                 succ.setdefault(s, []).append(g.name)
     ready = [n for n, d in indeg.items() if d == 0]
-    out = []
+    out: list[Cell] = []
     while ready:
         n = ready.pop()
         out.append(by_name[n])

@@ -16,6 +16,7 @@ import heapq
 import math
 import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -68,7 +69,7 @@ def branch_and_bound(
     def elapsed() -> float:
         return time.monotonic() - start
 
-    def solve_relaxation(bounds: list[tuple[float, float]]):
+    def solve_relaxation(bounds: list[tuple[float, float]]) -> Any:
         from scipy.optimize import linprog
 
         res = linprog(

@@ -74,7 +74,7 @@ class LinearProgram:
         sol = lp.solve()
     """
 
-    def __init__(self, name: str = "lp"):
+    def __init__(self, name: str = "lp") -> None:
         self.name = name
         self._vars: dict[str, tuple[float, float, bool]] = {}
         self._order: list[str] = []

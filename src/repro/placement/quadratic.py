@@ -87,7 +87,7 @@ class QuadraticPlacer:
         options: PlacerOptions | None = None,
         *,
         collector: Collector = NULL_COLLECTOR,
-    ):
+    ) -> None:
         self.circuit = circuit
         self.region = region
         self.options = options or PlacerOptions()

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..geometry import Point
 from ..netlist import Circuit
 from .grid import GCell, RoutingGrid, RoutingError
+
+if TYPE_CHECKING:  # lazy: core.cost imports would cycle at runtime
+    from ..core.cost import Assignment
 
 #: Cost penalty per unit of overflow on an edge.
 _OVERFLOW_PENALTY = 8.0
@@ -194,7 +197,7 @@ class GlobalRouter:
 
 
 def route_clock_stubs(
-    assignment,
+    assignment: "Assignment",
     positions: Mapping[str, Point],
     grid: RoutingGrid,
 ) -> RoutingResult:

@@ -94,7 +94,9 @@ def analyze_corners(
     keys: set[tuple[str, str]] = set()
     for n in names:
         keys.update(per_corner[n].keys())
-    for key in keys:
+    # sorted(): set iteration order follows PYTHONHASHSEED; the merged
+    # dict must be built in a reproducible order (DET001).
+    for key in sorted(keys):
         d_max = max(
             per_corner[n][key].d_max for n in names if key in per_corner[n]
         )

@@ -1,0 +1,95 @@
+"""``repro lint`` CLI: exit-code contract, formats, file outputs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def f(x: int) -> int:\n    return x\n"
+DIRTY = "for x in {1, 2}:\n    pass\n"
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_exits_0(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert "0 finding(s) (clean)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_2(self, clean_file, capsys):
+        assert main(["lint", str(clean_file), "--enable", "NOPE"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_malformed_severity_exits_2(self, clean_file, capsys):
+        assert main(["lint", str(clean_file), "--severity", "DET001"]) == 2
+        assert "CODE=LEVEL" in capsys.readouterr().err
+
+    def test_fail_on_warning(self, tmp_path):
+        path = tmp_path / "warn.py"
+        path.write_text("def f(x):\n    return x\n")  # API003 warning
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+
+    def test_disable_turns_findings_off(self, dirty_file):
+        assert main(["lint", str(dirty_file), "--disable", "DET001"]) == 0
+
+
+class TestFormats:
+    def test_json_format(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts_by_code"] == {"DET001": 1}
+
+    def test_sarif_format(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_output_file(self, dirty_file, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["lint", str(dirty_file), "-o", str(out)]) == 1
+        assert "DET001" in out.read_text()
+        assert f"wrote {out}" in capsys.readouterr().out
+
+    def test_sarif_sidecar(self, dirty_file, tmp_path):
+        sarif = tmp_path / "lint.sarif"
+        assert main(["lint", str(dirty_file), "--sarif", str(sarif)]) == 1
+        doc = json.loads(sarif.read_text())
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+
+def test_lint_self_check_via_cli(capsys):
+    """``repro lint src`` (the CI invocation) exits 0 on this repo."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert main(["lint", str(src)]) == 0
+    assert "0 finding(s) (clean)" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""End-to-end determinism: the flow's decisions must not depend on
+``PYTHONHASHSEED``, the wall clock, or global RNG state.
+
+The heavyweight check runs the integrated flow in fresh subprocesses
+under two different hash seeds with the runtime sanitizer armed
+(``REPRO_SANITIZE=1``), and compares :meth:`FlowResult.decision_digest`
+— identical digests mean every placement, assignment, and schedule
+decision was bit-for-bit reproducible, and a zero trip count means no
+stage touched a forbidden global.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Runs in a fresh interpreter: generates a small circuit, runs the flow
+# with tripwires armed, and prints the decision digest as JSON.
+_DRIVER = """
+import json
+from repro.core import FlowOptions, IntegratedFlow
+from repro.netlist import generate_circuit, small_profile
+
+circuit = generate_circuit(small_profile(num_cells=120, num_flipflops=16, seed=5))
+result = IntegratedFlow(
+    circuit, options=FlowOptions(max_iterations=2)
+).run()
+print(json.dumps({
+    "digest": result.decision_digest(),
+    "cost": result.final.overall_cost,
+}))
+"""
+
+
+def _run_flow_subprocess(hashseed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["REPRO_SANITIZE"] = "1"  # raise on the first nondeterminism trip
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"flow failed under PYTHONHASHSEED={hashseed} with the sanitizer "
+        f"armed:\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.slow
+def test_flow_digest_is_hashseed_independent():
+    first = _run_flow_subprocess("0")
+    second = _run_flow_subprocess("424242")
+    assert first["digest"] == second["digest"], (
+        "FlowResult decisions differ across PYTHONHASHSEED values: "
+        f"{first} vs {second}"
+    )
+    assert first["cost"] == second["cost"]
+
+
+@pytest.mark.slow
+def test_sanitizer_reports_zero_trips_in_record_mode():
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "7"
+    env["REPRO_SANITIZE"] = "record"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Same flow, but with an explicit collector to read trip counters.
+    driver = """
+import json
+from repro.core import FlowOptions, IntegratedFlow
+from repro.netlist import generate_circuit, small_profile
+from repro.obs import TraceCollector
+
+circuit = generate_circuit(small_profile(num_cells=120, num_flipflops=16, seed=5))
+collector = TraceCollector()
+IntegratedFlow(
+    circuit, options=FlowOptions(max_iterations=1), collector=collector
+).run()
+counters = collector.trace().counters
+print(json.dumps({"trips": counters.get("sanitize.trips", 0)}))
+"""
+    proc = subprocess.run(
+        [sys.executable, "-c", driver],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout.strip().splitlines()[-1])["trips"] == 0

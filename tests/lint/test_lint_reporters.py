@@ -1,0 +1,246 @@
+"""Lint reporter tests: text/json structure and SARIF 2.1.0 conformance.
+
+SARIF validation reuses the design checker's approach: an embedded
+subset of the official 2.1.0 schema with the spec's required properties
+enforced, extended with the ``physicalLocation`` shape lint findings
+use (the design checker emits ``logicalLocations`` instead).
+"""
+
+import json
+
+import jsonschema
+
+from repro.lint import (
+    LintFinding,
+    LintReport,
+    Severity,
+    registered_lint_rules,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+)
+from repro.lint.reporters import TOOL_NAME
+from repro.analysis.reporters import SARIF_VERSION
+
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "invocations": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["executionSuccessful"],
+                            "properties": {
+                                "executionSuccessful": {"type": "boolean"}
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation"
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _report(with_findings=True):
+    findings = ()
+    if with_findings:
+        findings = (
+            LintFinding(
+                code="DET001",
+                rule="set-iteration",
+                severity=Severity.ERROR,
+                message="for loop iterates a set in PYTHONHASHSEED order",
+                path="src/repro/example.py",
+                line=12,
+                column=10,
+                hint="iterate sorted(...) instead",
+            ),
+            LintFinding(
+                code="API003",
+                rule="missing-annotations",
+                severity=Severity.WARNING,
+                message="public function f() is missing annotations",
+                path="src/repro/example.py",
+                line=30,
+                column=1,
+            ),
+        )
+    return LintReport(
+        findings=findings,
+        files_checked=("src/repro/example.py",),
+        rules_run=tuple(r.code for r in registered_lint_rules()),
+        suppressed={"src/repro/other.py": ["API002"]},
+    )
+
+
+class TestText:
+    def test_lists_findings_and_summary(self):
+        text = render_text(_report())
+        assert "src/repro/example.py:12:10: error DET001" in text
+        assert "(hint: iterate sorted(...) instead)" in text
+        assert "2 finding(s)" in text
+        assert "1 justified suppression(s)" in text
+
+    def test_clean_report(self):
+        text = render_text(_report(with_findings=False))
+        assert "0 finding(s) (clean)" in text
+
+
+class TestJson:
+    def test_document_structure(self):
+        doc = json.loads(render_json(_report()))
+        assert doc["counts_by_code"] == {"DET001": 1, "API003": 1}
+        assert doc["counts_by_severity"] == {"error": 1, "warning": 1}
+        assert doc["findings"][0]["path"] == "src/repro/example.py"
+        assert doc["findings"][0]["line"] == 12
+        assert doc["suppressed"] == {"src/repro/other.py": ["API002"]}
+
+
+class TestSarif:
+    def test_validates_against_schema_subset(self):
+        jsonschema.validate(sarif_document(_report()), SARIF_SUBSET_SCHEMA)
+
+    def test_clean_report_validates_too(self):
+        doc = sarif_document(_report(with_findings=False))
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["invocations"][0]["executionSuccessful"] is True
+
+    def test_version_tool_and_rules(self):
+        doc = sarif_document(_report())
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert len(driver["rules"]) == len(registered_lint_rules())
+
+    def test_results_reference_rule_descriptors(self):
+        doc = sarif_document(_report())
+        driver = doc["runs"][0]["tool"]["driver"]
+        for result in doc["runs"][0]["results"]:
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_physical_locations(self):
+        doc = sarif_document(_report())
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/example.py"
+        assert loc["region"] == {"startLine": 12, "startColumn": 10}
+
+    def test_error_findings_mark_invocation_failed(self):
+        doc = sarif_document(_report())
+        assert doc["runs"][0]["invocations"][0]["executionSuccessful"] is False
+
+    def test_render_sarif_is_valid_json(self):
+        jsonschema.validate(
+            json.loads(render_sarif(_report())), SARIF_SUBSET_SCHEMA
+        )

@@ -1,0 +1,77 @@
+"""Suppression pragma behavior: justified, unjustified, unknown codes."""
+
+from textwrap import dedent
+
+from repro.lint import lint_source, scan_pragmas
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in lint_source(dedent(source))]
+
+
+class TestScan:
+    def test_parses_codes_and_justification(self):
+        src = "x = 1  # repro: lint-disable=DET001,DET005 -- folded later\n"
+        suppressions, findings = scan_pragmas(src, "m.py")
+        assert findings == []
+        pragma = suppressions[1]
+        assert pragma.codes == ("DET001", "DET005")
+        assert pragma.justification == "folded later"
+        assert pragma.justified
+
+    def test_unjustified_pragma_is_prg001(self):
+        suppressions, findings = scan_pragmas(
+            "x = 1  # repro: lint-disable=DET001\n", "m.py"
+        )
+        assert suppressions == {}
+        assert [f.code for f in findings] == ["PRG001"]
+
+    def test_unknown_code_is_prg002(self):
+        suppressions, findings = scan_pragmas(
+            "x = 1  # repro: lint-disable=DET999 -- because\n", "m.py"
+        )
+        assert suppressions == {}
+        assert [f.code for f in findings] == ["PRG002"]
+
+    def test_mixed_known_unknown_suppresses_known_reports_unknown(self):
+        suppressions, findings = scan_pragmas(
+            "x = 1  # repro: lint-disable=DET001,NOPE1 -- reason\n", "m.py"
+        )
+        assert suppressions[1].codes == ("DET001",)
+        assert [f.code for f in findings] == ["PRG002"]
+
+    def test_plain_comment_is_not_a_pragma(self):
+        suppressions, findings = scan_pragmas("x = 1  # just a note\n", "m.py")
+        assert suppressions == {} and findings == []
+
+
+class TestSuppression:
+    def test_justified_pragma_suppresses_same_line(self):
+        src = (
+            "for x in {1, 2}:  "
+            "# repro: lint-disable=DET001 -- order folded into a set\n"
+            "    pass\n"
+        )
+        assert [f.code for f in lint_source(src)] == []
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = (
+            "# repro: lint-disable=DET001 -- wrong line\n"
+            "for x in {1, 2}:\n"
+            "    pass\n"
+        )
+        assert "DET001" in [f.code for f in lint_source(src)]
+
+    def test_pragma_for_other_code_does_not_suppress(self):
+        src = (
+            "for x in {1, 2}:  # repro: lint-disable=DET002 -- mismatched\n"
+            "    pass\n"
+        )
+        assert "DET001" in [f.code for f in lint_source(src)]
+
+    def test_unjustified_pragma_leaves_finding_and_adds_prg001(self):
+        src = "for x in {1, 2}:  # repro: lint-disable=DET001\n    pass\n"
+        assert sorted(f.code for f in lint_source(src)) == [
+            "DET001",
+            "PRG001",
+        ]

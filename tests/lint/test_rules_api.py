@@ -1,0 +1,166 @@
+"""Per-rule fixtures for the API hygiene rules."""
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in lint_source(dedent(source))]
+
+
+class TestApi001MutableDefault:
+    def test_list_literal_default(self):
+        assert codes(
+            "def f(x: int, items: list = []) -> list:\n    return items\n"
+        ) == ["API001"]
+
+    def test_dict_literal_default(self):
+        assert codes(
+            "def f(cache: dict = {}) -> dict:\n    return cache\n"
+        ) == ["API001"]
+
+    def test_set_literal_default(self):
+        assert codes(
+            "def f(seen: set = {1}) -> set:\n    return seen\n"
+        ) == ["API001"]
+
+    def test_factory_call_default(self):
+        assert codes(
+            "def f(items: list = list()) -> list:\n    return items\n"
+        ) == ["API001"]
+
+    def test_none_default_is_clean(self):
+        src = """
+        def f(items: "list | None" = None) -> list:
+            return items or []
+        """
+        assert codes(src) == []
+
+    def test_tuple_default_is_clean(self):
+        assert codes(
+            "def f(dims: tuple = (1, 2)) -> tuple:\n    return dims\n"
+        ) == []
+
+    def test_fires_on_private_functions_too(self):
+        assert codes("def _f(items=[]):\n    return items\n") == ["API001"]
+
+
+class TestApi002SwallowedException:
+    def test_bare_except(self):
+        src = """
+        def f() -> None:
+            try:
+                work()
+            except:
+                pass
+        """
+        assert codes(src) == ["API002"]
+
+    def test_broad_except_without_reraise(self):
+        src = """
+        def f() -> None:
+            try:
+                work()
+            except Exception:
+                log()
+        """
+        assert codes(src) == ["API002"]
+
+    def test_broad_except_in_tuple(self):
+        src = """
+        def f() -> None:
+            try:
+                work()
+            except (ValueError, Exception) as exc:
+                log(exc)
+        """
+        assert codes(src) == ["API002"]
+
+    def test_broad_except_that_reraises_is_clean(self):
+        src = """
+        def f() -> None:
+            try:
+                work()
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+        """
+        assert codes(src) == []
+
+    def test_narrow_except_is_clean(self):
+        src = """
+        def f() -> None:
+            try:
+                work()
+            except ValueError:
+                pass
+        """
+        assert codes(src) == []
+
+
+class TestApi003MissingAnnotations:
+    def test_unannotated_public_function(self):
+        findings = lint_source("def compute(x):\n    return x\n")
+        assert [f.code for f in findings] == ["API003"]
+        assert findings[0].severity.name == "WARNING"
+
+    def test_missing_return_annotation(self):
+        assert codes("def compute(x: int):\n    return x\n") == ["API003"]
+
+    def test_fully_annotated_is_clean(self):
+        assert codes("def compute(x: int) -> int:\n    return x\n") == []
+
+    def test_private_function_is_exempt(self):
+        assert codes("def _helper(x):\n    return x\n") == []
+
+    def test_nested_function_is_exempt(self):
+        src = """
+        def outer() -> None:
+            def inner(x):
+                return x
+        """
+        assert codes(src) == []
+
+    def test_method_self_needs_no_annotation(self):
+        src = """
+        class C:
+            def get(self) -> int:
+                return 1
+        """
+        assert codes(src) == []
+
+    def test_classmethod_cls_needs_no_annotation(self):
+        src = """
+        class C:
+            @classmethod
+            def make(cls) -> "C":
+                return cls()
+        """
+        assert codes(src) == []
+
+    def test_dunder_is_exempt(self):
+        # Leading underscore (incl. dunders) exempts a def from API003;
+        # the mypy --strict surface covers special methods instead.
+        src = """
+        class C:
+            def __init__(self, n):
+                self.n = n
+        """
+        assert codes(src) == []
+
+    def test_static_method_first_arg_is_checked(self):
+        src = """
+        class C:
+            @staticmethod
+            def make(n) -> int:
+                return n
+        """
+        assert codes(src) == ["API003"]
+
+    def test_unannotated_public_method(self):
+        src = """
+        class C:
+            def scale(self, factor):
+                return factor
+        """
+        assert codes(src) == ["API003"]
