@@ -1,0 +1,108 @@
+"""Throughput and latency of the flow service under a mixed workload.
+
+Boots one in-process HTTP server (inline execution: the numbers measure
+the service and transport, not process-pool spawn costs) and drives it
+with a closed-loop client workload of unique and repeated requests.
+Reports requests/s, p50/p95 latency, and the cache hit rate to
+``BENCH_server.json`` (the server-smoke CI job archives it).
+
+Gates are generous — the point is the artifact, plus two invariants:
+the cache hit rate of the mixed phase must be positive, and cached
+requests must be far faster than cold ones.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import FlowRequest
+from repro.core import FlowOptions
+from repro.server import ServerClient, ServerOptions, make_server
+
+RESULTS: dict[str, dict] = {}
+
+FAST = FlowOptions(max_iterations=1, ring_grid_side=2)
+#: Distinct circuits (distinct digests) for the cold phase.
+COLD = tuple(f"bench{i:02d}" for i in range(6))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def server_artifact():
+    yield
+    Path("BENCH_server.json").write_text(json.dumps(RESULTS, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def client():
+    srv = make_server(options=ServerOptions(workers=2, execution="inline"))
+    thread = threading.Thread(
+        target=srv.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield ServerClient(srv.url, timeout=300.0)
+    srv.shutdown()
+    srv.server_close()
+    srv.service.close()
+    thread.join()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(client: ServerClient, circuits: tuple[str, ...]) -> dict:
+    latencies = []
+    t0 = time.perf_counter()
+    for name in circuits:
+        request = FlowRequest(circuit=name, options=FAST)
+        t1 = time.perf_counter()
+        doc = client.submit_and_wait(request)
+        latencies.append(time.perf_counter() - t1)
+        assert doc["kind"] == "flow"
+    wall = time.perf_counter() - t0
+    return {
+        "requests": len(circuits),
+        "requests_per_s": len(circuits) / wall,
+        "p50_latency_s": _percentile(latencies, 0.50),
+        "p95_latency_s": _percentile(latencies, 0.95),
+        "wall_s": wall,
+    }
+
+
+def test_cold_throughput(client):
+    """Unique requests: every one computes a flow."""
+    stats = _drive(client, COLD)
+    cache = client.stats()["cache"]
+    stats["cache_hit_rate"] = cache["hit_rate"]
+    RESULTS["cold"] = stats
+    assert cache["hits"] == 0
+    assert stats["requests_per_s"] > 0
+
+
+def test_mixed_workload_hits_cache(client):
+    """3 repeats of each cold circuit: 3/4 of the phase is cache-served."""
+    before = client.stats()["cache"]
+    stats = _drive(client, COLD * 3)
+    after = client.stats()["cache"]
+    phase_hits = after["hits"] - before["hits"]
+    stats["cache_hit_rate"] = phase_hits / stats["requests"]
+    RESULTS["mixed"] = stats
+    assert phase_hits == len(COLD) * 3  # every repeat is a hit
+    assert stats["cache_hit_rate"] > 0
+    # Cached phase must be dramatically faster than the cold phase.
+    assert stats["p50_latency_s"] < RESULTS["cold"]["p50_latency_s"]
+
+
+def test_cached_latency(client):
+    """Steady-state cache-served latency (the headline number)."""
+    stats = _drive(client, (COLD[0],) * 20)
+    cache = client.stats()["cache"]
+    stats["cache_hit_rate"] = cache["hit_rate"]
+    RESULTS["cached"] = stats
+    RESULTS["server_stats"] = client.stats()
+    assert stats["p95_latency_s"] < 1.0

@@ -19,7 +19,20 @@ available for callers that need custom circuits, collectors, or options
 objects.
 """
 
-from .api import TablesRun, check_design, run_flow, run_tables
+from .api import (
+    API_VERSION,
+    CheckRequest,
+    FlowRequest,
+    FlowResponse,
+    JobError,
+    JobState,
+    JobStatus,
+    TablesRequest,
+    TablesRun,
+    check_design,
+    run_flow,
+    run_tables,
+)
 from .constants import (
     DEFAULT_CLOCK_PERIOD_PS,
     DEFAULT_TECHNOLOGY,
@@ -51,6 +64,14 @@ __all__ = [
     "run_tables",
     "TablesRun",
     "check_design",
+    "API_VERSION",
+    "FlowRequest",
+    "CheckRequest",
+    "TablesRequest",
+    "FlowResponse",
+    "JobState",
+    "JobStatus",
+    "JobError",
     "IntegratedFlow",
     "FlowOptions",
     "FlowResult",

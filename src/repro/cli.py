@@ -10,24 +10,68 @@ Usage (also via ``python -m repro``)::
     repro sweep-rings s5378 --sides 2,3,4  # ring-count ablation (§IX)
     repro check s9234 --format sarif       # static design-rule checks
     repro lint src/ --format sarif         # determinism/API codebase lint
+    repro serve --port 8765 --workers 4    # run the flow service
+    repro submit s9234 --wait              # submit a FlowRequest to it
+    repro status job-00000001 --events     # poll / stream job progress
 
-``repro check`` and ``repro lint`` exit codes: 0 = no findings at or
-above ``--fail-on`` (default error), 1 = findings at or above the
-threshold, 2 = usage or configuration error (unknown rule code, bad
-severity, unreadable input).
-``repro profile`` exits 2 when an output path cannot be written.
+Every command shares one exit-code contract (:class:`ExitCode`):
+0 = success / no findings at or above ``--fail-on``,
+1 = findings at or above the threshold, partial tables, or a failed or
+shed server job, 2 = usage or configuration error (unknown rule code,
+bad severity, unreadable input or output path, unreachable server).
 """
 
 from __future__ import annotations
 
 import argparse
+import enum
 import json
 import sys
+from typing import Any, Callable, Mapping
 
-from .api import flow_options, run_flow
+from .api import TablesRequest, flow_options, run_flow
 from .constants import DEFAULT_TECHNOLOGY, frequency_ghz
 from .core import FlowOptions, sweep_ring_count
 from .netlist import ALL_PROFILES, PROFILE_ORDER, generate_named
+
+
+class ExitCode(enum.IntEnum):
+    """The one process exit contract every subcommand maps onto."""
+
+    OK = 0
+    #: Findings at/above the failure threshold (check/lint), partial
+    #: tables (some circuit failed), or a failed/shed server job.
+    FINDINGS = 1
+    PARTIAL = 1  # alias: same exit code, tables/server wording
+    #: Usage or configuration error.
+    USAGE = 2
+
+
+def render_report(
+    report: Any,
+    renderers: Mapping[str, Callable[[Any], str]],
+    *,
+    fmt: str = "text",
+    output: str = "",
+    sarif_path: str = "",
+) -> None:
+    """Shared check/lint report output: stdout or file, optional SARIF.
+
+    ``renderers`` maps format name (``text``/``json``/``sarif``) to a
+    function of the report; ``repro check`` and ``repro lint`` pass
+    their respective modules' renderers.
+    """
+    rendered = renderers[fmt](report)
+    if output:
+        with open(output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {output}")
+    else:
+        print(rendered)
+    if sarif_path and fmt != "sarif":
+        with open(sarif_path, "w") as fh:
+            fh.write(renderers["sarif"](report) + "\n")
+        print(f"wrote {sarif_path}")
 
 
 def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
@@ -120,19 +164,14 @@ def cmd_check(args: argparse.Namespace) -> int:
             ctx = DesignContext.from_flow(circuit, result)
 
     report = run_checks(ctx, config)
-    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
-    rendered = renderers[args.format](report)
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(rendered + "\n")
-        print(f"wrote {args.output}")
-    else:
-        print(rendered)
-    if args.sarif and args.format != "sarif":
-        with open(args.sarif, "w") as fh:
-            fh.write(render_sarif(report) + "\n")
-        print(f"wrote {args.sarif}")
-    return report.exit_code(config.fail_on)
+    render_report(
+        report,
+        {"text": render_text, "json": render_json, "sarif": render_sarif},
+        fmt=args.format,
+        output=args.output,
+        sarif_path=args.sarif,
+    )
+    return ExitCode(report.exit_code(config.fail_on))
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -161,19 +200,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         fail_on=Severity.parse(args.fail_on),
     )
     report = lint_paths(args.paths, config)
-    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
-    rendered = renderers[args.format](report)
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(rendered + "\n")
-        print(f"wrote {args.output}")
-    else:
-        print(rendered)
-    if args.sarif and args.format != "sarif":
-        with open(args.sarif, "w") as fh:
-            fh.write(render_sarif(report) + "\n")
-        print(f"wrote {args.sarif}")
-    return report.exit_code(config.fail_on)
+    render_report(
+        report,
+        {"text": render_text, "json": render_json, "sarif": render_sarif},
+        fmt=args.format,
+        output=args.output,
+        sarif_path=args.sarif,
+    )
+    return ExitCode(report.exit_code(config.fail_on))
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -183,15 +217,15 @@ def cmd_tables(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("repro tables: --resume requires --checkpoint-dir",
               file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
 
     circuits = (
-        [c.strip() for c in args.circuits.split(",") if c.strip()]
+        tuple(c.strip() for c in args.circuits.split(",") if c.strip())
         if args.circuits
-        else list(PROFILE_ORDER)
+        else tuple(PROFILE_ORDER)
     )
-    run = run_tables(
-        circuits,
+    run = run_tables(TablesRequest(
+        circuits=circuits,
         parallel=args.parallel,
         timeout=args.timeout or None,
         max_retries=args.max_retries,
@@ -199,7 +233,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir or None,
         resume=args.resume,
         ilp_time_limit=args.ilp_time_limit,
-    )
+    ))
     titles = {
         "table1": "Table I",
         "table2": "Table II",
@@ -219,11 +253,126 @@ def cmd_tables(args: argparse.Namespace) -> int:
               f"{len(r.failed)} failed tasks "
               f"({r.retries} retries, {r.timeouts} timeouts, "
               f"{r.crashes} crashes) in {r.seconds:.1f} s")
+    if run.stale_checkpoints:
+        print(f"repro tables: {run.stale_checkpoints} stale checkpoint "
+              f"artifact(s) ignored (written under a different "
+              f"options/technology digest)", file=sys.stderr)
     if run.failures:
         for name, reason in sorted(run.failures.items()):
             print(f"repro tables: {name} failed: {reason}", file=sys.stderr)
-        return 1
-    return 0
+        return ExitCode.PARTIAL
+    return ExitCode.OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import TraceCollector
+    from .server import ServerOptions, serve
+
+    options = ServerOptions(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        default_deadline_seconds=args.deadline or None,
+        task_timeout_seconds=args.task_timeout or None,
+        max_retries=args.max_retries,
+        retry_backoff_seconds=args.retry_backoff,
+        execution="inline" if args.inline else "process",
+    )
+    print(f"repro serve: listening on http://{args.host}:{args.port} "
+          f"({options.workers} workers, queue depth "
+          f"{options.max_queue_depth}, {options.execution} execution)")
+    serve(args.host, args.port, options=options, collector=TraceCollector())
+    return ExitCode.OK
+
+
+def _request_from_args(args: argparse.Namespace) -> Any:
+    from .api import CheckRequest, FlowRequest
+
+    if args.kind == "tables":
+        circuits = tuple(
+            c.strip() for c in args.circuit.split(",") if c.strip()
+        )
+        return TablesRequest(
+            circuits=circuits or None,
+            deadline_seconds=args.deadline or None,
+        )
+    options = FlowOptions(
+        max_iterations=args.iterations,
+        period=args.period,
+        assignment=args.engine,
+    )
+    if args.kind == "check":
+        return CheckRequest(
+            circuit=args.circuit,
+            options=options,
+            deadline_seconds=args.deadline or None,
+        )
+    return FlowRequest(
+        circuit=args.circuit,
+        options=options,
+        deadline_seconds=args.deadline or None,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .server import ServerClient
+
+    client = ServerClient(args.server, timeout=args.http_timeout)
+    request = _request_from_args(args)
+    if args.wait:
+        doc = client.submit_and_wait(request)
+        if args.json:
+            print(json.dumps(doc, indent=1, sort_keys=True))
+            return ExitCode.OK
+        cached = " (cached)" if doc.get("cached") else ""
+        print(f"{args.kind} {args.circuit}: done{cached}, "
+              f"digest {doc['request_digest'][:12]}")
+        result = doc.get("result")
+        if args.kind == "flow" and isinstance(result, dict):
+            final = result["final"]
+            print(f"  tap WL {final['tapping_wirelength_um']:.0f} um, "
+                  f"AFD {final['average_flipflop_distance_um']:.1f} um, "
+                  f"{len(result['history'])} iterations")
+        return ExitCode.OK
+    status = client.submit(request)
+    print(f"{status.job_id} {status.state.value} "
+          f"digest {status.request_digest[:12]}"
+          f"{' (cached)' if status.cached else ''}")
+    return ExitCode.OK
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .api import JobState
+    from .server import ServerClient
+
+    client = ServerClient(args.server, timeout=args.http_timeout)
+    if args.events:
+        for event in client.events(args.job_id, since=args.since):
+            print(json.dumps(event, sort_keys=True))
+    if args.result:
+        doc = client.result(args.job_id)
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return ExitCode.OK
+    status = client.status(args.job_id)
+    if args.json:
+        print(json.dumps(status.to_dict(), indent=1, sort_keys=True))
+    else:
+        line = (f"{status.job_id} {status.kind} {status.circuit}: "
+                f"{status.state.value}"
+                f"{' (cached)' if status.cached else ''}")
+        if status.state.terminal:
+            line += (f", queued {status.queued_seconds:.2f} s, "
+                     f"ran {status.run_seconds:.2f} s, "
+                     f"{status.num_events} events")
+        if status.error is not None:
+            line += (f" [{status.error.kind} after {status.error.attempts} "
+                     f"attempt(s): {status.error.message}]")
+        print(line)
+    return (
+        ExitCode.FINDINGS
+        if status.state is JobState.FAILED
+        else ExitCode.OK
+    )
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
@@ -489,30 +638,164 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_flow_args(sweep)
     sweep.set_defaults(func=cmd_sweep_rings)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the flow service (HTTP/JSON, see DESIGN.md section 15)",
+        description="Run the flow-as-a-service HTTP server: POST "
+        "/v1/flows, /v1/checks and /v1/tables submit jobs onto a "
+        "wave-scheduled worker pool backed by a digest-keyed result "
+        "cache; GET /v1/jobs/<id> polls and /v1/jobs/<id>/events "
+        "streams progress. Runs until interrupted.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes executing jobs (default: 2)",
+    )
+    srv.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="maximum queued jobs before shedding with 503 (default: 64)",
+    )
+    srv.add_argument(
+        "--cache-capacity", type=int, default=256, metavar="N",
+        help="result-cache entries kept (LRU, default: 256)",
+    )
+    srv.add_argument(
+        "--deadline", type=float, default=0.0, metavar="SECONDS",
+        help="default per-request deadline when the request sets none",
+    )
+    srv.add_argument(
+        "--task-timeout", type=float, default=0.0, metavar="SECONDS",
+        help="per-attempt wall-clock limit in the worker pool (0 = none)",
+    )
+    srv.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retries per job after crash/timeout/error (default: 0)",
+    )
+    srv.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry backoff (default: 0.5)",
+    )
+    srv.add_argument(
+        "--inline", action="store_true",
+        help="execute jobs in the server process (live iteration events; "
+        "no crash isolation)",
+    )
+    srv.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a request to a running flow service",
+        description="Build a typed request document (FlowRequest / "
+        "CheckRequest / TablesRequest) and POST it to a running "
+        "'repro serve' instance. Exit 0 = submitted (or, with --wait, "
+        "completed), 1 = the server shed or failed the job, 2 = "
+        "unreachable server or usage error.",
+    )
+    submit.add_argument(
+        "circuit",
+        help="circuit name (comma-separated list for --kind tables)",
+    )
+    submit.add_argument(
+        "--kind", choices=["flow", "check", "tables"], default="flow",
+        help="request type (default: flow)",
+    )
+    submit.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL",
+        help="base URL of the running service",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=0.0, metavar="SECONDS",
+        help="per-request deadline; past it the server sheds with 503",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print the result",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="with --wait, print the full result document as JSON",
+    )
+    submit.add_argument(
+        "--http-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="client-side socket timeout (default: 600)",
+    )
+    _add_common_flow_args(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status",
+        help="poll a job on a running flow service",
+        description="Show a job's status document; --events streams its "
+        "newline-delimited progress events until the job is terminal, "
+        "--result prints the full result document. Exit 0 = job OK, "
+        "1 = job FAILED, 2 = unreachable server or unknown job.",
+    )
+    status.add_argument("job_id", help="job id, e.g. job-00000001")
+    status.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL",
+        help="base URL of the running service",
+    )
+    status.add_argument(
+        "--events", action="store_true",
+        help="stream progress events (ndjson) until the job is terminal",
+    )
+    status.add_argument(
+        "--since", type=int, default=0, metavar="N",
+        help="with --events, resume the stream after event N",
+    )
+    status.add_argument(
+        "--result", action="store_true",
+        help="print the result document instead of the status line",
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="print the status document as JSON",
+    )
+    status.add_argument(
+        "--http-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="client-side socket timeout (default: 600)",
+    )
+    status.set_defaults(func=cmd_status)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    from .errors import CheckError, NetlistError
+    from .errors import CheckError, NetlistError, SaturatedError, ServerError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.func is cmd_check and not (args.circuit or args.bench):
         print("repro check: provide a bundled circuit or --bench FILE",
               file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     try:
         return args.func(args)
+    except SaturatedError as exc:
+        # The server shed the request (queue full or deadline passed).
+        print(f"repro {args.command}: server saturated, retry after "
+              f"{exc.retry_after_seconds:g} s: {exc}", file=sys.stderr)
+        return ExitCode.FINDINGS
+    except ServerError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return ExitCode.FINDINGS
     except (CheckError, NetlistError, OSError) as exc:
         if args.func is cmd_check:
             print(f"repro check: {exc}", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         if args.func is cmd_lint:
             print(f"repro lint: {exc}", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         if args.func is cmd_profile and isinstance(exc, OSError):
             print(f"repro profile: {exc}", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
+        if args.func in (cmd_submit, cmd_status) and isinstance(exc, OSError):
+            # urllib's URLError is an OSError: the server is unreachable.
+            print(f"repro {args.command}: cannot reach {args.server}: {exc}",
+                  file=sys.stderr)
+            return ExitCode.USAGE
         raise
 
 

@@ -27,7 +27,7 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Literal, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Literal, Mapping
 
 import numpy as np
 
@@ -480,12 +480,18 @@ class IntegratedFlow:
         tech: Technology = DEFAULT_TECHNOLOGY,
         options: FlowOptions | None = None,
         collector: Collector | None = None,
+        on_iteration: Callable[[IterationRecord], None] | None = None,
     ) -> None:
         self.circuit = circuit
         self.tech = tech
         self.options = options or FlowOptions()
         #: Explicit collector, or None to derive one from ``options.trace``.
         self.collector = collector
+        #: Progress hook invoked with each :class:`IterationRecord` as
+        #: stage 5 produces it (the server streams these as job events).
+        #: Kept off :class:`FlowOptions` so options stay value-typed and
+        #: serializable.
+        self.on_iteration = on_iteration
         self._ffs = [ff.name for ff in circuit.flip_flops]
         if not self._ffs:
             raise ReproError(f"circuit {circuit.name} has no flip-flops")
@@ -695,6 +701,8 @@ class IntegratedFlow:
                     )
             obs.gauge("flow.overall-cost", record.overall_cost)
             history.append(record)
+            if self.on_iteration is not None:
+                self.on_iteration(record)
             if best is None or record.overall_cost < best[0].overall_cost:
                 best = (record, assignment, schedule, dict(positions))
             if prev_cost - record.overall_cost < opts.convergence_tol * max(

@@ -87,3 +87,23 @@ class CheckError(ReproError):
 
 class SanitizerError(ReproError):
     """A runtime nondeterminism tripwire fired (see ``repro.lint``)."""
+
+
+class ServerError(ReproError):
+    """Flow-service failure (see ``repro.server``)."""
+
+
+class SaturatedError(ServerError):
+    """The service shed load: queue full or deadline not admissible.
+
+    HTTP maps this to ``503`` with a ``Retry-After`` header of
+    :attr:`retry_after_seconds`.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(message)
+
+
+class UnknownJobError(ServerError):
+    """A job id that the service has no record of (HTTP 404)."""

@@ -31,6 +31,7 @@ from ..constants import Technology
 from ..core import FlowOptions, FlowResult
 from ..errors import ReproError
 from ..netlist import generate_circuit
+from ..obs import NULL_COLLECTOR, Collector
 from .runner import CircuitExperiment, PowerBreakdown, profile_for
 
 #: Bumped whenever the serialized layout changes incompatibly.
@@ -123,11 +124,24 @@ class CheckpointStore:
     key-mismatched entry is a cache miss, never an exception — while
     :meth:`save` failures raise, because silently losing checkpoints
     would defeat the resume guarantee.
+
+    Lenient does not mean silent: a miss caused by an artifact that
+    exists for the circuit but was written under a *different*
+    configuration digest (options or technology changed since it was
+    saved) bumps :attr:`stale_entries` and the
+    ``experiments.checkpoint-stale`` counter on ``collector``, so
+    ``run_tables`` can report how many checkpoints were ignored instead
+    of dropping them invisibly.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, collector: Collector = NULL_COLLECTOR
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.collector = collector
+        #: Digest-mismatched artifacts encountered by :meth:`load`.
+        self.stale_entries = 0
 
     # ------------------------------------------------------------------
     def path_for(
@@ -147,16 +161,39 @@ class CheckpointStore:
         path = self.path_for(name, options, tech)
         try:
             doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self._note_stale_siblings(name, path)
+            return None
+        except json.JSONDecodeError:
             return None
         if doc.get("format_version") != CHECKPOINT_FORMAT_VERSION:
             return None
         if doc.get("key") != experiment_key(name, options, tech):
+            self._count_stale(1)
             return None
         try:
             return deserialize_experiment(doc["experiment"])
         except (KeyError, TypeError, ValueError, ReproError):
             return None
+
+    def _note_stale_siblings(self, name: str, wanted: Path) -> None:
+        """Count artifacts for ``name`` written under other digests.
+
+        The digest lives in the filename, so a configuration change makes
+        the old artifact unreachable rather than key-mismatched on read;
+        without this scan those entries would be dropped silently.
+        """
+        stale = sum(
+            1
+            for sibling in sorted(self.root.glob(f"{name}-*.json"))
+            if sibling != wanted
+        )
+        self._count_stale(stale)
+
+    def _count_stale(self, n: int) -> None:
+        if n > 0:
+            self.stale_entries += n
+            self.collector.count("experiments.checkpoint-stale", n)
 
     def save(
         self,

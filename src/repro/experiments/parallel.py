@@ -41,8 +41,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import asdict, dataclass
 from typing import Any, Mapping
 
@@ -50,6 +48,7 @@ from ..constants import Technology
 from ..core import FlowOptions, FlowResult, IntegratedFlow
 from ..netlist import generate_circuit
 from ..obs import NULL_COLLECTOR, Collector, TraceCollector
+from .pool import WaveFailure, WaveTask, backoff_delay, run_wave
 from .runner import ExperimentSuite, profile_for
 
 #: Environment variable holding fault-injection specs (tests/CI only).
@@ -102,23 +101,6 @@ class SuiteRunReport:
     @property
     def ok(self) -> bool:
         return not self.failed
-
-
-@dataclass(slots=True)
-class _Task:
-    """Mutable scheduling state of one (circuit, engine) task."""
-
-    circuit: str
-    engine: str
-    payload: dict[str, Any]
-    attempt: int = 1
-    not_before: float = 0.0
-    last_kind: str = "error"
-    last_message: str = ""
-
-    @property
-    def key(self) -> tuple[str, str]:
-        return (self.circuit, self.engine)
 
 
 # ----------------------------------------------------------------------
@@ -182,26 +164,9 @@ def _execute_task(payload: Mapping[str, Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# Parent side.
+# Parent side (wave scheduling itself lives in repro.experiments.pool,
+# shared with the repro.server worker pool).
 # ----------------------------------------------------------------------
-def _drain_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a (possibly hung or broken) pool generation down for good.
-
-    ``shutdown`` alone never kills a hung worker — the interpreter would
-    block on it at exit — so any worker still alive is terminated.
-    ``_processes`` is a CPython implementation detail, stable since 3.7;
-    the getattr guard keeps alternative interpreters merely slower, not
-    broken.
-    """
-    procs = list(getattr(pool, "_processes", {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in procs:
-        if proc.is_alive():
-            proc.terminate()
-    for proc in procs:
-        proc.join(timeout=5.0)
-
-
 class ParallelSuiteRunner:
     """Fans a suite's (circuit x engine) matrix over worker processes."""
 
@@ -218,7 +183,7 @@ class ParallelSuiteRunner:
         self.collector = collector
 
     # ------------------------------------------------------------------
-    def _task_for(self, name: str, engine: str) -> _Task:
+    def _task_for(self, name: str, engine: str) -> WaveTask:
         payload = {
             "circuit": name,
             "engine": engine,
@@ -226,7 +191,7 @@ class ParallelSuiteRunner:
             "options": self.suite.options_for(name, engine).to_dict(),
             "tech": asdict(self.suite.tech),
         }
-        return _Task(circuit=name, engine=engine, payload=payload)
+        return WaveTask(key=(name, engine), payload=payload)
 
     def run(self) -> SuiteRunReport:
         """Run every missing circuit; returns the fault-statistics report.
@@ -250,7 +215,7 @@ class ParallelSuiteRunner:
                 continue
             todo.append(name)
 
-        pending: list[_Task] = [
+        pending: list[WaveTask] = [
             self._task_for(name, engine)
             for name in todo
             for engine in ENGINES
@@ -289,11 +254,12 @@ class ParallelSuiteRunner:
                     self.collector.count("experiments.crashes")
                 task.last_kind = kind
                 task.last_message = message
+                circuit_name, engine = task.key
                 if task.attempt > opts.max_retries:
                     failures.append(
                         TaskFailure(
-                            circuit=task.circuit,
-                            engine=task.engine,
+                            circuit=str(circuit_name),
+                            engine=str(engine),
                             kind=kind,
                             attempts=task.attempt,
                             message=message,
@@ -305,8 +271,8 @@ class ParallelSuiteRunner:
                 self.collector.count("experiments.retries")
                 task.attempt += 1
                 task.payload["attempt"] = task.attempt
-                task.not_before = time.monotonic() + (
-                    opts.backoff_seconds * 2.0 ** (task.attempt - 2)
+                task.not_before = time.monotonic() + backoff_delay(
+                    opts.backoff_seconds, task.attempt
                 )
                 pending.append(task)
 
@@ -323,109 +289,29 @@ class ParallelSuiteRunner:
 
     # ------------------------------------------------------------------
     def _run_wave(
-        self, wave: list[_Task]
-    ) -> tuple[
-        dict[tuple[str, str], dict[str, Any]],
-        list[tuple[_Task, str, str, bool]],
-    ]:
+        self, wave: list[WaveTask]
+    ) -> tuple[dict[Any, dict[str, Any]], list[WaveFailure]]:
         """One pool generation over at most ``workers`` tasks.
 
-        Returns completed payloads and ``(task, kind, message, penalize)``
-        soft failures.  A timeout or worker death abandons the whole
-        generation (terminating its processes); tasks that neither
-        finished nor caused the teardown come back unpenalized.
+        Delegates to :func:`repro.experiments.pool.run_wave`; worker
+        traces are merged into the parent collector as each task lands.
         """
-        opts = self.options
-        ok: dict[tuple[str, str], dict[str, Any]] = {}
-        failed: list[tuple[_Task, str, str, bool]] = []
-        pool = ProcessPoolExecutor(max_workers=max(1, min(opts.workers, len(wave))))
-        broken = False
-        try:
-            with self.collector.span("experiments.wave", tasks=len(wave)):
-                futures = [
-                    (task, pool.submit(_execute_task, task.payload))
-                    for task in wave
-                ]
-                deadline = (
-                    None
-                    if opts.timeout is None
-                    else time.monotonic() + opts.timeout
-                )
-                for task, future in futures:
-                    if broken:
-                        # The generation is being abandoned; salvage
-                        # whatever already finished.
-                        if future.done():
-                            self._collect(task, future, ok, failed)
-                        else:
-                            failed.append((task, "aborted", "", False))
-                        continue
-                    try:
-                        remaining = (
-                            None
-                            if deadline is None
-                            else max(0.0, deadline - time.monotonic())
-                        )
-                        payload = future.result(timeout=remaining)
-                    except FutureTimeoutError:
-                        failed.append(
-                            (
-                                task,
-                                "timeout",
-                                f"exceeded {opts.timeout:.1f}s deadline",
-                                True,
-                            )
-                        )
-                        broken = True
-                    except BrokenExecutor:
-                        failed.append(
-                            (task, "crash", "worker process died", True)
-                        )
-                        broken = True
-                    except Exception as exc:  # repro: lint-disable=API002 -- fault boundary: a worker exception of any type must become a TaskFailure record
-                        failed.append(
-                            (
-                                task,
-                                "error",
-                                f"{type(exc).__name__}: {exc}",
-                                True,
-                            )
-                        )
-                    else:
-                        self._merge(task, payload)
-                        ok[task.key] = payload
-        finally:
-            if broken:
-                _drain_pool(pool)
-            else:
-                pool.shutdown(wait=True)
-        return ok, failed
+        return run_wave(
+            _execute_task,
+            wave,
+            workers=self.options.workers,
+            timeout=self.options.timeout,
+            collector=self.collector,
+            span_name="experiments.wave",
+            on_result=self._merge,
+        )
 
-    def _collect(
-        self,
-        task: _Task,
-        future: Any,
-        ok: dict[tuple[str, str], dict[str, Any]],
-        failed: list[tuple[_Task, str, str, bool]],
-    ) -> None:
-        """Harvest an already-done future during generation teardown."""
-        try:
-            payload = future.result(timeout=0)
-        except BrokenExecutor:
-            failed.append((task, "aborted", "", False))
-        except Exception as exc:  # repro: lint-disable=API002 -- fault boundary: harvested futures surface arbitrary worker exception types
-            failed.append(
-                (task, "error", f"{type(exc).__name__}: {exc}", True)
-            )
-        else:
-            self._merge(task, payload)
-            ok[task.key] = payload
-
-    def _merge(self, task: _Task, payload: Mapping[str, Any]) -> None:
+    def _merge(self, task: WaveTask, payload: Mapping[str, Any]) -> None:
         """Fold one worker's trace and latency into the parent collector."""
+        circuit_name, engine = task.key
         self.collector.count("experiments.tasks-completed")
         self.collector.gauge(
-            f"experiments.task-seconds.{task.circuit}.{task.engine}",
+            f"experiments.task-seconds.{circuit_name}.{engine}",
             float(payload["seconds"]),
         )
         self.collector.merge_counters(payload.get("counters", {}))

@@ -33,11 +33,10 @@ from ..errors import ReproError
 from ..core import FlowOptions, FlowResult, IntegratedFlow
 from ..netlist import (
     PROFILE_ORDER,
-    PROFILES,
     Circuit,
     CircuitProfile,
     generate_circuit,
-    small_profile,
+    profile_for,
 )
 from ..power import clock_power_mw, signal_power_mw
 
@@ -65,17 +64,10 @@ FLOW_FAILURE_TYPES: tuple[type[Exception], ...] = (
 )
 
 
-def profile_for(name: str) -> CircuitProfile:
-    """The bundled Table II profile, or a deterministic synthetic one.
-
-    Unknown names map to a small synthetic circuit whose seed is a CRC of
-    the name, so ad-hoc suites (tests, smoke runs) are reproducible.
-    """
-    if name in PROFILES:
-        return PROFILES[name]
-    import zlib
-
-    return small_profile(name=name, seed=zlib.crc32(name.encode()) % 100_000)
+# ``profile_for`` is re-exported above for back-compat: the resolver moved
+# to repro.netlist so the api/server layers can map request circuit names
+# without importing the experiment stack (it now also recognizes the scale
+# profiles).
 
 
 @dataclass(frozen=True, slots=True)

@@ -23,6 +23,7 @@ from .profiles import (
     SCALE_PROFILE_ORDER,
     SCALE_PROFILES,
     CircuitProfile,
+    profile_for,
     scale_profile,
     small_profile,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "SCALE_PROFILES",
     "SCALE_PROFILE_ORDER",
     "CircuitProfile",
+    "profile_for",
     "scale_profile",
     "small_profile",
     "write_verilog",

@@ -144,3 +144,17 @@ def small_profile(name: str = "tiny", num_cells: int = 120, num_flipflops: int =
         paper_path_length_um=0.0,
         seed=seed,
     )
+
+
+def profile_for(name: str) -> CircuitProfile:
+    """A bundled profile (paper or scale), or a deterministic synthetic one.
+
+    Unknown names map to a small synthetic circuit whose seed is a CRC of
+    the name, so ad-hoc suites (tests, smoke runs, server requests for
+    circuits like ``s27``) are reproducible across processes and hosts.
+    """
+    if name in ALL_PROFILES:
+        return ALL_PROFILES[name]
+    import zlib
+
+    return small_profile(name=name, seed=zlib.crc32(name.encode()) % 100_000)

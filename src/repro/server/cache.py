@@ -1,0 +1,90 @@
+"""Shared digest-keyed result cache.
+
+One process-wide LRU of response documents keyed by the request digest
+(:meth:`repro.api.FlowRequest.digest` — sha256 over the normalized
+``(circuit, FlowOptions, Technology)`` content).  Two identical requests
+therefore share one entry no matter which client submitted them, and a
+resubmit is served without recomputing anything.
+
+Entries are the exact JSON documents produced by the first run; the
+cache never rewrites them (the serve-time ``cached`` flag is applied to
+a shallow copy by the service), so a cached response is byte-identical
+to the originally computed one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from ..obs import NULL_COLLECTOR, Collector
+
+
+class ResultCache:
+    """Thread-safe LRU cache of response documents by request digest."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        collector: Collector = NULL_COLLECTOR,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("ResultCache capacity must be >= 1")
+        self.capacity = capacity
+        self.collector = collector
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, digest: str) -> dict[str, Any] | None:
+        """The cached response document, or None (counts a hit/miss).
+
+        The returned document is the cache's own entry — treat it as
+        immutable and copy before annotating.
+        """
+        with self._lock:
+            doc = self._entries.get(digest)
+            if doc is None:
+                self.misses += 1
+                self.collector.count("server.cache-misses")
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            self.collector.count("server.cache-hits")
+            return doc
+
+    def put(self, digest: str, doc: dict[str, Any]) -> None:
+        """Store a response document, evicting the least recently used."""
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                self._entries[digest] = doc
+                return
+            self._entries[digest] = doc
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.collector.count("server.cache-evictions")
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/eviction counters plus the current hit rate."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": float(self.capacity),
+                "size": float(len(self._entries)),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+__all__ = ["ResultCache"]

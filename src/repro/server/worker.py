@@ -1,0 +1,91 @@
+"""Worker-side job execution (module-level picklable).
+
+:func:`execute_request_payload` is the one function the service's
+process pool runs.  It takes the wire payload (job kind + serialized
+request), rebuilds the typed request, executes it in-process, and
+returns a picklable document: the response plus the worker's trace
+counters/gauges, which the parent folds into its collector — the same
+shape :mod:`repro.experiments.parallel` workers return.
+
+Fault injection reuses ``REPRO_EXPERIMENTS_FAULT`` with the job kind in
+the engine slot, so ``s27:flow:crash:1`` crashes the first attempt of a
+flow job on ``s27`` exactly as it would a parallel-suite task.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Mapping
+
+from ..api import (
+    API_VERSION,
+    CheckRequest,
+    FlowRequest,
+    TablesRequest,
+    check_design,
+    run_flow,
+    run_tables,
+)
+from ..errors import ServerError
+from ..obs import TraceCollector
+from ..experiments.parallel import _maybe_inject_fault
+
+
+def check_response_doc(request: CheckRequest) -> dict[str, Any]:
+    """Run one check request and wrap the report as a wire document."""
+    from ..analysis import render_json
+    from ..analysis.checker import CheckConfig
+
+    report = check_design(request)
+    config = request.config if request.config is not None else CheckConfig()
+    return {
+        "api_version": API_VERSION,
+        "kind": "check",
+        "request_digest": request.digest(),
+        "cached": False,
+        "report": json.loads(render_json(report)),
+        "exit_code": report.exit_code(config.fail_on),
+    }
+
+
+def execute_request_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one job payload; returns the response + trace document."""
+    kind = str(payload["kind"])
+    attempt = int(payload.get("attempt", 1))
+    request_doc = payload["request"]
+    circuit = str(request_doc.get("circuit", "")) or "-"
+    _maybe_inject_fault(circuit, kind, attempt)
+    collector = TraceCollector()
+    start = time.perf_counter()
+    doc: dict[str, Any]
+    if kind == "flow":
+        flow_request = FlowRequest.from_dict(request_doc)
+        doc = run_flow(flow_request, collector=collector).to_dict()
+    elif kind == "check":
+        doc = check_response_doc(CheckRequest.from_dict(request_doc))
+    elif kind == "tables":
+        tables_request = TablesRequest.from_dict(request_doc)
+        # Never nest process pools: the job already runs in a worker, so
+        # the suite executes serially regardless of the request's
+        # parallel knob (the tables themselves are byte-identical).
+        run = run_tables(
+            tables_request.replace(parallel=0), collector=collector
+        )
+        doc = run.to_dict()
+        doc["request_digest"] = tables_request.digest()
+        doc["cached"] = False
+    else:
+        raise ServerError(f"unknown job kind {kind!r}")
+    seconds = time.perf_counter() - start
+    trace = collector.trace()
+    return {
+        "kind": kind,
+        "response": doc,
+        "seconds": seconds,
+        "counters": dict(trace.counters),
+        "gauges": dict(trace.gauges),
+    }
+
+
+__all__ = ["check_response_doc", "execute_request_payload"]

@@ -140,6 +140,55 @@ class TestSuiteResume:
         assert other.load_checkpoint("tinyA") is None
 
 
+class TestStaleCounter:
+    """Digest-mismatched artifacts must be counted, not silently dropped."""
+
+    def test_fresh_store_reports_zero(self, tmp_path):
+        assert CheckpointStore(tmp_path).stale_entries == 0
+
+    def test_matching_load_is_not_stale(self, completed_store):
+        store, _, _ = completed_store
+        before = store.stale_entries
+        assert store.load("tinyA", OPTS, TECH) is not None
+        assert store.stale_entries == before
+
+    def test_option_change_counts_stale_sibling(self, completed_store):
+        from repro.obs import TraceCollector
+
+        store, _, _ = completed_store
+        collector = TraceCollector()
+        fresh = CheckpointStore(store.root, collector=collector)
+        # The tinyA artifact on disk was written under OPTS; loading
+        # under different options misses AND flags the sibling as stale.
+        assert fresh.load("tinyA", OPTS.replace(max_iterations=3), TECH) is None
+        assert fresh.stale_entries == 1
+        assert (
+            collector.trace().counter("experiments.checkpoint-stale") == 1
+        )
+
+    def test_in_file_key_mismatch_counts_stale(self, completed_store):
+        store, _, _ = completed_store
+        path = store.path_for("tinyA", OPTS, TECH)
+        doc = json.loads(path.read_text())
+        original = path.read_text()
+        fresh = CheckpointStore(store.root)
+        try:
+            doc["key"] = "0" * 20
+            path.write_text(json.dumps(doc))
+            assert fresh.load("tinyA", OPTS, TECH) is None
+            assert fresh.stale_entries == 1
+        finally:
+            path.write_text(original)
+
+    def test_tables_run_surfaces_stale_count(self, completed_store):
+        from repro.api import TablesRun
+
+        run = TablesRun(tables={}, failures={}, stale_checkpoints=3)
+        doc = run.to_dict()
+        assert doc["stale_checkpoints"] == 3
+        assert TablesRun.from_dict(doc).stale_checkpoints == 3
+
+
 class TestFlowResultRoundtrip:
     def test_to_from_dict_identity(self, completed_store):
         _, _, exp = completed_store

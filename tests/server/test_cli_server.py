@@ -1,0 +1,109 @@
+"""Tests for the ``repro serve`` / ``submit`` / ``status`` commands.
+
+One threaded server on an ephemeral port backs the happy-path tests;
+the unified :class:`~repro.cli.ExitCode` contract is checked at the
+``main()`` boundary (0 = success, 1 = failed/shed job, 2 = unreachable
+server or usage error).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import ExitCode, main
+from repro.server import ServerOptions, make_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    srv = make_server(options=ServerOptions(workers=1, execution="inline"))
+    thread = threading.Thread(
+        target=srv.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield srv.url
+    srv.shutdown()
+    srv.server_close()
+    srv.service.close()
+    thread.join()
+
+
+class TestSubmit:
+    def test_wait_prints_summary_and_exits_zero(self, server_url, capsys):
+        rc = main([
+            "submit", "s27", "--wait", "--server", server_url,
+            "--iterations", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == ExitCode.OK
+        assert "flow s27: done" in out and "digest" in out
+
+    def test_resubmit_is_cached(self, server_url, capsys):
+        rc = main([
+            "submit", "s27", "--wait", "--server", server_url,
+            "--iterations", "2",
+        ])
+        assert rc == ExitCode.OK
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_wait_json_emits_result_document(self, server_url, capsys):
+        rc = main([
+            "submit", "s27", "--wait", "--json", "--server", server_url,
+            "--iterations", "2",
+        ])
+        assert rc == ExitCode.OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "flow" and "result" in doc
+
+    def test_async_submit_then_status(self, server_url, capsys):
+        rc = main([
+            "submit", "s27", "--server", server_url, "--iterations", "2",
+        ])
+        assert rc == ExitCode.OK
+        job_id = capsys.readouterr().out.split()[0]
+        assert job_id.startswith("job-")
+        rc = main(["status", job_id, "--server", server_url])
+        assert rc == ExitCode.OK
+        assert job_id in capsys.readouterr().out
+
+    def test_status_events_streams_ndjson(self, server_url, capsys):
+        main(["submit", "s27", "--server", server_url, "--iterations", "2"])
+        job_id = capsys.readouterr().out.split()[0]
+        rc = main([
+            "status", job_id, "--events", "--server", server_url,
+        ])
+        assert rc == ExitCode.OK
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert lines and lines[-1]["event"] == "state"
+
+    def test_check_kind_submits(self, server_url, capsys):
+        rc = main([
+            "submit", "s27", "--kind", "check", "--wait",
+            "--server", server_url, "--iterations", "2",
+        ])
+        assert rc == ExitCode.OK
+        assert "check s27: done" in capsys.readouterr().out
+
+
+class TestErrorMapping:
+    def test_unreachable_server_is_usage_error(self, capsys):
+        rc = main(["status", "job-00000001", "--server", "http://127.0.0.1:1"])
+        assert rc == ExitCode.USAGE
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_unknown_job_is_findings(self, server_url, capsys):
+        rc = main(["status", "job-99999999", "--server", server_url])
+        assert rc == ExitCode.FINDINGS
+        assert "404" in capsys.readouterr().err
+
+    def test_exit_code_aliases(self):
+        assert ExitCode.OK == 0
+        assert ExitCode.FINDINGS == 1 == ExitCode.PARTIAL
+        assert ExitCode.USAGE == 2
