@@ -1,0 +1,113 @@
+"""Slack/wirelength trade-off gates for timing-driven net weighting.
+
+Runs the integrated flow on bundled circuits with
+``net_weighting="none"`` vs ``"critical"`` and gates the trade the
+feature is supposed to buy:
+
+* on s9234 the critical run must converge in *fewer* Fig. 3 iterations
+  or close with a better worst permissible-range slack;
+* the signal-wirelength regression the up-weighted nets cause must stay
+  bounded (<= 2%);
+* the default path stays bit-identical: a ``critical_weight=1.0`` run
+  reproduces the unweighted positions exactly.
+
+Every measurement lands in ``BENCH_timing_weights.json`` (archived by
+the perf-smoke CI job next to the other BENCH artifacts).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import FlowOptions, IntegratedFlow
+from repro.netlist import PROFILES, generate_named
+
+#: s9234 carries the gate (its iteration count demonstrably drops);
+#: s5378 is recorded for the trend without gating convergence.
+GATED = "s9234"
+RECORDED = ("s5378", "s9234")
+MAX_SIGNAL_WL_REGRESSION = 0.02
+
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def timing_weights_artifact():
+    yield
+    Path("BENCH_timing_weights.json").write_text(
+        json.dumps(RESULTS, indent=2) + "\n"
+    )
+
+
+def run_flow(name: str, **options):
+    opts = FlowOptions(
+        ring_grid_side=PROFILES[name].ring_grid_side, **options
+    )
+    t0 = time.perf_counter()
+    result = IntegratedFlow(generate_named(name), options=opts).run()
+    return time.perf_counter() - t0, result
+
+
+def record(name: str, baseline, critical, base_s: float, crit_s: float) -> dict:
+    entry = {
+        "iterations_none": len(baseline.history),
+        "iterations_critical": len(critical.history),
+        "worst_slack_none_ps": baseline.history[-1].worst_slack,
+        "worst_slack_critical_ps": critical.history[-1].worst_slack,
+        "signal_wl_none": baseline.final.signal_wirelength,
+        "signal_wl_critical": critical.final.signal_wirelength,
+        "signal_wl_regression": (
+            critical.final.signal_wirelength / baseline.final.signal_wirelength
+            - 1.0
+        ),
+        "weighted_nets_per_iteration": [
+            rec.weighted_nets for rec in critical.history
+        ],
+        "seconds_none": base_s,
+        "seconds_critical": crit_s,
+    }
+    RESULTS[name] = entry
+    return entry
+
+
+@pytest.mark.parametrize("name", RECORDED)
+def test_slack_wirelength_tradeoff(name):
+    base_s, baseline = run_flow(name, net_weighting="none")
+    crit_s, critical = run_flow(name, net_weighting="critical")
+    entry = record(name, baseline, critical, base_s, crit_s)
+
+    # The up-weighted nets may cost signal wirelength, but only a little.
+    assert entry["signal_wl_regression"] <= MAX_SIGNAL_WL_REGRESSION, (
+        f"{name}: critical weighting regressed signal WL by "
+        f"{entry['signal_wl_regression']:.2%}"
+    )
+    # Weighting must actually have engaged past the base iteration.
+    assert any(n > 0 for n in entry["weighted_nets_per_iteration"][1:])
+
+    if name == GATED:
+        improved_convergence = (
+            entry["iterations_critical"] < entry["iterations_none"]
+        )
+        improved_slack = (
+            entry["worst_slack_critical_ps"] > entry["worst_slack_none_ps"]
+        )
+        assert improved_convergence or improved_slack, (
+            f"{name}: critical weighting bought neither fewer iterations "
+            f"({entry['iterations_critical']} vs {entry['iterations_none']}) "
+            f"nor better worst slack "
+            f"({entry['worst_slack_critical_ps']:.1f} vs "
+            f"{entry['worst_slack_none_ps']:.1f} ps)"
+        )
+
+
+def test_default_path_bit_identical():
+    """critical_weight=1.0 must reproduce the unweighted flow exactly."""
+    name = GATED
+    _, baseline = run_flow(name, net_weighting="none")
+    _, unit = run_flow(name, net_weighting="critical", critical_weight=1.0)
+    identical = baseline.positions == unit.positions
+    RESULTS.setdefault(name, {})["unit_weight_bit_identical"] = identical
+    assert identical
+    assert len(baseline.history) == len(unit.history)

@@ -18,7 +18,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..constants import Technology
-from ..opt.diffconstraints import SkewConstraint
+from ..opt.diffconstraints import RELAXATION_EPS, SkewConstraint
 from ..timing import PathBounds, skew_constraints
 
 
@@ -87,14 +87,17 @@ class SkewConstraintGraph:
         return len(self._names)
 
     def negative_cycle(
-        self, slack: float = 0.0, tol: float = 1e-9
+        self, slack: float = 0.0, tol: float = RELAXATION_EPS
     ) -> NegativeCycle | None:
         """The negative cycle at slack ``M``, or ``None`` when feasible.
 
         Full Bellman-Ford from a virtual source (distance 0 to every
         node).  If any edge still relaxes after ``n - 1`` passes, walking
         the predecessor chain ``n`` steps lands inside a negative cycle,
-        which is then traced and returned.
+        which is then traced and returned.  ``tol`` defaults to the same
+        relaxation epsilon as the SPFA feasibility oracle in
+        :mod:`repro.opt.diffconstraints`, so the diagnostic verdict and
+        the solver's verdict can never disagree on near-zero cycles.
         """
         n = len(self._names)
         if n == 0:

@@ -58,6 +58,7 @@ if TYPE_CHECKING:  # lazy at runtime: analysis pulls in core.cost
 
 __all__ = [
     "API_VERSION",
+    "EXECUTION_ONLY_FIELDS",
     "CheckRequest",
     "FlowRequest",
     "FlowResponse",
@@ -68,6 +69,7 @@ __all__ = [
     "TablesRun",
     "check_design",
     "flow_options",
+    "request_digest",
     "resolve_circuit",
     "run_flow",
     "run_tables",
@@ -78,6 +80,50 @@ __all__ = [
 #: the tag participates in every request digest so a version bump can
 #: never serve a cached result written under the old schema.
 API_VERSION = "v1"
+
+
+#: Digest classification rule.  A request field may be excluded from the
+#: sha256 digest ONLY if it shapes *how* the request executes — load
+#: shedding, parallelism, retries, checkpoint plumbing — and can never
+#: change any byte of the computed result.  Everything else is
+#: result-affecting and MUST participate: in particular, **every
+#: :class:`FlowOptions` field is classified result-affecting** (even
+#: engine-selection knobs like ``sta_engine`` or ``placer_assembly`` pin
+#: exact numeric paths), so a new flow knob lands in the digest
+#: automatically and the server's :class:`~repro.server.cache.ResultCache`
+#: and the experiments :class:`~repro.experiments.CheckpointStore` can
+#: never serve a result computed under different options.
+#: ``tests/test_digest_classification.py`` enforces both directions.
+EXECUTION_ONLY_FIELDS: Mapping[str, frozenset[str]] = {
+    "flow": frozenset({"deadline_seconds"}),
+    "check": frozenset({"deadline_seconds"}),
+    "tables": frozenset(
+        {
+            "deadline_seconds",
+            "parallel",
+            "timeout",
+            "max_retries",
+            "retry_backoff",
+            "checkpoint_dir",
+            "resume",
+        }
+    ),
+}
+
+
+def request_digest(document: Mapping[str, Any]) -> str:
+    """Digest of one request document under the classification rule.
+
+    Strips exactly the ``kind``'s :data:`EXECUTION_ONLY_FIELDS` from the
+    document and hashes the rest as canonical JSON — so the digest is
+    derived *from the wire document itself* and a newly added field is
+    result-affecting (digest-included) unless explicitly classified
+    otherwise.
+    """
+    kind = str(document["kind"])
+    execution_only = EXECUTION_ONLY_FIELDS[kind]
+    payload = {k: v for k, v in document.items() if k not in execution_only}
+    return canonical_digest(payload)
 
 
 def canonical_digest(payload: Mapping[str, Any]) -> str:
@@ -170,17 +216,13 @@ class FlowRequest:
         return generate_circuit(profile_for(self.circuit))
 
     def digest(self) -> str:
-        """sha256 over the normalized ``(circuit, options, tech)`` content."""
-        norm = self.normalized()
-        return canonical_digest(
-            {
-                "api_version": API_VERSION,
-                "kind": self.kind,
-                "circuit": norm.circuit,
-                "options": norm.options.to_dict(),
-                "tech": dataclasses.asdict(norm.tech),
-            }
-        )
+        """sha256 over the normalized request minus execution-only knobs.
+
+        Derived from the full wire document via :func:`request_digest`,
+        so every field — including every :class:`FlowOptions` knob — is
+        result-affecting unless listed in :data:`EXECUTION_ONLY_FIELDS`.
+        """
+        return request_digest(self.normalized().to_dict())
 
     def to_dict(self) -> dict[str, Any]:
         """The wire document (round-trips through :meth:`from_dict`)."""
@@ -250,18 +292,7 @@ class CheckRequest:
         return generate_circuit(profile_for(self.circuit))
 
     def digest(self) -> str:
-        norm = self.normalized()
-        return canonical_digest(
-            {
-                "api_version": API_VERSION,
-                "kind": self.kind,
-                "circuit": norm.circuit,
-                "options": norm.options.to_dict(),
-                "tech": dataclasses.asdict(norm.tech),
-                "netlist_only": norm.netlist_only,
-                "config": None if norm.config is None else norm.config.to_dict(),
-            }
-        )
+        return request_digest(self.normalized().to_dict())
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -349,16 +380,9 @@ class TablesRequest:
         return tuple(PROFILE_ORDER)
 
     def digest(self) -> str:
-        return canonical_digest(
-            {
-                "api_version": API_VERSION,
-                "kind": self.kind,
-                "circuits": list(self.resolved_circuits()),
-                "options": self.options.to_dict(),
-                "tech": dataclasses.asdict(self.tech),
-                "ilp_time_limit": self.ilp_time_limit,
-            }
-        )
+        document = self.to_dict()
+        document["circuits"] = list(self.resolved_circuits())
+        return request_digest(document)
 
     def to_dict(self) -> dict[str, Any]:
         return {

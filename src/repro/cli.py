@@ -87,6 +87,26 @@ def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--period", type=float, default=1000.0, help="clock period (ps)"
     )
+    parser.add_argument(
+        "--net-weighting",
+        choices=["none", "critical"],
+        default="none",
+        help="up-weight nets on critical sequential pairs during "
+        "incremental placement",
+    )
+    parser.add_argument(
+        "--critical-k",
+        type=int,
+        default=10,
+        help="critical pairs extracted per iteration (with "
+        "--net-weighting critical)",
+    )
+    parser.add_argument(
+        "--critical-weight",
+        type=float,
+        default=3.0,
+        help="spring weight multiplier for nets on critical paths",
+    )
 
 
 def _options_from_args(args: argparse.Namespace) -> FlowOptions:
@@ -96,6 +116,9 @@ def _options_from_args(args: argparse.Namespace) -> FlowOptions:
         assignment=args.engine,
         max_iterations=args.iterations,
         period=args.period,
+        net_weighting=args.net_weighting,
+        critical_pairs_k=args.critical_k,
+        critical_weight=args.critical_weight,
     )
 
 

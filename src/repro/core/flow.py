@@ -47,7 +47,14 @@ from ..placement import (
     region_for_circuit,
 )
 from ..rotary import RingArray
-from ..timing import SequentialTiming, TimingSnapshot, VectorizedTiming
+from ..timing import (
+    CriticalPathExtractor,
+    SequentialTiming,
+    TimingSnapshot,
+    VectorizedTiming,
+    critical_net_weights,
+    worst_pair_slack,
+)
 from .assignment_flow import network_flow_assignment
 from .assignment_ilp import MinMaxCapResult, ilp_assignment
 from .cost import (
@@ -135,6 +142,18 @@ class FlowOptions:
     #: optimal, falls back to a cold solve whenever unusable).  Only the
     #: "flow" assignment engine consumes it.
     assignment_warm_start: bool = True
+    #: Timing-driven placement coupling: "critical" extracts the top-k
+    #: most-critical sequential pairs (smallest permissible-range slack)
+    #: from the STA each iteration and up-weights the nets on their
+    #: launch→capture paths in the quadratic placer; "none" keeps the
+    #: historical clock-only coupling (pseudo-nets to rings), bit-exact.
+    net_weighting: Literal["none", "critical"] = "none"
+    #: How many critical pairs to extract per iteration (only read when
+    #: ``net_weighting="critical"``).
+    critical_pairs_k: int = 10
+    #: Placer weight applied to every net on a critical pair's paths
+    #: (nets off critical paths keep weight 1.0).
+    critical_weight: float = 3.0
     #: Arm the runtime nondeterminism tripwires
     #: (:class:`repro.lint.sanitize.Sanitizer`) for the duration of the
     #: run: touching the global ``random`` / legacy ``numpy.random``
@@ -180,6 +199,13 @@ class IterationRecord:
     #: when a flip-flop's (position, skew target) pair is unchanged.
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
+    #: Smallest permissible-range slack over all sequential pairs under
+    #: this iteration's schedule (ps; negative = a pair violates a
+    #: setup/hold wall).  Recorded for every run, weighted or not.
+    worst_slack: float = 0.0
+    #: Nets carrying a critical-pair up-weight in the *next* incremental
+    #: placement (0 unless ``FlowOptions.net_weighting="critical"``).
+    weighted_nets: int = 0
     #: Static-check findings from the in-flow invariant pass (empty
     #: unless :attr:`FlowOptions.check_invariants` is set).
     findings: tuple["Diagnostic", ...] = ()
@@ -220,6 +246,8 @@ class IterationRecord:
             "seconds": self.seconds,
             "cost_cache_hits": self.cost_cache_hits,
             "cost_cache_misses": self.cost_cache_misses,
+            "worst_slack_ps": self.worst_slack,
+            "weighted_nets": self.weighted_nets,
             "finding_counts": self.finding_counts,
         }
 
@@ -243,6 +271,8 @@ class IterationRecord:
             seconds=float(data["seconds"]),
             cost_cache_hits=int(data.get("cost_cache_hits", 0)),
             cost_cache_misses=int(data.get("cost_cache_misses", 0)),
+            worst_slack=float(data.get("worst_slack_ps", 0.0)),
+            weighted_nets=int(data.get("weighted_nets", 0)),
         )
 
 
@@ -521,6 +551,11 @@ class IntegratedFlow:
     def _run(self, opts: FlowOptions, obs: Collector) -> FlowResult:
         t_alg = 0.0
         t_placer = 0.0
+        if opts.net_weighting not in ("none", "critical"):
+            raise ReproError(
+                f"unknown net_weighting {opts.net_weighting!r} "
+                "(expected 'none' or 'critical')"
+            )
 
         # Stage 1: initial placement.
         tic = time.monotonic()
@@ -576,6 +611,12 @@ class IntegratedFlow:
             slack_guaranteed = slack_available
         obs.gauge("flow.slack-available-ps", slack_available)
         obs.gauge("flow.slack-guaranteed-ps", slack_guaranteed)
+
+        # Timing-driven placement coupling: the extractor's adjacency is
+        # structural, so it is built once and queried every iteration.
+        extractor: CriticalPathExtractor | None = None
+        if opts.net_weighting == "critical":
+            extractor = CriticalPathExtractor(self.circuit, collector=obs)
 
         # Ring array sized to the die.
         side = opts.ring_grid_side or _default_ring_side(len(self._ffs))
@@ -648,7 +689,16 @@ class IntegratedFlow:
                     )
 
             if base is None:
-                base = self._record(0, assignment, positions, array, 0.0)
+                base = self._record(
+                    0,
+                    assignment,
+                    positions,
+                    array,
+                    0.0,
+                    worst_slack=worst_pair_slack(
+                        timing.pairs, schedule.targets, opts.period, self.tech
+                    ),
+                )
 
             # Stage 4: cost-driven skew optimization.
             with obs.span("stage4.cost-driven-skew", iteration=iteration):
@@ -673,6 +723,29 @@ class IntegratedFlow:
                 targets = schedule.normalized(opts.period).targets
                 assignment = _retarget(assignment, positions, targets, cache)
 
+            # Critical-pair extraction (timing-driven coupling): rank
+            # pairs by permissible-range slack under the stage-4
+            # schedule and up-weight their path nets for the *next*
+            # incremental placement (stage 6).
+            net_weights: dict[str, float] | None = None
+            if extractor is not None:
+                with obs.span("timing.critical-extraction", iteration=iteration):
+                    critical = extractor.extract(
+                        timing.pairs,
+                        schedule.targets,
+                        opts.period,
+                        self.tech,
+                        k=opts.critical_pairs_k,
+                    )
+                    net_weights = critical_net_weights(
+                        critical, opts.critical_weight
+                    )
+                obs.count("flow.weighted-nets", len(net_weights))
+            worst_slack = worst_pair_slack(
+                timing.pairs, schedule.targets, opts.period, self.tech
+            )
+            obs.gauge("flow.worst-slack-ps", worst_slack)
+
             # Stage 5: evaluate.
             seconds = time.monotonic() - tic
             t_alg += seconds
@@ -685,6 +758,8 @@ class IntegratedFlow:
                     seconds,
                     cache_hits=cache.hits - cache_hits0,
                     cache_misses=cache.misses - cache_misses0,
+                    worst_slack=worst_slack,
+                    weighted_nets=0 if net_weights is None else len(net_weights),
                 )
                 if opts.check_invariants:
                     record = dataclasses.replace(
@@ -718,6 +793,10 @@ class IntegratedFlow:
             with obs.span(
                 "stage6.incremental-placement", iteration=iteration
             ):
+                if net_weights is not None and net_weights != placer.net_weights:
+                    # Rebuilds the spring structure (and prefactored
+                    # base) only when the critical set actually moved.
+                    placer.set_net_weights(net_weights)
                 pseudo = [
                     PseudoNet(ff, sol.point, opts.pseudo_net_weight)
                     for ff, sol in assignment.solutions.items()
@@ -843,6 +922,8 @@ class IntegratedFlow:
         seconds: float,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        worst_slack: float = 0.0,
+        weighted_nets: int = 0,
     ) -> IterationRecord:
         tap = assignment.tapping_wirelength
         sig = signal_wirelength(self.circuit, positions)
@@ -858,6 +939,8 @@ class IntegratedFlow:
             seconds=seconds,
             cost_cache_hits=cache_hits,
             cost_cache_misses=cache_misses,
+            worst_slack=worst_slack,
+            weighted_nets=weighted_nets,
         )
 
 

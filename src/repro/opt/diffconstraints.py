@@ -21,6 +21,14 @@ from typing import Iterable, Sequence
 
 from ..errors import InfeasibleError
 
+#: Shared relaxation threshold for every negative-cycle detector over
+#: skew constraint graphs.  The SPFA feasibility oracle here and the
+#: diagnostic Bellman-Ford in ``repro.analysis.constraint_graph`` must
+#: use the *same* epsilon, or a cycle whose weight falls between the
+#: two thresholds gets opposite verdicts from the solver and the
+#: checker (found by the hypothesis cross-check at ~-8e-10).
+RELAXATION_EPS = 1e-12
+
 
 @dataclass(frozen=True, slots=True)
 class SkewConstraint:
@@ -65,7 +73,7 @@ def solve_difference_constraints(
         du = dist[u]
         for v, w in adj[u]:
             nd = du + w
-            if nd < dist[v] - 1e-12:
+            if nd < dist[v] - RELAXATION_EPS:
                 dist[v] = nd
                 path_len[v] = path_len[u] + 1
                 if path_len[v] >= n:

@@ -19,6 +19,7 @@ integrated flow's incremental placement works.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Literal, Mapping, Sequence
 
@@ -46,6 +47,22 @@ _EPS_ANCHOR = 1e-6
 #: the historical solver bit-for-bit; scale profiles get the
 #: preconditioned path.
 _PCG_AUTO_THRESHOLD = 20_000
+
+
+def _checked_weight(value: float, what: str) -> float:
+    """``value`` as a float, or :class:`PlacementError` naming ``what``.
+
+    NaN comparisons are always false, so an unchecked NaN weight would
+    sail through every ``< 0`` guard and silently corrupt the Laplacian
+    (CG then converges to garbage instead of failing).  Reject anything
+    that is not a finite, non-negative number.
+    """
+    w = float(value)
+    if math.isnan(w) or math.isinf(w) or w < 0.0:
+        raise PlacementError(
+            f"{what} must be a finite non-negative number, got {value!r}"
+        )
+    return w
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +103,7 @@ class QuadraticPlacer:
         region: PlacementRegion,
         options: PlacerOptions | None = None,
         *,
+        net_weights: Mapping[str, float] | None = None,
         collector: Collector = NULL_COLLECTOR,
     ) -> None:
         self.circuit = circuit
@@ -97,6 +115,7 @@ class QuadraticPlacer:
             raise PlacementError("no movable cells")
         self._index = {name: i for i, name in enumerate(self._movable)}
         self._fixed = pad_positions(circuit, region)
+        self._net_weights = self._checked_net_weights(net_weights)
         self._springs = self._build_springs()
         if self.options.solver == "auto":
             self._solver_mode = (
@@ -112,14 +131,57 @@ class QuadraticPlacer:
             self.collector.count("placement.assembly.builds")
 
     # ------------------------------------------------------------------
+    def _checked_net_weights(
+        self, net_weights: Mapping[str, float] | None
+    ) -> dict[str, float]:
+        """Validated copy of ``net_weights`` (unknown nets and non-finite
+        or negative weights raise, naming the offending net)."""
+        if not net_weights:
+            return {}
+        nets = self.circuit.nets
+        checked: dict[str, float] = {}
+        for name, value in net_weights.items():
+            if name not in nets:
+                raise PlacementError(
+                    f"net weight targets unknown net {name!r}"
+                )
+            checked[name] = _checked_weight(value, f"weight of net {name!r}")
+        return checked
+
+    def set_net_weights(self, net_weights: Mapping[str, float] | None) -> None:
+        """Replace the per-net weights and rebuild the spring structure.
+
+        The timing-driven flow calls this between iterations with the
+        critical-pair weights; cells, region, solver mode, and the warm
+        CG machinery are all retained, only the spring list (and, in
+        prefactored assembly mode, the cached base triplets) is rebuilt.
+        An absent / all-ones mapping restores the unweighted placer
+        bit-for-bit.
+        """
+        self._net_weights = self._checked_net_weights(net_weights)
+        self._springs = self._build_springs()
+        if self.options.assembly == "prefactored":
+            self._base = self._prefactor()
+            self.collector.count("placement.assembly.builds")
+        self.collector.count("placement.net-weights.rebuilds")
+
+    @property
+    def net_weights(self) -> dict[str, float]:
+        """The validated per-net weight overrides (absent nets weigh 1.0)."""
+        return dict(self._net_weights)
+
     def _build_springs(self) -> list[tuple[int, int | None, float, Point | None]]:
         """Spring list: (cell_index, other_index|None, weight, fixed_point).
 
         ``other_index=None`` with a point = spring to a fixed location
-        (pad or star auxiliary handled separately).
+        (pad or star auxiliary handled separately).  Per-net weights
+        scale every spring a net induces; a weight of exactly 1.0 (the
+        default for unlisted nets) skips the multiplication so the
+        unweighted triplet stream stays bit-identical.
         """
         springs: list[tuple[int, int | None, float, Point | None]] = []
         self._star_nets: list[tuple[list[int], list[Point], float]] = []
+        net_weights = self._net_weights
         for net in self.circuit.nets.values():
             members = net.members
             degree = len(members)
@@ -129,8 +191,11 @@ class QuadraticPlacer:
             fixed_pts = [self._fixed[m] for m in members if m in self._fixed]
             if len(movable_idx) + len(fixed_pts) < 2:
                 continue
+            w_net = net_weights.get(net.name, 1.0)
             if degree <= _CLIQUE_MAX_DEGREE:
                 w = 1.0 / (degree - 1)
+                if w_net != 1.0:
+                    w = w * w_net
                 for a in range(len(movable_idx)):
                     for b in range(a + 1, len(movable_idx)):
                         springs.append((movable_idx[a], movable_idx[b], w, None))
@@ -139,6 +204,8 @@ class QuadraticPlacer:
             else:
                 # Star: one auxiliary node per big net.
                 w = degree / (degree - 1.0)
+                if w_net != 1.0:
+                    w = w * w_net
                 self._star_nets.append((movable_idx, fixed_pts, w))
         return springs
 
@@ -379,8 +446,15 @@ class QuadraticPlacer:
             idx = self._index.get(pn.cell)
             if idx is None:
                 raise PlacementError(f"pseudo net targets unknown cell {pn.cell!r}")
-            base_x.append((idx, pn.anchor.x, pn.weight))
-            base_y.append((idx, pn.anchor.y, pn.weight))
+            w = _checked_weight(
+                pn.weight, f"weight of pseudo net to cell {pn.cell!r}"
+            )
+            base_x.append((idx, pn.anchor.x, w))
+            base_y.append((idx, pn.anchor.y, w))
+        if stability_weight:
+            stability_weight = _checked_weight(
+                stability_weight, "stability anchor weight"
+            )
         warm_x = warm_y = None
         if stability_anchors is not None and stability_weight > 0.0:
             warm_x = np.zeros(len(self._movable))

@@ -8,6 +8,13 @@ from .constraints import (
     validate_schedule,
 )
 from .corners import Corner, MultiCornerTiming, analyze_corners, default_corners
+from .critical import (
+    CriticalPair,
+    CriticalPathExtractor,
+    critical_net_weights,
+    pair_slacks,
+    worst_pair_slack,
+)
 from .elmore import RCTree, star_net_delay
 from .gates import GateDelayModel
 from .sta import PathBounds, SequentialTiming
@@ -23,6 +30,11 @@ __all__ = [
     "TimingStructure",
     "VectorizedTiming",
     "get_structure",
+    "CriticalPair",
+    "CriticalPathExtractor",
+    "critical_net_weights",
+    "pair_slacks",
+    "worst_pair_slack",
     "PermissibleRange",
     "permissible_range",
     "permissible_ranges",

@@ -1,0 +1,105 @@
+"""Timing-driven net weighting at the flow level.
+
+``net_weighting="none"`` (the default) must reproduce the historical
+flow decisions exactly — the critical-pair machinery may not perturb a
+single position, record, or schedule entry when it is off, and a
+"critical" run at ``critical_weight=1.0`` must match too (weight-1.0
+springs are skipped, so the Laplacian stream is unchanged).  These use
+the synthetic small profile so the whole matrix stays fast; the bundled
+circuits are covered by ``benchmarks/bench_timing_weights.py``.
+"""
+
+import pytest
+
+from repro import FlowOptions, IntegratedFlow
+from repro.core.flow import IterationRecord
+from repro.errors import ReproError
+from repro.netlist import generate_circuit, small_profile
+
+
+def run_flow(**options):
+    circuit = generate_circuit(
+        small_profile(num_cells=150, num_flipflops=24, seed=7)
+    )
+    opts = FlowOptions(ring_grid_side=2, max_iterations=5, **options)
+    return IntegratedFlow(circuit, options=opts).run()
+
+
+def assert_same_decisions(a, b) -> None:
+    assert len(a.history) == len(b.history)
+    assert a.assignment.ring_of == b.assignment.ring_of
+    assert a.schedule.targets == b.schedule.targets
+    assert a.final.tapping_wirelength == b.final.tapping_wirelength
+    assert a.final.signal_wirelength == b.final.signal_wirelength
+    assert a.positions == b.positions  # exact Point equality
+
+
+class TestDefaultPathUnchanged:
+    def test_none_matches_default_options(self):
+        assert_same_decisions(run_flow(), run_flow(net_weighting="none"))
+
+    def test_unit_critical_weight_matches_none(self):
+        """critical_weight=1.0 exercises extraction + set_net_weights but
+        leaves every spring untouched — decisions must be identical."""
+        baseline = run_flow(net_weighting="none")
+        unit = run_flow(net_weighting="critical", critical_weight=1.0)
+        assert_same_decisions(baseline, unit)
+
+    def test_none_records_no_weighted_nets(self):
+        result = run_flow(net_weighting="none")
+        assert all(rec.weighted_nets == 0 for rec in result.history)
+
+
+class TestCriticalWeighting:
+    def test_weighted_nets_recorded(self):
+        result = run_flow(net_weighting="critical")
+        # The base record precedes extraction; later iterations weight.
+        assert any(rec.weighted_nets > 0 for rec in result.history[1:])
+
+    def test_worst_slack_populated(self):
+        result = run_flow(net_weighting="critical")
+        assert any(rec.worst_slack != 0.0 for rec in result.history)
+
+    def test_k_zero_degenerates_to_none(self):
+        baseline = run_flow(net_weighting="none")
+        k0 = run_flow(net_weighting="critical", critical_pairs_k=0)
+        assert_same_decisions(baseline, k0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError, match="net_weighting"):
+            run_flow(net_weighting="typo")
+
+
+class TestIterationRecordRoundTrip:
+    def test_new_fields_round_trip(self):
+        rec = IterationRecord(
+            iteration=2,
+            tapping_wirelength=10.0,
+            signal_wirelength=20.0,
+            average_flipflop_distance=1.5,
+            max_load_capacitance=0.2,
+            overall_cost=30.0,
+            seconds=0.1,
+            worst_slack=-3.25,
+            weighted_nets=17,
+        )
+        back = IterationRecord.from_dict(rec.to_dict())
+        assert back.worst_slack == -3.25
+        assert back.weighted_nets == 17
+        assert back == rec
+
+    def test_old_documents_default_cleanly(self):
+        doc = IterationRecord(
+            iteration=1,
+            tapping_wirelength=1.0,
+            signal_wirelength=2.0,
+            average_flipflop_distance=0.5,
+            max_load_capacitance=0.1,
+            overall_cost=3.0,
+            seconds=0.1,
+        ).to_dict()
+        doc.pop("worst_slack_ps")
+        doc.pop("weighted_nets")
+        back = IterationRecord.from_dict(doc)
+        assert back.worst_slack == 0.0
+        assert back.weighted_nets == 0

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.opt import FORBIDDEN_COST, refine_assignment, solve_transportation
+from repro.opt.mincostflow import _CYCLE_TOL
 
 
 def _objective(cost: np.ndarray, assign: np.ndarray) -> float:
@@ -77,8 +78,12 @@ class TestRefineMatchesColdObjective:
         cold = solve_transportation(new, caps)
         refined = refine_assignment(new, caps, warm)
         assert refined is not None
+        # Refinement ignores cycles shallower than _CYCLE_TOL (documented
+        # float-noise gate), and the residual flow difference decomposes
+        # into at most n_rows such cycles — that, not exact equality, is
+        # the guarantee.
         assert _objective(new, refined) == pytest.approx(
-            _objective(new, cold), abs=1e-9
+            _objective(new, cold), abs=2.0 * n_rows * _CYCLE_TOL
         )
 
     def test_already_optimal_is_fixed_point(self):

@@ -1,0 +1,145 @@
+"""Digest knob-classification regression suite.
+
+Every ``FlowOptions`` field is classified result-affecting (see
+``repro.api.EXECUTION_ONLY_FIELDS``): two requests that differ in any
+flow knob must never share a digest, or the server ``ResultCache`` and
+the experiments ``CheckpointStore`` could serve a result computed under
+different options.  These tests are parametrized over the dataclass
+fields themselves, so a newly added knob is covered automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import pytest
+
+from repro.api import (
+    EXECUTION_ONLY_FIELDS,
+    CheckRequest,
+    FlowRequest,
+    TablesRequest,
+)
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import FlowOptions
+from repro.experiments.checkpoint import experiment_key
+
+CIRCUIT = "s1423"
+
+#: Literal-typed knobs need an explicit alternative value; everything
+#: else is perturbed by type below.
+LITERAL_ALTERNATIVES: dict[str, Any] = {
+    "assignment": "ilp",
+    "skew_mode": "minmax",
+    "sta_engine": "scalar",
+    "placer_assembly": "triplets",
+    "placer_solver": "direct",
+    "net_weighting": "critical",
+}
+
+OPTION_FIELDS = [f.name for f in dataclasses.fields(FlowOptions)]
+
+
+def perturbed_value(name: str, baseline: FlowOptions) -> Any:
+    """A valid value for ``name`` that differs from ``baseline``'s."""
+    if name in LITERAL_ALTERNATIVES:
+        alternative = LITERAL_ALTERNATIVES[name]
+        assert alternative != getattr(baseline, name)
+        return alternative
+    current = getattr(baseline, name)
+    if isinstance(current, bool):
+        return not current
+    if isinstance(current, int):
+        return current + 3
+    if isinstance(current, float):
+        return current + 1.25
+    if current is None:  # ring_grid_side — dodge the profile default too
+        norm = FlowRequest(circuit=CIRCUIT).normalized()
+        side = norm.options.ring_grid_side
+        assert side is not None
+        return side + 2
+    raise AssertionError(f"no perturbation rule for FlowOptions.{name}")
+
+
+class TestFlowOptionsFieldsAreResultAffecting:
+    """Any single-field FlowOptions change must change every digest."""
+
+    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    def test_flow_request_digest_differs(self, name: str) -> None:
+        base = FlowRequest(circuit=CIRCUIT)
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() != changed.digest()
+
+    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    def test_check_request_digest_differs(self, name: str) -> None:
+        base = CheckRequest(circuit=CIRCUIT)
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() != changed.digest()
+
+    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    def test_tables_request_digest_differs(self, name: str) -> None:
+        base = TablesRequest(circuits=(CIRCUIT,))
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() != changed.digest()
+
+    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    def test_experiment_key_differs(self, name: str) -> None:
+        options = FlowOptions()
+        changed = options.replace(**{name: perturbed_value(name, options)})
+        assert experiment_key(
+            "exp", options, DEFAULT_TECHNOLOGY
+        ) != experiment_key("exp", changed, DEFAULT_TECHNOLOGY)
+
+
+class TestExecutionOnlyFieldsAreExcluded:
+    """Execution knobs must NOT fragment the cache keyspace."""
+
+    def test_flow_deadline_excluded(self) -> None:
+        base = FlowRequest(circuit=CIRCUIT)
+        assert base.digest() == base.replace(deadline_seconds=5.0).digest()
+
+    def test_check_deadline_excluded(self) -> None:
+        base = CheckRequest(circuit=CIRCUIT)
+        assert base.digest() == base.replace(deadline_seconds=5.0).digest()
+
+    def test_tables_execution_knobs_excluded(self) -> None:
+        base = TablesRequest(circuits=(CIRCUIT,))
+        changed = base.replace(
+            parallel=4,
+            timeout=30.0,
+            max_retries=5,
+            retry_backoff=2.0,
+            checkpoint_dir="/tmp/ckpt",
+            resume=True,
+            deadline_seconds=60.0,
+        )
+        assert base.digest() == changed.digest()
+
+
+class TestClassificationTableIsSound:
+    """The exclusion table only names real request-level fields."""
+
+    @pytest.mark.parametrize(
+        ("kind", "request_cls"),
+        [("flow", FlowRequest), ("check", CheckRequest), ("tables", TablesRequest)],
+    )
+    def test_excluded_fields_exist(self, kind: str, request_cls: type) -> None:
+        known = {f.name for f in dataclasses.fields(request_cls)}
+        assert EXECUTION_ONLY_FIELDS[kind] <= known
+
+    def test_no_flow_options_field_is_excluded(self) -> None:
+        for excluded in EXECUTION_ONLY_FIELDS.values():
+            assert not (excluded & set(OPTION_FIELDS))
