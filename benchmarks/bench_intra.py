@@ -1,0 +1,214 @@
+"""Intra-run parallelism: cost-matrix speedup + bit-identity gates.
+
+Standalone (argparse, not pytest — mirrors ``bench_scale``): times the
+``scale10k``-sized tapping cost-matrix stage at ``jobs=1`` versus
+``jobs="auto"`` and gates the speedup, then runs the full flow on
+``scale10k`` at both settings and gates exact ``decision_digest()``
+equality — the two halves of the ``repro.parallel`` contract (faster,
+never different).
+
+Speedup gates scale with the machine: >= 2x with at least 2 cores,
+>= 3x with at least 4 (per the PR acceptance criteria); on a single
+core the timing gate is vacuous and only the identity gates apply.
+
+Writes ``BENCH_intra.json``::
+
+    {
+      "cpu_count": ...,
+      "cost_matrix": {"flipflops": ..., "rings": ..., "serial_s": ...,
+                      "parallel_s": ..., "jobs": ..., "speedup": ...},
+      "flow_identity": {"circuit": "scale10k", "digest_serial": ...,
+                        "digest_auto": ...},
+      "failures": [...]
+    }
+
+Exit codes: 0 = all gates pass, 1 = speedup/identity violation,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import FlowRequest, run_flow
+from repro.constants import DEFAULT_TECHNOLOGY
+from repro.core import FlowOptions, tapping_cost_matrix
+from repro.geometry import BBox, Point
+from repro.netlist import ALL_PROFILES
+from repro.rotary import RingArray
+
+#: The scale10k profile's Fig. 3 workload shape (1250 FFs, 100 rings).
+PROFILE = "scale10k"
+
+
+def required_speedup(cores: int) -> float | None:
+    """The gate for this machine, or None when timing is vacuous."""
+    if cores >= 4:
+        return 3.0
+    if cores >= 2:
+        return 2.0
+    return None
+
+
+def cost_matrix_workload() -> tuple[RingArray, dict, dict]:
+    """A deterministic scale10k-shaped tapping cost-matrix input."""
+    profile = ALL_PROFILES[PROFILE]
+    side = int(round(profile.num_rings**0.5))
+    extent = 4000.0
+    array = RingArray(BBox(0, 0, extent, extent), side=side, period=1000.0)
+    rng = np.random.default_rng(20260808)
+    n = profile.num_flipflops
+    xy = rng.uniform(0.0, extent, size=(n, 2))
+    period_targets = rng.uniform(0.0, 1000.0, size=n)
+    names = [f"ff{i:05d}" for i in range(n)]
+    positions = {
+        name: Point(float(x), float(y)) for name, (x, y) in zip(names, xy)
+    }
+    targets = {
+        name: float(t) for name, t in zip(names, period_targets)
+    }
+    return array, positions, targets
+
+
+def time_cost_matrix(jobs: int, repeats: int) -> tuple[float, bytes]:
+    """Best-of-``repeats`` build time plus the matrix bytes."""
+    array, positions, targets = cost_matrix_workload()
+    best = float("inf")
+    payload = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        matrix = tapping_cost_matrix(
+            array,
+            positions,
+            targets,
+            DEFAULT_TECHNOLOGY,
+            candidate_rings=8,
+            jobs=jobs,
+        )
+        best = min(best, time.perf_counter() - t0)
+        payload = matrix.costs.tobytes()
+    return best, payload
+
+
+def flow_digest(jobs: int | str, max_iterations: int) -> str:
+    result = run_flow(
+        FlowRequest(
+            circuit=PROFILE,
+            options=FlowOptions(max_iterations=max_iterations, jobs=jobs),
+        )
+    )
+    return result.decision_digest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per jobs setting (best-of, default: 3)",
+    )
+    parser.add_argument(
+        "--flow-iterations",
+        type=int,
+        default=2,
+        help="flow iterations for the digest-identity gate (default: 2)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="override the core-count-derived speedup gate",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_intra.json", help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    cores = max(1, os.cpu_count() or 1)
+    auto_jobs = cores
+    gate = (
+        args.min_speedup
+        if args.min_speedup is not None
+        else required_speedup(cores)
+    )
+    failures: list[str] = []
+    profile = ALL_PROFILES[PROFILE]
+
+    print(
+        f"[bench_intra] cost matrix ({profile.num_flipflops} FFs x "
+        f"{profile.num_rings} rings), jobs=1 vs jobs={auto_jobs} ...",
+        flush=True,
+    )
+    serial_s, serial_bytes = time_cost_matrix(1, args.repeats)
+    parallel_s, parallel_bytes = time_cost_matrix(auto_jobs, args.repeats)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"[bench_intra] serial {serial_s:.3f}s, parallel {parallel_s:.3f}s "
+        f"({speedup:.2f}x on {cores} cores)",
+        flush=True,
+    )
+    if serial_bytes != parallel_bytes:
+        failures.append("cost matrix bytes differ between jobs=1 and auto")
+    if gate is not None and speedup < gate:
+        failures.append(
+            f"cost-matrix speedup {speedup:.2f}x < required {gate}x "
+            f"on {cores} cores"
+        )
+
+    print(
+        f"[bench_intra] flow digest identity on {PROFILE} "
+        f"({args.flow_iterations} iterations) ...",
+        flush=True,
+    )
+    digest_serial = flow_digest(1, args.flow_iterations)
+    digest_auto = flow_digest("auto", args.flow_iterations)
+    if digest_serial != digest_auto:
+        failures.append(
+            f"decision digests diverge: jobs=1 {digest_serial[:16]} vs "
+            f"auto {digest_auto[:16]}"
+        )
+    print(
+        f"[bench_intra] digests {'match' if digest_serial == digest_auto else 'DIVERGE'} "
+        f"({digest_serial[:16]})",
+        flush=True,
+    )
+
+    doc = {
+        "cpu_count": cores,
+        "cost_matrix": {
+            "circuit": PROFILE,
+            "flipflops": profile.num_flipflops,
+            "rings": profile.num_rings,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "jobs": auto_jobs,
+            "speedup": speedup,
+            "required_speedup": gate,
+        },
+        "flow_identity": {
+            "circuit": PROFILE,
+            "iterations": args.flow_iterations,
+            "digest_serial": digest_serial,
+            "digest_auto": digest_auto,
+        },
+        "failures": failures,
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[bench_intra] wrote {args.output}", flush=True)
+    for message in failures:
+        print(f"[bench_intra] FAIL: {message}", file=sys.stderr, flush=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Iterator
 
 from ..errors import CheckError, TappingError
 from ..netlist import Cell, CellKind, Circuit
+from ..parallel import jobs_from_env
 from ..rotary import (
     batch_solve_rings,
     best_tapping,
@@ -521,7 +522,12 @@ def check_tapping_targets(ctx: DesignContext) -> Iterator[Diagnostic]:
     px = np.array([ctx.positions[ff].x for ff, _, _ in pending])
     py = np.array([ctx.positions[ff].y for ff, _, _ in pending])
     targets = np.array([target for _, _, target in pending])
-    result = batch_solve_rings(ctx.array, rids, px, py, targets, ctx.tech)
+    # The checker has no FlowOptions in scope, so the worker count comes
+    # from REPRO_JOBS alone (1 when unset); findings are bit-identical
+    # for any value.
+    result = batch_solve_rings(
+        ctx.array, rids, px, py, targets, ctx.tech, jobs=jobs_from_env()
+    )
     for p in np.flatnonzero(~result.feasible):
         ff, ring_id, target = pending[int(p)]
         # Re-run the scalar solver for its exact diagnostic text; the

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Callable, ClassVar, Mapping, overload
 
 from .constants import DEFAULT_TECHNOLOGY, Technology
 from .core import (
+    EXECUTION_ONLY_OPTION_FIELDS,
     FlowOptions,
     FlowResult,
     IntegratedFlow,
@@ -82,21 +83,31 @@ __all__ = [
 API_VERSION = "v1"
 
 
+#: Execution-only :class:`FlowOptions` fields, addressed as dotted
+#: ``options.<field>`` paths inside each request kind's wire document.
+_EXECUTION_ONLY_OPTION_PATHS: frozenset[str] = frozenset(
+    f"options.{name}" for name in EXECUTION_ONLY_OPTION_FIELDS
+)
+
 #: Digest classification rule.  A request field may be excluded from the
 #: sha256 digest ONLY if it shapes *how* the request executes — load
 #: shedding, parallelism, retries, checkpoint plumbing — and can never
 #: change any byte of the computed result.  Everything else is
 #: result-affecting and MUST participate: in particular, **every
-#: :class:`FlowOptions` field is classified result-affecting** (even
+#: :class:`FlowOptions` field except the
+#: :data:`~repro.core.EXECUTION_ONLY_OPTION_FIELDS` carve-out
+#: (``jobs``, the intra-run worker count, whose dispatch layer is
+#: bit-identical for any value) is classified result-affecting** (even
 #: engine-selection knobs like ``sta_engine`` or ``placer_assembly`` pin
 #: exact numeric paths), so a new flow knob lands in the digest
 #: automatically and the server's :class:`~repro.server.cache.ResultCache`
 #: and the experiments :class:`~repro.experiments.CheckpointStore` can
-#: never serve a result computed under different options.
+#: never serve a result computed under different options.  Entries with
+#: a dot (``options.jobs``) strip one field from a nested sub-document.
 #: ``tests/test_digest_classification.py`` enforces both directions.
 EXECUTION_ONLY_FIELDS: Mapping[str, frozenset[str]] = {
-    "flow": frozenset({"deadline_seconds"}),
-    "check": frozenset({"deadline_seconds"}),
+    "flow": frozenset({"deadline_seconds"}) | _EXECUTION_ONLY_OPTION_PATHS,
+    "check": frozenset({"deadline_seconds"}) | _EXECUTION_ONLY_OPTION_PATHS,
     "tables": frozenset(
         {
             "deadline_seconds",
@@ -107,7 +118,8 @@ EXECUTION_ONLY_FIELDS: Mapping[str, frozenset[str]] = {
             "checkpoint_dir",
             "resume",
         }
-    ),
+    )
+    | _EXECUTION_ONLY_OPTION_PATHS,
 }
 
 
@@ -118,11 +130,22 @@ def request_digest(document: Mapping[str, Any]) -> str:
     document and hashes the rest as canonical JSON — so the digest is
     derived *from the wire document itself* and a newly added field is
     result-affecting (digest-included) unless explicitly classified
-    otherwise.
+    otherwise.  Dotted entries (``options.jobs``) remove exactly one
+    field from the named sub-document, leaving its siblings in the
+    digest.
     """
     kind = str(document["kind"])
     execution_only = EXECUTION_ONLY_FIELDS[kind]
-    payload = {k: v for k, v in document.items() if k not in execution_only}
+    payload: dict[str, Any] = {
+        k: v for k, v in document.items() if k not in execution_only
+    }
+    for path in sorted(execution_only):
+        head, dot, leaf = path.partition(".")
+        if not dot:
+            continue
+        sub = payload.get(head)
+        if isinstance(sub, Mapping):
+            payload[head] = {k: v for k, v in sub.items() if k != leaf}
     return canonical_digest(payload)
 
 

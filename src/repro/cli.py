@@ -107,6 +107,24 @@ def _add_common_flow_args(parser: argparse.ArgumentParser) -> None:
         default=3.0,
         help="spring weight multiplier for nets on critical paths",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_parse_jobs_arg,
+        default=1,
+        metavar="N|auto",
+        help="intra-run worker count for the chunked hot loops "
+        "(execution-only: results are bit-identical at any value; "
+        "REPRO_JOBS overrides)",
+    )
+
+
+def _parse_jobs_arg(text: str) -> int | str:
+    from .parallel import parse_jobs
+
+    try:
+        return parse_jobs(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _options_from_args(args: argparse.Namespace) -> FlowOptions:
@@ -119,6 +137,7 @@ def _options_from_args(args: argparse.Namespace) -> FlowOptions:
         net_weighting=args.net_weighting,
         critical_pairs_k=args.critical_k,
         critical_weight=args.critical_weight,
+        jobs=args.jobs,
     )
 
 
@@ -300,6 +319,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff_seconds=args.retry_backoff,
         execution="inline" if args.inline else "process",
+        intra_jobs=args.intra_jobs,
     )
     print(f"repro serve: listening on http://{args.host}:{args.port} "
           f"({options.workers} workers, queue depth "
@@ -411,6 +431,28 @@ def cmd_bench_info(args: argparse.Namespace) -> int:
           f"{profile.num_rings} rings, PL {profile.paper_path_length_um} um")
     print(f"  logic depth {profile.logic_depth} levels, seed {profile.seed}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .experiments.benchagg import update_trajectory
+
+    if not args.aggregate:
+        print("repro bench: nothing to do (pass --aggregate)",
+              file=sys.stderr)
+        return ExitCode.USAGE
+    try:
+        out_path = update_trajectory(args.root, args.output or None)
+    except ReproError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
+    doc = json.loads(out_path.read_text())
+    benchmarks = doc.get("benchmarks", {})
+    print(f"wrote {out_path} (revision {doc.get('revisions')}, "
+          f"{len(benchmarks)} benchmarks)")
+    for name in sorted(benchmarks):
+        print(f"  {name}: {len(benchmarks[name])} metric series")
+    return ExitCode.OK
 
 
 def cmd_sweep_rings(args: argparse.Namespace) -> int:
@@ -647,6 +689,29 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("circuit", choices=sorted(ALL_PROFILES))
     info.set_defaults(func=cmd_bench_info)
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark artifact tooling (baseline aggregation)",
+        description="Aggregate every BENCH_*.json artifact into "
+        "BENCH_trajectory.json: one numeric series per (benchmark, "
+        "metric) pair, indexed by a monotonically increasing revision "
+        "counter. Re-running after each benchmark crop appends one "
+        "revision, building a committed baseline history.",
+    )
+    bench.add_argument(
+        "--aggregate", action="store_true",
+        help="fold the current BENCH_*.json crop into the trajectory",
+    )
+    bench.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory scanned for BENCH_*.json (default: .)",
+    )
+    bench.add_argument(
+        "--output", default="", metavar="FILE",
+        help="trajectory path (default: <root>/BENCH_trajectory.json)",
+    )
+    bench.set_defaults(func=cmd_bench)
+
     render = sub.add_parser("render", help="render the flow result as SVG")
     render.add_argument("circuit", choices=sorted(ALL_PROFILES))
     render.add_argument("-o", "--output", default="rotary.svg")
@@ -704,6 +769,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--inline", action="store_true",
         help="execute jobs in the server process (live iteration events; "
         "no crash isolation)",
+    )
+    srv.add_argument(
+        "--intra-jobs", type=_parse_jobs_arg, default="auto",
+        metavar="N|auto",
+        help="intra-run worker budget applied to each job's options.jobs "
+        "(auto = cores divided across --workers; execution-only, so "
+        "cache keys never fork on it)",
     )
     srv.set_defaults(func=cmd_serve)
 

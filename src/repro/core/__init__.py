@@ -30,6 +30,7 @@ from .ring_sizing import (
     sweep_ring_count,
 )
 from .flow import (
+    EXECUTION_ONLY_OPTION_FIELDS,
     FlowOptions,
     FlowResult,
     IntegratedFlow,
@@ -47,6 +48,7 @@ from .skew_traditional import (
 )
 
 __all__ = [
+    "EXECUTION_ONLY_OPTION_FIELDS",
     "TappingCostMatrix",
     "TappingCostCache",
     "tapping_cost_matrix",

@@ -35,6 +35,7 @@ from ..geometry import Point, net_hpwl, net_steiner_wl
 from ..netlist import Circuit
 from ..obs import NULL_COLLECTOR, Collector
 from ..opt.mincostflow import FORBIDDEN_COST
+from ..parallel import fixed_chunks, run_chunk_tasks
 from ..rotary import (
     BatchTappingResult,
     RingArray,
@@ -120,26 +121,49 @@ def _validated_names(
     return tuple(sorted(targets))
 
 
+#: Flip-flop rows per chunk when pruning candidates on the worker pool.
+#: Fixed (worker-count-independent); each chunk sorts and writes its own
+#: disjoint block of mask rows, so the mask is identical for any jobs.
+_MASK_ROWS_PER_CHUNK = 512
+
+
 def _candidate_mask(
     array: RingArray,
     px: npt.NDArray[np.float64],
     py: npt.NDArray[np.float64],
     candidate_rings: int | None,
+    jobs: int = 1,
+    collector: Collector = NULL_COLLECTOR,
 ) -> npt.NDArray[np.bool_]:
     """Boolean (ff, ring) mask of the pruned candidate arcs.
 
     Mirrors :meth:`RingArray.rings_by_distance`: the ``k`` nearest rings
     by center Manhattan distance, ties broken by ring id (stable sort).
+    ``jobs > 1`` splits the flip-flop rows into fixed blocks dispatched
+    to the worker pool — the per-row distance/argsort work is
+    independent, so the pruning (the candidate set fed to the §V/§VI
+    assignment engines) is bit-identical for any worker count.
     """
     n_rings = array.num_rings
     if candidate_rings is None or candidate_rings >= n_rings:
         return np.ones((px.shape[0], n_rings), dtype=bool)
     cx = np.array([ring.center.x for ring in array])
     cy = np.array([ring.center.y for ring in array])
-    dist = np.abs(px[:, None] - cx[None, :]) + np.abs(py[:, None] - cy[None, :])
-    order = np.argsort(dist, axis=1, kind="stable")[:, :candidate_rings]
     mask = np.zeros((px.shape[0], n_rings), dtype=bool)
-    np.put_along_axis(mask, order, True, axis=1)
+    k = candidate_rings
+
+    def prune_rows(lo: int, hi: int) -> None:
+        dist = np.abs(px[lo:hi, None] - cx[None, :]) + np.abs(py[lo:hi, None] - cy[None, :])
+        order = np.argsort(dist, axis=1, kind="stable")[:, :k]
+        np.put_along_axis(mask[lo:hi], order, True, axis=1)
+
+    run_chunk_tasks(
+        prune_rows,
+        fixed_chunks(px.shape[0], _MASK_ROWS_PER_CHUNK),
+        jobs=jobs,
+        collector=collector,
+        stage="cost.candidate-mask",
+    )
     return mask
 
 
@@ -172,6 +196,7 @@ def tapping_cost_matrix(
     tech: Technology,
     candidate_rings: int | None = 8,
     method: Literal["vectorized", "scalar"] = "vectorized",
+    jobs: int = 1,
 ) -> TappingCostMatrix:
     """Build the cost matrix for all flip-flops against the ring array.
 
@@ -180,6 +205,9 @@ def tapping_cost_matrix(
     it is not necessary to insert an arc between them"); ``None`` builds
     the full matrix.  ``method="scalar"`` runs the reference per-solution
     loop instead of the batched kernel; both produce identical matrices.
+    ``jobs > 1`` dispatches the pruning and the pair kernel to the
+    :mod:`repro.parallel` worker pool; the matrix is bit-identical for
+    any worker count.
     """
     ff_names = _validated_names(positions, targets)
     n_rings = array.num_rings
@@ -203,12 +231,14 @@ def tapping_cost_matrix(
     px = np.array([positions[name].x for name in ff_names])
     py = np.array([positions[name].y for name in ff_names])
     tg = np.array([targets[name] for name in ff_names])
-    mask = _candidate_mask(array, px, py, candidate_rings)
+    mask = _candidate_mask(array, px, py, candidate_rings, jobs=jobs)
     # One pair-batched kernel call over every candidate arc, ring-major
     # so infeasibility reporting matches the historical per-ring loop.
     rid, fid = np.nonzero(mask.T)
     if rid.size:
-        result = batch_solve_rings(array, rid, px[fid], py[fid], tg[fid], tech)
+        result = batch_solve_rings(
+            array, rid, px[fid], py[fid], tg[fid], tech, jobs=jobs
+        )
         _check_pairs_feasible(result, ff_names, rows=fid)
         costs[fid, rid] = result.wirelength
     return TappingCostMatrix(ff_names=ff_names, costs=costs)
@@ -240,11 +270,15 @@ class TappingCostCache:
         tech: Technology,
         candidate_rings: int | None = 8,
         collector: Collector = NULL_COLLECTOR,
+        jobs: int = 1,
     ) -> None:
         self.array = array
         self.tech = tech
         self.candidate_rings = candidate_rings
         self.collector = collector
+        #: Worker count for pruning/kernel dispatch (execution-only: the
+        #: cached rows are bit-identical for any value).
+        self.jobs = jobs
         #: Row key per flip-flop: (x, y, target).
         self._key: dict[str, tuple[float, float, float]] = {}
         #: Cached dense cost row per flip-flop.
@@ -273,13 +307,16 @@ class TappingCostCache:
         tg = np.array([targets[name] for name in names])
         n_rings = self.array.num_rings
         sols: list[dict[int, tuple[_TappingBatch, int]]] = [{} for _ in names]
-        mask = _candidate_mask(self.array, px, py, self.candidate_rings)
+        mask = _candidate_mask(
+            self.array, px, py, self.candidate_rings,
+            jobs=self.jobs, collector=self.collector,
+        )
         rid, fid = np.nonzero(mask.T)
         rows_arr = np.full((len(names), n_rings), FORBIDDEN_COST)
         if rid.size:
             result = batch_solve_rings(
                 self.array, rid, px[fid], py[fid], tg[fid], self.tech,
-                collector=self.collector,
+                collector=self.collector, jobs=self.jobs,
             )
             _check_pairs_feasible(result, names, rows=fid)
             rows_arr[fid, rid] = result.wirelength
@@ -384,6 +421,7 @@ class TappingCostCache:
                 result = batch_solve_rings(
                     self.array, np.array(pair_rings, dtype=np.intp),
                     px, py, tg, self.tech, collector=self.collector,
+                    jobs=self.jobs,
                 )
                 _check_pairs_feasible(result, pair_names)
                 for i, name in enumerate(pair_names):

@@ -36,6 +36,7 @@ from ..errors import ReproError
 from ..geometry import Point
 from ..netlist import Circuit
 from ..obs import NULL_COLLECTOR, Collector, Trace, TraceCollector
+from ..parallel import resolve_jobs
 from ..placement import (
     IncrementalOptions,
     PlacerOptions,
@@ -162,6 +163,15 @@ class FlowOptions:
     #: environment variable arms the same tripwires without code changes
     #: (``1`` raises, ``record`` only counts).
     sanitize: bool = False
+    #: Intra-run worker count for the hot-loop dispatch layer
+    #: (:mod:`repro.parallel`): the tapping pair kernel, candidate
+    #: pruning, and the wide levels of the vectorized STA.  ``"auto"``
+    #: uses every core; the ``REPRO_JOBS`` environment variable, when
+    #: set, overrides this value.  Execution-only: results are
+    #: bit-identical for any worker count, so this is the one field
+    #: excluded from request digests and checkpoint keys (see
+    #: :data:`EXECUTION_ONLY_OPTION_FIELDS`).
+    jobs: int | Literal["auto"] = 1
 
     def replace(self, **changes: Any) -> "FlowOptions":
         """A copy with ``changes`` applied (keyword-only, validated)."""
@@ -181,6 +191,16 @@ class FlowOptions:
                 f"unknown FlowOptions field(s): {', '.join(unknown)}"
             )
         return cls(**data)
+
+
+#: :class:`FlowOptions` fields that shape *execution only* — they can
+#: never change what a run computes, only how fast it goes — and are
+#: therefore stripped from request digests (``repro.api``) and
+#: checkpoint keys (``repro.experiments.checkpoint``).  The dispatch
+#: layer's determinism contract (fixed chunk boundaries, ordered
+#: reductions; see :mod:`repro.parallel`) is what makes ``jobs``
+#: eligible; every other field remains result-affecting.
+EXECUTION_ONLY_OPTION_FIELDS: frozenset[str] = frozenset({"jobs"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -556,6 +576,12 @@ class IntegratedFlow:
                 f"unknown net_weighting {opts.net_weighting!r} "
                 "(expected 'none' or 'critical')"
             )
+        # Resolve the intra-run worker count once per run (the env var
+        # REPRO_JOBS, when set, wins over the option; see
+        # repro.parallel.resolve_jobs).  Purely an execution knob —
+        # every dispatched stage is bit-identical for any value.
+        jobs = resolve_jobs(opts.jobs)
+        obs.gauge("flow.jobs", jobs)
 
         # Stage 1: initial placement.
         tic = time.monotonic()
@@ -594,6 +620,7 @@ class IntegratedFlow:
                     self.tech,
                     dirty_epsilon=opts.sta_dirty_epsilon,
                     collector=obs,
+                    jobs=jobs,
                 )
                 timing = sta.analyze(positions)
             else:
@@ -625,7 +652,7 @@ class IntegratedFlow:
         # only flip-flops whose position or skew target changed since the
         # last build get their matrix row recomputed.
         cache = TappingCostCache(
-            array, self.tech, opts.candidate_rings, collector=obs
+            array, self.tech, opts.candidate_rings, collector=obs, jobs=jobs
         )
         # Section V ring capacities U_j (used by the flow engine and by
         # the RCK301 invariant check).

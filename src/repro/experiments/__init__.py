@@ -9,6 +9,12 @@ from .figures import (
     fig4_network_structure,
     fig5_greedy_rounding,
 )
+from .benchagg import (
+    TRAJECTORY_FILENAME,
+    TRAJECTORY_FORMAT_VERSION,
+    collect_bench_files,
+    update_trajectory,
+)
 from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointStore,
@@ -48,6 +54,10 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointStore",
     "experiment_key",
+    "TRAJECTORY_FILENAME",
+    "TRAJECTORY_FORMAT_VERSION",
+    "collect_bench_files",
+    "update_trajectory",
     "ParallelOptions",
     "ParallelSuiteRunner",
     "SuiteRunReport",

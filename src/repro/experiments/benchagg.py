@@ -1,0 +1,169 @@
+"""Benchmark-baseline aggregation: ``BENCH_*.json`` -> trajectory.
+
+Every benchmark suite under ``benchmarks/`` writes one ``BENCH_<name>.json``
+artifact of nested metric documents.  :func:`update_trajectory` folds the
+current crop of artifacts into ``BENCH_trajectory.json`` — one series per
+(benchmark, metric) pair — so committed baselines accumulate a history
+that regression tooling can diff across revisions:
+
+.. code-block:: json
+
+    {
+     "format_version": 1,
+     "revisions": 3,
+     "benchmarks": {
+      "server": {"cold.requests_per_s": [17.2, 18.1, 18.4], ...},
+      "intra": {"speedup": [1.0, 2.7, 2.9], ...}
+     }
+    }
+
+Snapshots are indexed by a monotonically increasing revision counter,
+not wall-clock timestamps, keeping the artifact free of runtime
+nondeterminism: aggregating the same set of ``BENCH_*.json`` files over
+the same prior trajectory is byte-reproducible.  A benchmark absent from
+the current crop pads its series with ``null`` so every series stays
+aligned with the revision counter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import ReproError
+
+#: Bumped whenever the trajectory layout changes incompatibly.
+TRAJECTORY_FORMAT_VERSION = 1
+
+#: The aggregate's own artifact name — never ingested as an input.
+TRAJECTORY_FILENAME = "BENCH_trajectory.json"
+
+
+def flatten_metrics(
+    doc: Mapping[str, Any], prefix: str = ""
+) -> dict[str, float]:
+    """Numeric leaves of a nested benchmark document, dotted-path keyed.
+
+    Non-numeric leaves (strings, nulls, lists) are skipped — a series
+    only makes sense for scalar measurements.  Booleans are skipped too:
+    they are pass/fail gates, not metrics.
+    """
+    flat: dict[str, float] = {}
+    for key in sorted(doc):
+        path = f"{prefix}.{key}" if prefix else str(key)
+        value = doc[key]
+        if isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+    return flat
+
+
+def collect_bench_files(root: str | Path) -> dict[str, dict[str, float]]:
+    """Benchmark name -> flattened metrics for every ``BENCH_*.json``.
+
+    The benchmark name is the filename with the ``BENCH_`` prefix and
+    ``.json`` suffix stripped.  The trajectory artifact itself and any
+    unparseable file are skipped (a corrupt artifact should not poison
+    the whole aggregate), but an empty crop raises — aggregating nothing
+    is a usage error, not an empty trajectory.
+    """
+    root = Path(root)
+    crops: dict[str, dict[str, float]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_FILENAME:
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(doc, Mapping):
+            continue
+        name = path.stem[len("BENCH_") :]
+        crops[name] = flatten_metrics(doc)
+    if not crops:
+        raise ReproError(f"no BENCH_*.json artifacts under {root}")
+    return crops
+
+
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """The existing trajectory document, or a fresh empty one."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {
+            "format_version": TRAJECTORY_FORMAT_VERSION,
+            "revisions": 0,
+            "benchmarks": {},
+        }
+    if (
+        not isinstance(doc, dict)
+        or doc.get("format_version") != TRAJECTORY_FORMAT_VERSION
+    ):
+        raise ReproError(f"unrecognized trajectory format in {path}")
+    return doc
+
+
+def append_snapshot(
+    trajectory: dict[str, Any], crops: Mapping[str, Mapping[str, float]]
+) -> dict[str, Any]:
+    """One new revision: every series gains exactly one entry.
+
+    Metrics present in the crop append their value; known metrics absent
+    from it (benchmark not re-run, or a metric renamed) append ``null``
+    so series indices keep matching the revision counter.  Brand-new
+    metrics back-fill their history with ``null``.
+    """
+    revisions = int(trajectory.get("revisions", 0))
+    benchmarks: dict[str, dict[str, list[float | None]]] = {
+        name: {metric: list(series) for metric, series in metrics.items()}
+        for name, metrics in trajectory.get("benchmarks", {}).items()
+    }
+    names = sorted(set(benchmarks) | set(crops))
+    for name in names:
+        series_map = benchmarks.setdefault(name, {})
+        crop = crops.get(name, {})
+        for metric in sorted(set(series_map) | set(crop)):
+            series = series_map.setdefault(metric, [None] * revisions)
+            # Pad series created before this metric existed (or repair a
+            # hand-truncated artifact) up to the current revision count.
+            series.extend([None] * (revisions - len(series)))
+            series.append(crop.get(metric))
+    return {
+        "format_version": TRAJECTORY_FORMAT_VERSION,
+        "revisions": revisions + 1,
+        "benchmarks": benchmarks,
+    }
+
+
+def update_trajectory(
+    root: str | Path, output: str | Path | None = None
+) -> Path:
+    """Fold the current ``BENCH_*.json`` crop into the trajectory file.
+
+    Returns the path written.  ``output`` defaults to
+    ``<root>/BENCH_trajectory.json``.
+    """
+    root = Path(root)
+    out_path = Path(output) if output is not None else root / TRAJECTORY_FILENAME
+    crops = collect_bench_files(root)
+    trajectory = append_snapshot(load_trajectory(out_path), crops)
+    out_path.write_text(
+        json.dumps(trajectory, indent=1, sort_keys=True) + "\n"
+    )
+    return out_path
+
+
+__all__ = [
+    "TRAJECTORY_FILENAME",
+    "TRAJECTORY_FORMAT_VERSION",
+    "append_snapshot",
+    "collect_bench_files",
+    "flatten_metrics",
+    "load_trajectory",
+    "update_trajectory",
+]

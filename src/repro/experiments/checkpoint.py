@@ -28,7 +28,7 @@ from typing import Any, Mapping
 
 from ..clocktree import PathLengthStats
 from ..constants import Technology
-from ..core import FlowOptions, FlowResult
+from ..core import EXECUTION_ONLY_OPTION_FIELDS, FlowOptions, FlowResult
 from ..errors import ReproError
 from ..netlist import generate_circuit
 from ..obs import NULL_COLLECTOR, Collector
@@ -43,14 +43,21 @@ def experiment_key(
 ) -> str:
     """Digest identifying one circuit experiment's full configuration.
 
-    Any change to any :class:`FlowOptions` field or any technology
-    parameter changes the key, invalidating checkpoint entries written
-    under the old configuration.
+    Any change to any result-affecting :class:`FlowOptions` field or any
+    technology parameter changes the key, invalidating checkpoint
+    entries written under the old configuration.  Execution-only fields
+    (:data:`~repro.core.EXECUTION_ONLY_OPTION_FIELDS` — the intra-run
+    ``jobs`` worker count, bit-identical by the dispatch layer's
+    contract) are stripped first, so the same run at a different
+    parallelism resumes from the same checkpoints.
     """
+    options_doc = options.to_dict()
+    for field in sorted(EXECUTION_ONLY_OPTION_FIELDS):
+        options_doc.pop(field, None)
     canonical = json.dumps(
         {
             "name": name,
-            "options": options.to_dict(),
+            "options": options_doc,
             "tech": dataclasses.asdict(tech),
         },
         sort_keys=True,

@@ -75,6 +75,16 @@ _REGISTRY: tuple[LintRule, ...] = (
         Severity.ERROR,
     ),
     LintRule(
+        "DET006",
+        "parallel-kernel-global-mutation",
+        "A function registered as a parallel chunk kernel "
+        "(@chunk_kernel) mutates module-level state; kernels run "
+        "concurrently on pool threads or in forked workers, so such "
+        "writes race or silently diverge between backends.  Kernels "
+        "must write only through their declared output views.",
+        Severity.ERROR,
+    ),
+    LintRule(
         "API001",
         "mutable-default",
         "Mutable default argument (list/dict/set literal or call) is "

@@ -55,6 +55,11 @@ _MUTABLE_FACTORIES = {
     "list", "dict", "set", "bytearray", "defaultdict", "Counter",
     "OrderedDict", "deque",
 }
+#: Methods that mutate their receiver in place (DET006 kernel check).
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse", "fill",
+}
 
 
 def _finding(
@@ -71,6 +76,86 @@ def _finding(
         column=getattr(node, "col_offset", 0) + 1,
         hint=hint,
     )
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _bound_names(stmt: ast.AST) -> set[str]:
+    """Names a statement rebinds directly (``x = ...``, not ``x[i] = ...``).
+
+    Subscript and attribute targets are excluded: they mutate an object
+    without creating a binding, which matters when collecting a kernel's
+    local names — ``_CACHE[k] = v`` must not make ``_CACHE`` look local.
+    """
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: set[str] = set()
+    for target in targets:
+        elements = (
+            target.elts
+            if isinstance(target, (ast.Tuple, ast.List))
+            else [target]
+        )
+        for element in elements:
+            if isinstance(element, ast.Name):
+                names.add(element.id)
+    return names
+
+
+def _is_chunk_kernel_decorator(dec: ast.expr) -> bool:
+    """``@chunk_kernel(...)`` — bare or attribute-qualified."""
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name):
+        return target.id == "chunk_kernel"
+    return isinstance(target, ast.Attribute) and target.attr == "chunk_kernel"
+
+
+def _mutated_module_name(
+    node: ast.AST, local: set[str], declared_global: set[str]
+) -> str | None:
+    """The non-local base name this node mutates, or None.
+
+    Covers rebinding a ``global``-declared name, storing through a
+    subscript/attribute of a non-local name, and in-place mutating
+    method calls on a non-local name.
+    """
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        for name in _bound_names(node):
+            if name in declared_global:
+                return name
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            elements = (
+                target.elts
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target]
+            )
+            for element in elements:
+                if isinstance(element, (ast.Subscript, ast.Attribute)):
+                    name = _root_name(element)
+                    if name is not None and name not in local:
+                        return name
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATING_METHODS
+    ):
+        name = _root_name(node.func.value)
+        if name is not None and name not in local:
+            return name
+    return None
 
 
 class DeterminismVisitor(ast.NodeVisitor):
@@ -92,6 +177,7 @@ class DeterminismVisitor(ast.NodeVisitor):
     # -- entry ---------------------------------------------------------
     def run(self, tree: ast.Module) -> list[LintFinding]:
         self._sanction_sorted_args(tree)
+        self._check_kernel_mutations(tree)
         self.visit(tree)
         self.findings.sort(key=lambda f: (f.line, f.column, f.code))
         return self.findings
@@ -111,6 +197,74 @@ class DeterminismVisitor(ast.NodeVisitor):
                 if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
                     for gen in arg.generators:
                         self._sanctioned.add(id(gen.iter))
+
+    # -- DET006: parallel chunk kernels must not touch module state ----
+    def _check_kernel_mutations(self, tree: ast.Module) -> None:
+        """Flag module-state mutation inside ``@chunk_kernel`` functions.
+
+        Chunk kernels run concurrently on pool threads, or in forked
+        workers whose memory is thrown away — a module-level write is
+        either a data race or a result that silently differs between
+        the thread and process backends.  Purely syntactic: a decorator
+        spelled ``chunk_kernel(...)`` (bare or attribute-qualified)
+        marks the function; module-level names are the targets assigned
+        at module scope.
+        """
+        module_names = {
+            name
+            for stmt in tree.body
+            for name in _bound_names(stmt)
+        }
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not any(_is_chunk_kernel_decorator(d) for d in node.decorator_list):
+                continue
+            self._check_one_kernel(node, module_names)
+
+    def _check_one_kernel(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_names: set[str],
+    ) -> None:
+        args = fn.args
+        local = {
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        if args.vararg is not None:
+            local.add(args.vararg.arg)
+        if args.kwarg is not None:
+            local.add(args.kwarg.arg)
+        declared_global: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for name in _bound_names(node):
+                    if name not in declared_global:
+                        local.add(name)
+        for node in ast.walk(fn):
+            name = _mutated_module_name(node, local, declared_global)
+            if name is not None and (
+                name in module_names or name in declared_global
+            ):
+                self.findings.append(
+                    _finding(
+                        "DET006",
+                        node,
+                        self.path,
+                        f"parallel chunk kernel {fn.name}() mutates "
+                        f"module-level state {name!r}",
+                        hint=(
+                            "kernels run concurrently and in forked "
+                            "workers; write only through the declared "
+                            "output views"
+                        ),
+                    )
+                )
 
     # -- helpers -------------------------------------------------------
     def _dotted(self, node: ast.AST) -> str | None:

@@ -14,6 +14,7 @@ snapshots them into an immutable :class:`~repro.obs.trace.Trace`.
 
 from __future__ import annotations
 
+import threading
 import time
 from types import TracebackType
 from typing import Mapping
@@ -129,6 +130,14 @@ class TraceCollector(Collector):
     a stack, so exits always match the innermost open span.  Timestamps
     come from :func:`time.perf_counter_ns` relative to the collector's
     construction time.
+
+    Counters and gauges are thread-safe: :mod:`repro.parallel` chunk
+    kernels running on pool threads may count into the dispatching
+    flow's collector concurrently, and a lock keeps read-modify-write
+    updates from losing increments.  Spans remain single-threaded — the
+    stack belongs to the dispatching thread, and worker threads never
+    open spans (the dispatch layer records one span around the whole
+    chunked region instead).
     """
 
     __slots__ = (
@@ -139,6 +148,7 @@ class TraceCollector(Collector):
         "_counters",
         "_gauges",
         "_num_events",
+        "_metrics_lock",
     )
 
     enabled = True
@@ -152,6 +162,8 @@ class TraceCollector(Collector):
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._num_events = 0
+        #: Guards counter/gauge read-modify-write (see class docstring).
+        self._metrics_lock = threading.Lock()
 
     # -- recording ----------------------------------------------------
     def _now(self) -> int:
@@ -159,13 +171,15 @@ class TraceCollector(Collector):
 
     def _enter(self, name: str, attrs: Mapping[str, AttrValue]) -> None:
         ts = self._now()
-        self._num_events += 1
+        with self._metrics_lock:
+            self._num_events += 1
         self._stack.append((name, ts, attrs))
         self._events.append(("B", name, ts, dict(attrs) if attrs else None))
 
     def _exit(self, name: str) -> None:
         ts = self._now()
-        self._num_events += 1
+        with self._metrics_lock:
+            self._num_events += 1
         opened, start, attrs = self._stack.pop()
         # ``with`` discipline guarantees opened == name; keep the popped
         # name authoritative so a mismatch cannot corrupt the stack.
@@ -185,12 +199,14 @@ class TraceCollector(Collector):
         return _RecordingSpan(self, name, attrs)
 
     def count(self, name: str, value: int = 1) -> None:
-        self._num_events += 1
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._metrics_lock:
+            self._num_events += 1
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        self._num_events += 1
-        self._gauges[name] = float(value)
+        with self._metrics_lock:
+            self._num_events += 1
+            self._gauges[name] = float(value)
 
     def trace(self) -> Trace:
         """Immutable snapshot; open spans are excluded until they close."""
@@ -206,10 +222,14 @@ class TraceCollector(Collector):
                     pending.pop()
             unmatched = set(pending)
             events = [e for i, e in enumerate(events) if i not in unmatched]
+        with self._metrics_lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            num_events = self._num_events
         return Trace(
             spans=tuple(sorted(self._spans, key=lambda s: s.start_ns)),
             events=tuple(events),
-            counters=dict(self._counters),
-            gauges=dict(self._gauges),
-            num_events=self._num_events,
+            counters=counters,
+            gauges=gauges,
+            num_events=num_events,
         )

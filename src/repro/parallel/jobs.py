@@ -1,0 +1,68 @@
+"""Worker-count resolution: ``jobs`` option, ``REPRO_JOBS``, and auto.
+
+``jobs`` is an *execution-only* knob: it changes how fast a run goes,
+never what it computes (the dispatch layer guarantees bit-identical
+results for any worker count).  Because of that it is digest-exempt
+(see ``repro.api.EXECUTION_ONLY_FIELDS``) and the environment variable
+is allowed to override the option value — CI can force ``REPRO_JOBS=2``
+across an entire test suite, and ``repro.server`` can rebudget worker
+counts per wave worker, without either forking a cache key.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Literal, Mapping
+
+#: Environment variable overriding ``FlowOptions.jobs`` when set.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+JobsSpec = int | Literal["auto"]
+
+
+def parse_jobs(text: str) -> JobsSpec:
+    """Parse a ``--jobs`` / ``REPRO_JOBS`` value: ``"auto"`` or a positive int."""
+    cleaned = text.strip().lower()
+    if cleaned == "auto":
+        return "auto"
+    try:
+        value = int(cleaned)
+    except ValueError:
+        raise ValueError(
+            f"invalid jobs value {text!r}: expected a positive integer or 'auto'"
+        ) from None
+    if value < 1:
+        raise ValueError(f"invalid jobs value {text!r}: must be >= 1")
+    return value
+
+
+def resolve_jobs(
+    jobs: JobsSpec = 1,
+    *,
+    env: Mapping[str, str] | None = None,
+) -> int:
+    """Resolve a jobs spec to a concrete positive worker count.
+
+    Precedence: ``REPRO_JOBS`` (when set and non-empty) overrides
+    ``jobs``; ``"auto"`` resolves to the machine's CPU count.  The
+    result only ever affects wall-clock, so the environment override is
+    safe — it cannot change what a run computes.
+    """
+    source = os.environ if env is None else env
+    raw = source.get(JOBS_ENV_VAR, "").strip()
+    if raw:
+        jobs = parse_jobs(raw)
+    if jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ValueError(f"invalid jobs value {jobs!r}: expected a positive integer or 'auto'")
+    return jobs
+
+
+def jobs_from_env(*, env: Mapping[str, str] | None = None) -> int:
+    """Worker count from ``REPRO_JOBS`` alone (1 when unset).
+
+    Used by call sites that have no :class:`~repro.core.flow.FlowOptions`
+    in scope (e.g. the static RCK501 checker).
+    """
+    return resolve_jobs(1, env=env)

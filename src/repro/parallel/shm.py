@@ -1,0 +1,134 @@
+"""Shared-memory ``ndarray`` views for the process-pool backend.
+
+Lifecycle (all owned by the dispatching parent):
+
+1. :class:`SharedViewArena` copies each named array into a fresh
+   ``multiprocessing.shared_memory`` block and records a picklable
+   :class:`SharedArraySpec` per view.
+2. Workers call :func:`attach_view` per spec — a zero-copy ``ndarray``
+   over the mapped block.  Workers never unlink; they only close their
+   mapping when the interpreter exits.
+3. After every chunk completes, the parent copies the declared output
+   views back into the caller's arrays and then closes **and unlinks**
+   every block (:meth:`SharedViewArena.cleanup`, also run on error).
+
+Blocks are therefore never leaked past the dispatch call that created
+them, even when a chunk kernel raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from types import TracebackType
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+
+@dataclass(frozen=True, slots=True)
+class SharedArraySpec:
+    """Picklable description of one shared ndarray view."""
+
+    name: str
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def attach_view(spec: SharedArraySpec) -> npt.NDArray[Any]:
+    """Map a worker-side ndarray view over an existing shared block.
+
+    The parent owns the block's lifetime; the worker only maps it.  Pool
+    workers are forked, so they share the parent's resource-tracker
+    process: the parent's unlink is the one and only teardown, and the
+    duplicate register this attach performs is a set no-op there.
+    """
+    shm = shared_memory.SharedMemory(name=spec.shm_name)
+    view: npt.NDArray[Any] = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+    )
+    # Keep the mapping alive for the worker's lifetime; the view holds a
+    # buffer export, so closing here would invalidate it.
+    _ATTACHED.append(shm)
+    return view
+
+
+#: Worker-side mappings kept alive for the worker's lifetime (closed by
+#: the OS at process exit; the parent unlinks).
+_ATTACHED: list[shared_memory.SharedMemory] = []
+
+
+class SharedViewArena:
+    """Parent-side bundle of shared blocks mirroring a views dict."""
+
+    __slots__ = ("_blocks", "_specs", "_arrays")
+
+    def __init__(self, views: Mapping[str, npt.NDArray[Any]]) -> None:
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, SharedArraySpec] = {}
+        self._arrays: dict[str, npt.NDArray[Any]] = {}
+        try:
+            for name in sorted(views):
+                # ascontiguousarray promotes 0-d arrays to 1-d; keep the
+                # caller's shape so kernels see identical ndim.
+                shape = tuple(views[name].shape)
+                source = np.ascontiguousarray(views[name]).reshape(shape)
+                nbytes = max(1, int(source.nbytes))
+                block = shared_memory.SharedMemory(create=True, size=nbytes)
+                mirror: npt.NDArray[Any] = np.ndarray(
+                    shape, dtype=source.dtype, buffer=block.buf
+                )
+                mirror[...] = source
+                self._blocks[name] = block
+                self._arrays[name] = mirror
+                self._specs[name] = SharedArraySpec(
+                    name=name,
+                    shm_name=block.name,
+                    shape=shape,
+                    dtype=source.dtype.str,
+                )
+        except BaseException:
+            self.cleanup()
+            raise
+
+    def specs(self) -> tuple[SharedArraySpec, ...]:
+        """Picklable specs for every view, sorted by view name."""
+        return tuple(self._specs[name] for name in sorted(self._specs))
+
+    def array(self, name: str) -> npt.NDArray[Any]:
+        """The parent-side mirror array for ``name``."""
+        return self._arrays[name]
+
+    def copy_back(
+        self, views: Mapping[str, npt.NDArray[Any]], names: Sequence[str]
+    ) -> None:
+        """Copy the named output mirrors back into the caller's arrays."""
+        for name in names:
+            views[name][...] = self._arrays[name]
+
+    def cleanup(self) -> None:
+        """Close and unlink every block (idempotent)."""
+        # Drop mirror views first: a buffer with live exports cannot close.
+        self._arrays.clear()
+        while self._blocks:
+            _, block = self._blocks.popitem()
+            try:
+                block.close()
+                block.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - double cleanup
+                pass
+        self._specs.clear()
+
+    def __enter__(self) -> "SharedViewArena":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.cleanup()
+        return None

@@ -37,10 +37,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Mapping
+
 from ..constants import OHM_FF_TO_PS, Technology
 from ..errors import TappingError
 from ..geometry import Point
 from ..obs import NULL_COLLECTOR, Collector
+from ..parallel import chunk_kernel, fixed_chunks, run_kernel_chunks
 from .ring import RotaryRing
 from .tapping import _MAX_PERIOD_REDUCTIONS, _TOL, TappingSolution
 
@@ -53,6 +56,12 @@ _ROOT_TOL = 1e-7
 #: intermediates per pair, so unbounded batches would peak at hundreds of
 #: MB on 100k-cell circuits; chunking is elementwise and changes nothing.
 _PAIRS_PER_CHUNK = 16384
+#: Chunk width when dispatching pairs to the worker pool.  Fixed — it
+#: never varies with the worker count, so chunk boundaries (and hence
+#: results) are identical for any ``jobs``.  Smaller than the serial
+#: width so a scale10k-sized batch still splits into enough chunks to
+#: feed every core.
+_PAIRS_PER_PARALLEL_CHUNK = 512
 
 
 @dataclass(frozen=True, slots=True)
@@ -379,6 +388,74 @@ def batch_solve(
     )
 
 
+@dataclass(frozen=True, slots=True)
+class _TechRC:
+    """The two :class:`Technology` fields the pair kernel reads.
+
+    Chunk kernels receive every input as an ndarray view (so the
+    process backend can ship them through shared memory); the unit RC
+    constants round-trip through a two-element float array and are
+    rebuilt here — ``float`` conversion is exact, so results stay
+    bit-identical to passing the :class:`Technology` itself.
+    """
+
+    unit_resistance: float
+    unit_capacitance: float
+
+
+#: View names written by :func:`_solve_pairs_chunk` (disjoint slices).
+_PAIR_KERNEL_WRITES = (
+    "wirelength",
+    "segment_index",
+    "x",
+    "periods_borrowed",
+    "snaked",
+    "target_norm",
+    "point_x",
+    "point_y",
+)
+
+
+@chunk_kernel("tapping.solve-pairs")
+def _solve_pairs_chunk(views: Mapping[str, np.ndarray], lo: int, hi: int) -> None:
+    """Solve pairs ``[lo, hi)`` of a stacked batch; write output slices.
+
+    Pool-safe: reads input views, writes only the ``[lo:hi)`` slices of
+    the eight output views, touches no module state.
+    """
+    rid = views["ring_ids"][lo:hi]
+    cf_all = views["cf"]
+    cf: np.floating | np.ndarray
+    cf = cf_all[lo:hi] if cf_all.ndim == 1 else np.float64(cf_all[()])
+    rc = views["tech_rc"]
+    tech = _TechRC(float(rc[0]), float(rc[1]))
+    out = _solve_pairs(
+        views["sx"][rid],
+        views["sy"][rid],
+        views["dx"][rid],
+        views["dy"][rid],
+        views["length"][rid],
+        views["t0"][rid],
+        views["rho"][rid],
+        views["periods"][rid],
+        views["px"][lo:hi],
+        views["py"][lo:hi],
+        views["targets"][lo:hi],
+        tech,  # type: ignore[arg-type]
+        cf,
+    )
+    (
+        views["wirelength"][lo:hi],
+        views["segment_index"][lo:hi],
+        views["x"][lo:hi],
+        views["periods_borrowed"][lo:hi],
+        views["snaked"][lo:hi],
+        views["target_norm"][lo:hi],
+        views["point_x"][lo:hi],
+        views["point_y"][lo:hi],
+    ) = out
+
+
 def batch_solve_rings(
     array: "RingArrayLike",
     ring_ids: np.ndarray,
@@ -389,6 +466,7 @@ def batch_solve_rings(
     load_cap: float | np.ndarray | None = None,
     collector: Collector = NULL_COLLECTOR,
     pairs_per_chunk: int = _PAIRS_PER_CHUNK,
+    jobs: int = 1,
 ) -> RingPairsTappingResult:
     """Best tapping of arbitrary ``(flip-flop, ring)`` pairs in one call.
 
@@ -399,6 +477,11 @@ def batch_solve_rings(
     memory stays bounded on 100k-cell circuits.  Chunking is elementwise:
     results are bit-identical to per-ring :func:`batch_solve` calls over
     the same pairs.
+
+    ``jobs > 1`` dispatches the chunks to the :mod:`repro.parallel`
+    worker pool with a fixed (worker-count-independent) chunk width of
+    :data:`_PAIRS_PER_PARALLEL_CHUNK`; each chunk writes disjoint output
+    slices, so results are bit-identical for any ``jobs``.
     """
     ring_ids = np.asarray(ring_ids, dtype=np.intp)
     px = np.asarray(px, dtype=float)
@@ -426,6 +509,52 @@ def batch_solve_rings(
 
     if pairs_per_chunk <= 0:
         raise ValueError("pairs_per_chunk must be positive")
+    if jobs > 1:
+        views: dict[str, np.ndarray] = {
+            "sx": sx,
+            "sy": sy,
+            "dx": dx,
+            "dy": dy,
+            "length": length,
+            "t0": t0,
+            "rho": rho,
+            "periods": periods,
+            "ring_ids": ring_ids,
+            "px": px,
+            "py": py,
+            "targets": targets,
+            "cf": np.asarray(cf_all),
+            "tech_rc": np.array([tech.unit_resistance, tech.unit_capacitance]),
+            "wirelength": wirelength,
+            "segment_index": segment_index,
+            "x": x,
+            "periods_borrowed": periods_borrowed,
+            "snaked": snaked,
+            "target_norm": target_norm,
+            "point_x": point_x,
+            "point_y": point_y,
+        }
+        chunk = min(pairs_per_chunk, _PAIRS_PER_PARALLEL_CHUNK)
+        run_kernel_chunks(
+            "tapping.solve-pairs",
+            views,
+            fixed_chunks(n, chunk),
+            writes=_PAIR_KERNEL_WRITES,
+            jobs=jobs,
+            collector=collector,
+            stage="tapping.pairs",
+        )
+        return RingPairsTappingResult(
+            ring_ids=ring_ids,
+            wirelength=wirelength,
+            segment_index=segment_index,
+            x=x,
+            periods_borrowed=periods_borrowed,
+            snaked=snaked,
+            target_delay=target_norm,
+            point_x=point_x,
+            point_y=point_y,
+        )
     for lo in range(0, n, pairs_per_chunk):
         hi = min(lo + pairs_per_chunk, n)
         rid = ring_ids[lo:hi]

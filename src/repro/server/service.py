@@ -32,6 +32,7 @@ are unavailable).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -72,6 +73,32 @@ class ServerOptions:
     execution: Literal["process", "inline"] = "process"
     #: Dispatcher idle poll (seconds) — bounds shutdown latency.
     poll_seconds: float = 0.05
+    #: Intra-run worker budget applied to each job's ``options.jobs``
+    #: (the :mod:`repro.parallel` chunk pools).  ``"auto"`` divides the
+    #: machine between concurrent jobs: ``cpu_count // workers`` in
+    #: process mode (floor 1), the full ``cpu_count`` inline, where only
+    #: one job runs at a time.  ``jobs`` is execution-only, so the
+    #: rewrite never forks cache or checkpoint keys.
+    intra_jobs: int | Literal["auto"] = "auto"
+
+
+def _budget_intra_jobs(options: ServerOptions) -> int:
+    """Per-job intra-run worker budget for this service configuration.
+
+    Keeps the two parallelism layers from multiplying: ``workers``
+    concurrent jobs each get an equal share of the machine's cores for
+    their :mod:`repro.parallel` chunk pools.  Inline execution runs one
+    job at a time on the dispatcher thread, so it gets every core.
+    """
+    intra = options.intra_jobs
+    if intra != "auto":
+        if not isinstance(intra, int) or isinstance(intra, bool) or intra < 1:
+            raise ServerError("ServerOptions.intra_jobs must be >= 1 or 'auto'")
+        return intra
+    cores = max(1, os.cpu_count() or 1)
+    if options.execution == "inline":
+        return cores
+    return max(1, cores // max(1, options.workers))
 
 
 class FlowService:
@@ -85,6 +112,7 @@ class FlowService:
         self.options = options or ServerOptions()
         if self.options.workers < 1:
             raise ServerError("ServerOptions.workers must be >= 1")
+        self.intra_jobs = _budget_intra_jobs(self.options)
         self.collector = collector
         self.cache = ResultCache(
             self.options.cache_capacity, collector=collector
@@ -170,6 +198,7 @@ class FlowService:
             },
             "workers": self.options.workers,
             "execution": self.options.execution,
+            "intra_jobs": self.intra_jobs,
         }
 
     # ------------------------------------------------------------------
@@ -216,6 +245,7 @@ class FlowService:
                 "kind": job.kind,
                 "attempt": 1,
                 "request": job.request.to_dict(),
+                "intra_jobs": self.intra_jobs,
             },
             context={"deadline_at": job.deadline_at},
         )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Mapping
+from typing import Any, Mapping, TypeVar
 
 from ..api import (
     API_VERSION,
@@ -30,6 +30,8 @@ from ..api import (
 from ..errors import ServerError
 from ..obs import TraceCollector
 from ..experiments.parallel import _maybe_inject_fault
+
+_R = TypeVar("_R", FlowRequest, CheckRequest, TablesRequest)
 
 
 def check_response_doc(request: CheckRequest) -> dict[str, Any]:
@@ -49,26 +51,48 @@ def check_response_doc(request: CheckRequest) -> dict[str, Any]:
     }
 
 
+def _apply_intra_budget(request: _R, intra_jobs: int | None) -> _R:
+    """Rewrite ``options.jobs`` to the service's per-job worker budget.
+
+    ``jobs`` is execution-only (``EXECUTION_ONLY_OPTION_FIELDS``), so
+    the rewrite cannot change the request digest: the cached result and
+    the freshly computed one stay interchangeable at any budget.
+    """
+    if intra_jobs is None:
+        return request
+    return request.replace(
+        options=request.options.replace(jobs=max(1, int(intra_jobs)))
+    )
+
+
 def execute_request_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Execute one job payload; returns the response + trace document."""
     kind = str(payload["kind"])
     attempt = int(payload.get("attempt", 1))
     request_doc = payload["request"]
+    intra_jobs = payload.get("intra_jobs")
     circuit = str(request_doc.get("circuit", "")) or "-"
     _maybe_inject_fault(circuit, kind, attempt)
     collector = TraceCollector()
     start = time.perf_counter()
     doc: dict[str, Any]
     if kind == "flow":
-        flow_request = FlowRequest.from_dict(request_doc)
+        flow_request = _apply_intra_budget(
+            FlowRequest.from_dict(request_doc), intra_jobs
+        )
         doc = run_flow(flow_request, collector=collector).to_dict()
     elif kind == "check":
-        doc = check_response_doc(CheckRequest.from_dict(request_doc))
+        doc = check_response_doc(
+            _apply_intra_budget(CheckRequest.from_dict(request_doc), intra_jobs)
+        )
     elif kind == "tables":
-        tables_request = TablesRequest.from_dict(request_doc)
+        tables_request = _apply_intra_budget(
+            TablesRequest.from_dict(request_doc), intra_jobs
+        )
         # Never nest process pools: the job already runs in a worker, so
         # the suite executes serially regardless of the request's
-        # parallel knob (the tables themselves are byte-identical).
+        # parallel knob (the tables themselves are byte-identical).  The
+        # intra-run budget still applies inside each serial experiment.
         run = run_tables(
             tables_request.replace(parallel=0), collector=collector
         )

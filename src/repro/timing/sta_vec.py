@@ -50,6 +50,7 @@ from ..errors import CombinationalCycleError, TimingError
 from ..geometry import Point
 from ..netlist import CellKind, Circuit
 from ..obs import NULL_COLLECTOR, Collector
+from ..parallel import fixed_chunks, run_chunk_tasks
 from .gates import GateDelayModel
 from .sta import PathBounds
 
@@ -58,6 +59,13 @@ __all__ = ["TimingSnapshot", "TimingStructure", "VectorizedTiming", "get_structu
 _F64 = npt.NDArray[np.float64]
 _I32 = npt.NDArray[np.int32]
 _I64 = npt.NDArray[np.int64]
+
+#: Minimum level width (edges) before the positional pass dispatches a
+#: level to the worker pool; narrower levels stay serial — thread
+#: handoff would cost more than the gather it parallelizes.
+_PARALLEL_LEVEL_MIN = 8192
+#: Fixed (worker-count-independent) edge chunk width for wide levels.
+_LEVEL_EDGES_PER_CHUNK = 4096
 
 
 class TimingSnapshot:
@@ -435,6 +443,11 @@ class VectorizedTiming:
         path bit-exact with a from-scratch analysis.
     collector:
         Observability sink for cache/dirty-set counters.
+    jobs:
+        Worker count for the wide levels of the positional pass.
+        Execution-only: arrivals are bit-identical for any value (the
+        parallel path only chunks the gather/arithmetic of a level; the
+        min/max scatter stays a single ordered call per level).
     """
 
     def __init__(
@@ -444,6 +457,7 @@ class VectorizedTiming:
         *,
         dirty_epsilon: float = 0.0,
         collector: Collector = NULL_COLLECTOR,
+        jobs: int = 1,
     ) -> None:
         if dirty_epsilon < 0.0:
             raise ValueError("dirty_epsilon must be non-negative")
@@ -451,6 +465,7 @@ class VectorizedTiming:
         self.tech = tech
         self.dirty_epsilon = float(dirty_epsilon)
         self.collector = collector
+        self.jobs = max(1, int(jobs))
         self.structure = get_structure(circuit, tech, collector)
         n_pairs = self.structure.num_pairs
         self._dmin = np.zeros(n_pairs)
@@ -621,8 +636,35 @@ class VectorizedTiming:
             heads = p_head[seg]
             wires = wire[p_edge[seg]]
             gates = cell_delay[p_gate[seg]]
-            np.minimum.at(state_mn, heads, (state_mn[tails] + wires) + gates)
-            np.maximum.at(state_mx, heads, (state_mx[tails] + wires) + gates)
+            width = int(tails.shape[0])
+            if self.jobs > 1 and width >= _PARALLEL_LEVEL_MIN:
+                # Wide level: chunk the gather/arithmetic across the
+                # worker pool into preallocated candidate arrays
+                # (elementwise, disjoint slices — bit-identical to the
+                # one-shot expression), then apply the min/max scatter
+                # as the same single ordered call the serial path makes.
+                cand_mn = np.empty(width)
+                cand_mx = np.empty(width)
+
+                def gather(lo: int, hi: int) -> None:
+                    t = tails[lo:hi]
+                    w = wires[lo:hi]
+                    g = gates[lo:hi]
+                    cand_mn[lo:hi] = (state_mn[t] + w) + g
+                    cand_mx[lo:hi] = (state_mx[t] + w) + g
+
+                run_chunk_tasks(
+                    gather,
+                    fixed_chunks(width, _LEVEL_EDGES_PER_CHUNK),
+                    jobs=self.jobs,
+                    collector=self.collector,
+                    stage="sta.level",
+                )
+                np.minimum.at(state_mn, heads, cand_mn)
+                np.maximum.at(state_mx, heads, cand_mx)
+            else:
+                np.minimum.at(state_mn, heads, (state_mn[tails] + wires) + gates)
+                np.maximum.at(state_mx, heads, (state_mx[tails] + wires) + gates)
 
         if sel_caps is None:
             self._dmin = state_mn[s.cap_slot]

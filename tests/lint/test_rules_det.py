@@ -267,3 +267,93 @@ def test_findings_carry_location_and_hint():
 def test_det_rules_default_to_error(source):
     findings = lint_source(source)
     assert findings and all(f.severity.name == "ERROR" for f in findings)
+
+
+class TestDet006KernelGlobalMutation:
+    def test_global_rebind_in_kernel(self):
+        src = """
+        from repro.parallel import chunk_kernel
+
+        _TOTAL = 0
+
+        @chunk_kernel("demo.total")
+        def kernel(views, lo, hi):
+            global _TOTAL
+            _TOTAL += hi - lo
+        """
+        assert "DET006" in codes(src)
+
+    def test_subscript_store_into_module_dict(self):
+        src = """
+        from repro.parallel import chunk_kernel
+
+        _CACHE = {}
+
+        @chunk_kernel("demo.cache")
+        def kernel(views, lo, hi):
+            _CACHE[lo] = hi
+        """
+        assert "DET006" in codes(src)
+
+    def test_mutating_method_on_module_list(self):
+        src = """
+        from repro.parallel import chunk_kernel
+
+        _SEEN = []
+
+        @chunk_kernel("demo.seen")
+        def kernel(views, lo, hi):
+            _SEEN.append(lo)
+        """
+        assert "DET006" in codes(src)
+
+    def test_attribute_qualified_decorator_is_recognized(self):
+        src = """
+        import repro.parallel as par
+
+        _STATE = {}
+
+        @par.chunk_kernel("demo.attr")
+        def kernel(views, lo, hi):
+            _STATE[lo] = hi
+        """
+        assert "DET006" in codes(src)
+
+    def test_view_writes_and_locals_are_clean(self):
+        src = """
+        from repro.parallel import chunk_kernel
+
+        _CACHE = {}
+
+        @chunk_kernel("demo.clean")
+        def kernel(views, lo, hi):
+            scratch = []
+            scratch.append(lo)
+            views["out"][lo:hi] = 1.0
+        """
+        assert "DET006" not in codes(src)
+
+    def test_non_kernel_function_is_exempt(self):
+        src = """
+        _CACHE = {}
+
+        def helper(lo, hi):
+            _CACHE[lo] = hi
+        """
+        assert "DET006" not in codes(src)
+
+    def test_pragma_suppresses_with_justification(self):
+        from repro.lint import lint_source
+        from textwrap import dedent
+
+        src = """
+        from repro.parallel import chunk_kernel
+
+        _CACHE = {}
+
+        @chunk_kernel("demo.suppressed")
+        def kernel(views, lo, hi):
+            _CACHE[lo] = hi  # repro: lint-disable=DET006 -- single-threaded test fixture
+        """
+        findings = lint_source(dedent(src))
+        assert "DET006" not in [f.code for f in findings]

@@ -1,0 +1,72 @@
+"""Bit-identity of the full flow across worker counts (satellite suite).
+
+The determinism contract of :mod:`repro.parallel` is that ``jobs`` can
+never change what a run computes — only how fast.  This suite drives
+every bundled circuit plus the ``scale10k`` profile through the complete
+flow at ``jobs=1``, ``jobs=2``, and ``jobs="auto"`` and asserts both the
+``decision_digest()`` and the full (wall-clock-stripped) result document
+are identical.
+"""
+
+import json
+
+import pytest
+
+from repro.api import FlowRequest, run_flow
+from repro.core import FlowOptions
+
+#: Timing keys: honest wall-clock facts that legitimately differ run to
+#: run; everything else in the document must be byte-identical.
+_WALL_CLOCK_KEYS = {"seconds", "cpu_seconds", "wall_seconds"}
+
+BUNDLED = ["s5378", "s9234", "s15850", "s35932", "s38417"]
+JOBS_VALUES = (1, 2, "auto")
+
+
+def _strip_wall_clock(doc):
+    if isinstance(doc, dict):
+        return {
+            key: _strip_wall_clock(value)
+            for key, value in doc.items()
+            if key not in _WALL_CLOCK_KEYS and key != "trace"
+        }
+    if isinstance(doc, list):
+        return [_strip_wall_clock(item) for item in doc]
+    return doc
+
+
+def _run(circuit: str, jobs, max_iterations: int):
+    response = run_flow(
+        FlowRequest(
+            circuit=circuit,
+            options=FlowOptions(max_iterations=max_iterations, jobs=jobs),
+        )
+    )
+    return response
+
+
+def _assert_identical(circuit: str, max_iterations: int) -> None:
+    results = [_run(circuit, jobs, max_iterations) for jobs in JOBS_VALUES]
+    digests = {r.decision_digest() for r in results}
+    assert len(digests) == 1, f"{circuit}: decision digests diverge: {digests}"
+    documents = {
+        json.dumps(_strip_wall_clock(r.to_dict()), sort_keys=True)
+        for r in results
+    }
+    assert len(documents) == 1, f"{circuit}: result documents diverge"
+
+
+@pytest.mark.parametrize("circuit", BUNDLED)
+def test_bundled_circuit_bit_identity(circuit: str) -> None:
+    _assert_identical(circuit, max_iterations=1)
+
+
+@pytest.mark.slow
+def test_scale10k_bit_identity() -> None:
+    _assert_identical("scale10k", max_iterations=1)
+
+
+def test_deeper_iteration_bit_identity() -> None:
+    # More iterations exercise the incremental STA and cost-cache paths
+    # repeatedly; one mid-sized circuit keeps the suite fast.
+    _assert_identical("s9234", max_iterations=3)

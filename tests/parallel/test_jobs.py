@@ -1,0 +1,60 @@
+"""Jobs-spec parsing and resolution (``--jobs`` / ``REPRO_JOBS``)."""
+
+import os
+
+import pytest
+
+from repro.parallel import JOBS_ENV_VAR, jobs_from_env, parse_jobs, resolve_jobs
+
+
+class TestParseJobs:
+    def test_auto(self):
+        assert parse_jobs("auto") == "auto"
+        assert parse_jobs(" AUTO ") == "auto"
+
+    def test_positive_int(self):
+        assert parse_jobs("1") == 1
+        assert parse_jobs("16") == 16
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "", "1.5"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_jobs(bad)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(env={}) == 1
+
+    def test_explicit_int(self):
+        assert resolve_jobs(3, env={}) == 3
+
+    def test_auto_is_cpu_count(self):
+        assert resolve_jobs("auto", env={}) == max(1, os.cpu_count() or 1)
+
+    def test_env_overrides_options(self):
+        assert resolve_jobs(1, env={JOBS_ENV_VAR: "5"}) == 5
+        assert resolve_jobs(8, env={JOBS_ENV_VAR: "2"}) == 2
+
+    def test_env_auto(self):
+        assert resolve_jobs(1, env={JOBS_ENV_VAR: "auto"}) == max(
+            1, os.cpu_count() or 1
+        )
+
+    def test_blank_env_is_ignored(self):
+        assert resolve_jobs(4, env={JOBS_ENV_VAR: "  "}) == 4
+
+    def test_bad_env_raises(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(1, env={JOBS_ENV_VAR: "zero"})
+
+    @pytest.mark.parametrize("bad", [0, -1, True])
+    def test_bad_jobs_value_raises(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad, env={})
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert jobs_from_env() == 3
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        assert jobs_from_env() == 1

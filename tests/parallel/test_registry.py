@@ -1,0 +1,53 @@
+"""Chunk-kernel registry semantics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import chunk_kernel, registered_kernels, resolve_kernel
+
+
+@chunk_kernel("tests.registry.double")
+def _double(views, lo, hi):
+    views["out"][lo:hi] = views["x"][lo:hi] * 2.0
+
+
+class TestRegistry:
+    def test_resolve_returns_registered_function(self):
+        assert resolve_kernel("tests.registry.double") is _double
+
+    def test_registered_kernels_sorted_and_contains(self):
+        names = registered_kernels()
+        assert names == tuple(sorted(names))
+        assert "tests.registry.double" in names
+        # The production tapping kernel registers on import.
+        import repro.rotary.tapping_vec  # noqa: F401
+
+        assert "tapping.solve-pairs" in registered_kernels()
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="no-such-kernel"):
+            resolve_kernel("no-such-kernel")
+
+    def test_duplicate_name_rejected(self):
+        def other(views, lo, hi):
+            pass
+
+        other.__qualname__ = "other"  # look module-level to the guard
+        with pytest.raises(ValueError, match="already registered"):
+            chunk_kernel("tests.registry.double")(other)
+
+    def test_reregistering_same_function_is_ok(self):
+        assert chunk_kernel("tests.registry.double")(_double) is _double
+
+    def test_non_module_level_function_rejected(self):
+        with pytest.raises(ValueError, match="module-level"):
+
+            @chunk_kernel("tests.registry.nested")
+            def nested(views, lo, hi):
+                pass
+
+    def test_kernel_runs(self):
+        x = np.arange(6, dtype=np.float64)
+        out = np.zeros_like(x)
+        _double({"x": x, "out": out}, 2, 5)
+        assert np.array_equal(out, [0, 0, 4, 6, 8, 0])

@@ -1,0 +1,96 @@
+"""Shared-memory arena lifecycle and process-backend equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SharedViewArena,
+    attach_view,
+    chunk_kernel,
+    fixed_chunks,
+    run_kernel_chunks,
+    shutdown_pools,
+)
+
+
+@chunk_kernel("tests.shm.affine")
+def _affine(views, lo, hi):
+    views["out"][lo:hi] = views["x"][lo:hi] * views["scale"][()] + views["bias"][lo:hi]
+
+
+class TestSharedViewArena:
+    def test_round_trip_preserves_values_and_dtype(self):
+        views = {
+            "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int32),
+        }
+        with SharedViewArena(views) as arena:
+            for name, source in views.items():
+                mirror = arena.array(name)
+                assert mirror.shape == source.shape
+                assert mirror.dtype == source.dtype
+                assert np.array_equal(mirror, source)
+
+    def test_zero_d_array_keeps_shape(self):
+        views = {"s": np.asarray(2.5)}
+        with SharedViewArena(views) as arena:
+            spec = next(s for s in arena.specs() if s.name == "s")
+            assert spec.shape == ()
+            assert arena.array("s").ndim == 0
+
+    def test_attach_view_sees_parent_writes(self):
+        views = {"x": np.zeros(8)}
+        with SharedViewArena(views) as arena:
+            spec = next(s for s in arena.specs() if s.name == "x")
+            attached = attach_view(spec)
+            arena.array("x")[3] = 7.0
+            assert attached[3] == 7.0
+
+    def test_copy_back_only_named_views(self):
+        views = {"keep": np.zeros(4), "out": np.zeros(4)}
+        with SharedViewArena(views) as arena:
+            arena.array("keep")[:] = 5.0
+            arena.array("out")[:] = 9.0
+            arena.copy_back(views, ["out"])
+        assert np.array_equal(views["out"], [9.0] * 4)
+        assert np.array_equal(views["keep"], [0.0] * 4)
+
+    def test_cleanup_is_idempotent(self):
+        arena = SharedViewArena({"x": np.ones(3)})
+        arena.cleanup()
+        arena.cleanup()
+
+    def test_specs_are_sorted_by_name(self):
+        with SharedViewArena({"b": np.ones(1), "a": np.ones(1)}) as arena:
+            assert [s.name for s in arena.specs()] == ["a", "b"]
+
+
+class TestProcessBackendEquivalence:
+    @pytest.mark.slow
+    def test_thread_and_process_backends_match_serial(self):
+        rng = np.random.default_rng(11)
+        n = 4096
+        x = rng.normal(size=n)
+        bias = rng.normal(size=n)
+        scale = np.asarray(1.75)
+
+        def run(jobs, backend=None):
+            out = np.zeros(n)
+            views = {"x": x, "bias": bias, "scale": scale, "out": out}
+            run_kernel_chunks(
+                "tests.shm.affine",
+                views,
+                fixed_chunks(n, 256),
+                writes=("out",),
+                jobs=jobs,
+                backend=backend,
+            )
+            return out
+
+        serial = run(1)
+        threaded = run(3, backend="thread")
+        # Fresh fork so the worker inherits this module's registration.
+        shutdown_pools()
+        forked = run(2, backend="process")
+        assert np.array_equal(serial, threaded)
+        assert np.array_equal(serial, forked)

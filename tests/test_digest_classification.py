@@ -1,11 +1,18 @@
 """Digest knob-classification regression suite.
 
-Every ``FlowOptions`` field is classified result-affecting (see
+Every ``FlowOptions`` field except the ``EXECUTION_ONLY_OPTION_FIELDS``
+carve-out is classified result-affecting (see
 ``repro.api.EXECUTION_ONLY_FIELDS``): two requests that differ in any
-flow knob must never share a digest, or the server ``ResultCache`` and
-the experiments ``CheckpointStore`` could serve a result computed under
-different options.  These tests are parametrized over the dataclass
-fields themselves, so a newly added knob is covered automatically.
+result-affecting flow knob must never share a digest, or the server
+``ResultCache`` and the experiments ``CheckpointStore`` could serve a
+result computed under different options.  Execution-only option fields
+(today just ``jobs``, the intra-run worker count, which the
+``repro.parallel`` dispatch layer guarantees is bit-identical for any
+value) must do the opposite: they must NEVER change a digest, or the
+cache keyspace would fragment on a knob that cannot change the answer.
+These tests are parametrized over the dataclass fields themselves, so a
+newly added knob is covered automatically on the result-affecting side
+and must be explicitly carved out here to become execution-only.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from repro.api import (
     TablesRequest,
 )
 from repro.constants import DEFAULT_TECHNOLOGY
-from repro.core import FlowOptions
+from repro.core import EXECUTION_ONLY_OPTION_FIELDS, FlowOptions
 from repro.experiments.checkpoint import experiment_key
 
 CIRCUIT = "s1423"
@@ -36,9 +43,14 @@ LITERAL_ALTERNATIVES: dict[str, Any] = {
     "placer_assembly": "triplets",
     "placer_solver": "direct",
     "net_weighting": "critical",
+    "jobs": "auto",
 }
 
 OPTION_FIELDS = [f.name for f in dataclasses.fields(FlowOptions)]
+RESULT_AFFECTING_FIELDS = [
+    name for name in OPTION_FIELDS if name not in EXECUTION_ONLY_OPTION_FIELDS
+]
+EXECUTION_ONLY_OPTIONS = sorted(EXECUTION_ONLY_OPTION_FIELDS)
 
 
 def perturbed_value(name: str, baseline: FlowOptions) -> Any:
@@ -63,9 +75,9 @@ def perturbed_value(name: str, baseline: FlowOptions) -> Any:
 
 
 class TestFlowOptionsFieldsAreResultAffecting:
-    """Any single-field FlowOptions change must change every digest."""
+    """Any result-affecting FlowOptions change must change every digest."""
 
-    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    @pytest.mark.parametrize("name", RESULT_AFFECTING_FIELDS)
     def test_flow_request_digest_differs(self, name: str) -> None:
         base = FlowRequest(circuit=CIRCUIT)
         changed = base.replace(
@@ -75,7 +87,7 @@ class TestFlowOptionsFieldsAreResultAffecting:
         )
         assert base.digest() != changed.digest()
 
-    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    @pytest.mark.parametrize("name", RESULT_AFFECTING_FIELDS)
     def test_check_request_digest_differs(self, name: str) -> None:
         base = CheckRequest(circuit=CIRCUIT)
         changed = base.replace(
@@ -85,7 +97,7 @@ class TestFlowOptionsFieldsAreResultAffecting:
         )
         assert base.digest() != changed.digest()
 
-    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    @pytest.mark.parametrize("name", RESULT_AFFECTING_FIELDS)
     def test_tables_request_digest_differs(self, name: str) -> None:
         base = TablesRequest(circuits=(CIRCUIT,))
         changed = base.replace(
@@ -95,7 +107,7 @@ class TestFlowOptionsFieldsAreResultAffecting:
         )
         assert base.digest() != changed.digest()
 
-    @pytest.mark.parametrize("name", OPTION_FIELDS)
+    @pytest.mark.parametrize("name", RESULT_AFFECTING_FIELDS)
     def test_experiment_key_differs(self, name: str) -> None:
         options = FlowOptions()
         changed = options.replace(**{name: perturbed_value(name, options)})
@@ -129,8 +141,65 @@ class TestExecutionOnlyFieldsAreExcluded:
         assert base.digest() == changed.digest()
 
 
+class TestExecutionOnlyOptionFieldsAreExcluded:
+    """Execution-only option knobs (``jobs``) never change any digest.
+
+    The intra-run worker count is bit-identical by the parallel layer's
+    determinism contract, so two requests differing only in ``jobs``
+    must share cache entries, checkpoints, and server results.
+    """
+
+    @pytest.mark.parametrize("name", EXECUTION_ONLY_OPTIONS)
+    def test_flow_request_digest_unchanged(self, name: str) -> None:
+        base = FlowRequest(circuit=CIRCUIT)
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() == changed.digest()
+
+    @pytest.mark.parametrize("name", EXECUTION_ONLY_OPTIONS)
+    def test_check_request_digest_unchanged(self, name: str) -> None:
+        base = CheckRequest(circuit=CIRCUIT)
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() == changed.digest()
+
+    @pytest.mark.parametrize("name", EXECUTION_ONLY_OPTIONS)
+    def test_tables_request_digest_unchanged(self, name: str) -> None:
+        base = TablesRequest(circuits=(CIRCUIT,))
+        changed = base.replace(
+            options=base.options.replace(
+                **{name: perturbed_value(name, base.options)}
+            )
+        )
+        assert base.digest() == changed.digest()
+
+    @pytest.mark.parametrize("name", EXECUTION_ONLY_OPTIONS)
+    def test_experiment_key_unchanged(self, name: str) -> None:
+        options = FlowOptions()
+        changed = options.replace(**{name: perturbed_value(name, options)})
+        assert experiment_key(
+            "exp", options, DEFAULT_TECHNOLOGY
+        ) == experiment_key("exp", changed, DEFAULT_TECHNOLOGY)
+
+    def test_jobs_integer_values_share_one_digest(self) -> None:
+        digests = {
+            FlowRequest(
+                circuit=CIRCUIT,
+                options=FlowOptions(jobs=jobs),
+            ).digest()
+            for jobs in (1, 2, 8, "auto")
+        }
+        assert len(digests) == 1
+
+
 class TestClassificationTableIsSound:
-    """The exclusion table only names real request-level fields."""
+    """The exclusion table only names real fields, top-level or dotted."""
 
     @pytest.mark.parametrize(
         ("kind", "request_cls"),
@@ -138,8 +207,31 @@ class TestClassificationTableIsSound:
     )
     def test_excluded_fields_exist(self, kind: str, request_cls: type) -> None:
         known = {f.name for f in dataclasses.fields(request_cls)}
-        assert EXECUTION_ONLY_FIELDS[kind] <= known
+        for entry in EXECUTION_ONLY_FIELDS[kind]:
+            head, dot, leaf = entry.partition(".")
+            assert head in known, entry
+            if dot:
+                # Dotted paths reach one level into the options document.
+                assert head == "options", entry
+                assert leaf in set(OPTION_FIELDS), entry
 
-    def test_no_flow_options_field_is_excluded(self) -> None:
+    def test_option_carve_out_matches_flow_module(self) -> None:
+        # Every dotted options path in the request-level table is exactly
+        # the core-module carve-out — neither side can drift alone.
+        for excluded in EXECUTION_ONLY_FIELDS.values():
+            dotted = {
+                entry.partition(".")[2]
+                for entry in excluded
+                if entry.startswith("options.")
+            }
+            assert dotted == set(EXECUTION_ONLY_OPTION_FIELDS)
+
+    def test_no_result_affecting_option_is_excluded(self) -> None:
         for excluded in EXECUTION_ONLY_FIELDS.values():
             assert not (excluded & set(OPTION_FIELDS))
+            dotted = {
+                entry.partition(".")[2]
+                for entry in excluded
+                if "." in entry
+            }
+            assert not (dotted & set(RESULT_AFFECTING_FIELDS))
